@@ -1,0 +1,76 @@
+// Ablation: the Schank–Wagner degree-ordering heuristic (§2.2). The
+// paper credits it with order-of-magnitude gains on power-law graphs
+// because high ids on high-degree vertices shrink |n_succ(v)| and thus
+// every intersection. This bench measures the ordered edge-iterator
+// under natural, random, and degree orderings, plus the Eq. 3 work
+// bound sum min(|n_succ(u)|, |n_succ(v)|).
+#include "bench_common.h"
+
+#include "baselines/inmemory.h"
+#include "core/triangle_sink.h"
+#include "gen/rmat.h"
+#include "graph/reorder.h"
+#include "util/stopwatch.h"
+
+using namespace opt;
+
+namespace {
+
+uint64_t SuccWorkBound(const CSRGraph& g) {
+  uint64_t total = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto succ_u = g.Successors(u);
+    for (VertexId v : succ_u) {
+      total += std::min(succ_u.size(), g.Successors(v).size());
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto ctx = bench::MakeContext(argc, argv);
+  bench::Banner("Ablation: vertex ordering",
+                "Ordered edge-iterator under different id assignments "
+                "(R-MAT power-law graph)");
+
+  RmatOptions gen;
+  gen.scale = static_cast<uint32_t>(std::max(8, 15 - ctx.scale_shift));
+  gen.edge_factor = 16;
+  // Heavy skew: the heuristic's payoff grows with hub sizes.
+  gen.a = 0.60;
+  gen.b = 0.18;
+  gen.c = 0.18;
+  gen.d = 0.04;
+  gen.seed = 3;
+  CSRGraph natural = GenerateRmat(gen);
+
+  TablePrinter table({"ordering", "work bound Σmin|succ|",
+                      "elapsed (s)", "triangles"});
+  struct Variant {
+    const char* name;
+    CSRGraph graph;
+  };
+  uint32_t degeneracy = 0;
+  Variant variants[] = {
+      {"natural (generator ids)", natural},
+      {"random permutation", RandomOrder(natural, 7).graph},
+      {"degree heuristic", DegreeOrder(natural).graph},
+      {"degeneracy order", DegeneracyOrder(natural, &degeneracy).graph},
+  };
+  for (auto& variant : variants) {
+    CountingSink sink;
+    Stopwatch watch;
+    EdgeIteratorInMemory(variant.graph, &sink);
+    table.AddRow({variant.name, TablePrinter::Fmt(SuccWorkBound(variant.graph)),
+                  bench::Secs(watch.ElapsedSeconds()),
+                  TablePrinter::Fmt(sink.count())});
+  }
+  table.Print();
+  std::printf("graph degeneracy: %u\n", degeneracy);
+  std::printf("Expected shape (§2.2): degree heuristic minimizes the work "
+              "bound and the elapsed time; random/natural orders are "
+              "several times worse on skewed graphs.\n");
+  return 0;
+}

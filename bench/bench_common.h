@@ -1,0 +1,74 @@
+// Shared plumbing for the experiment binaries (one per paper table or
+// figure). Every binary accepts:
+//   --scale_shift N   shrink datasets by 2^N (default kDefaultShift —
+//                     sized so each binary finishes in seconds on CI)
+//   --read_us  N      emulated FlashSSD per-page read latency (µs)
+//   --write_us N      emulated per-page write latency (µs)
+//   --threads  N      worker threads for parallel methods
+//   --work_dir PATH   where graph stores are materialized
+// The latency injection stands in for the paper's direct-I/O FlashSSD:
+// it makes I/O cost proportional to pages touched even when the OS page
+// cache would otherwise hide it (DESIGN.md §3).
+#ifndef OPT_BENCH_BENCH_COMMON_H_
+#define OPT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+
+#include "harness/datasets.h"
+#include "harness/methods.h"
+#include "storage/env.h"
+#include "util/cli.h"
+#include "util/table_printer.h"
+
+namespace opt {
+namespace bench {
+
+inline constexpr int kDefaultShift = 2;
+inline constexpr uint32_t kDefaultReadMicros = 30;
+inline constexpr uint32_t kDefaultWriteMicros = 60;
+inline constexpr uint32_t kPageSize = 4096;
+
+struct BenchContext {
+  std::unique_ptr<ThrottledEnv> env;
+  std::string work_dir;
+  int scale_shift = kDefaultShift;
+  uint32_t threads = 2;
+
+  Env* get_env() { return env.get(); }
+};
+
+inline BenchContext MakeContext(int argc, char** argv) {
+  BenchContext ctx;
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) {
+    std::fprintf(stderr, "%s\n", cl.status().ToString().c_str());
+    std::exit(2);
+  }
+  ctx.scale_shift =
+      static_cast<int>(cl->GetInt("scale_shift", kDefaultShift));
+  const auto read_us = static_cast<uint32_t>(
+      cl->GetInt("read_us", kDefaultReadMicros));
+  const auto write_us = static_cast<uint32_t>(
+      cl->GetInt("write_us", kDefaultWriteMicros));
+  ctx.threads = static_cast<uint32_t>(cl->GetInt("threads", 2));
+  ctx.work_dir = cl->GetString("work_dir", "/tmp/opt_bench");
+  ::mkdir(ctx.work_dir.c_str(), 0755);
+  ctx.env = std::make_unique<ThrottledEnv>(Env::Default(), read_us,
+                                           write_us);
+  return ctx;
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* description) {
+  std::printf("=== %s ===\n%s\n", experiment, description);
+}
+
+inline std::string Secs(double s) { return TablePrinter::Fmt(s, 3); }
+
+}  // namespace bench
+}  // namespace opt
+
+#endif  // OPT_BENCH_BENCH_COMMON_H_

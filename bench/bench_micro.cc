@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark): intersection kernels, page
+// codec, CRC, buffer pool, async engine — the substrate costs behind
+// the macro experiments.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "graph/intersect.h"
+#include "storage/async_io.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/crc32.h"
+#include "util/random.h"
+
+namespace opt {
+namespace {
+
+std::vector<VertexId> MakeSorted(size_t n, uint64_t seed) {
+  Random64 rng(seed);
+  std::vector<VertexId> out;
+  out.reserve(n);
+  VertexId v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    v += 1 + static_cast<VertexId>(rng.Uniform(8));
+    out.push_back(v);
+  }
+  return out;
+}
+
+void BM_IntersectMerge(benchmark::State& state) {
+  auto a = MakeSorted(static_cast<size_t>(state.range(0)), 1);
+  auto b = MakeSorted(static_cast<size_t>(state.range(1)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectCountMerge(a, b));
+  }
+}
+BENCHMARK(BM_IntersectMerge)->Args({64, 64})->Args({64, 4096})
+    ->Args({1024, 1024});
+
+void BM_IntersectGalloping(benchmark::State& state) {
+  auto a = MakeSorted(static_cast<size_t>(state.range(0)), 1);
+  auto b = MakeSorted(static_cast<size_t>(state.range(1)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectCountGalloping(a, b));
+  }
+}
+BENCHMARK(BM_IntersectGalloping)->Args({64, 64})->Args({64, 4096})
+    ->Args({1024, 1024});
+
+void BM_IntersectAdaptive(benchmark::State& state) {
+  auto a = MakeSorted(static_cast<size_t>(state.range(0)), 1);
+  auto b = MakeSorted(static_cast<size_t>(state.range(1)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectCount(a, b));
+  }
+}
+BENCHMARK(BM_IntersectAdaptive)->Args({64, 64})->Args({64, 4096})
+    ->Args({1024, 1024});
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<char> data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(0, data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536);
+
+void BM_PageBuild(benchmark::State& state) {
+  std::vector<char> buffer(4096);
+  std::vector<VertexId> neighbors(64);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    neighbors[i] = static_cast<VertexId>(i * 3);
+  }
+  for (auto _ : state) {
+    PageBuilder builder(buffer.data(), 4096, 1);
+    while (builder.FreeNeighborCapacity() >= neighbors.size()) {
+      builder.AddSegment(7, 64, 0, neighbors);
+    }
+    builder.Finish();
+    benchmark::DoNotOptimize(buffer.data());
+  }
+}
+BENCHMARK(BM_PageBuild);
+
+void BM_PageParse(benchmark::State& state) {
+  std::vector<char> buffer(4096);
+  std::vector<VertexId> neighbors(64);
+  PageBuilder builder(buffer.data(), 4096, 1);
+  while (builder.FreeNeighborCapacity() >= neighbors.size()) {
+    builder.AddSegment(7, 64, 0, neighbors);
+  }
+  builder.Finish();
+  for (auto _ : state) {
+    PageView view(buffer.data(), 4096);
+    uint64_t total = 0;
+    for (uint32_t s = 0; s < view.num_slots(); ++s) {
+      total += view.GetSegment(s).neighbors.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PageParse);
+
+void BM_BufferPoolLookup(benchmark::State& state) {
+  BufferPool pool(4096, 256);
+  for (uint32_t pid = 0; pid < 128; ++pid) {
+    auto frame = pool.AllocateForRead(pid);
+    pool.MarkValid(*frame);
+    pool.Unpin(*frame);
+  }
+  uint32_t pid = 0;
+  for (auto _ : state) {
+    Frame* f = pool.LookupAndPin(pid % 128);
+    pool.Unpin(f);
+    ++pid;
+  }
+}
+BENCHMARK(BM_BufferPoolLookup);
+
+void BM_DegreeOrderedEdgeIteratorWork(benchmark::State& state) {
+  CSRGraph g = GenerateErdosRenyi(1u << 12, 1u << 16, 3);
+  for (auto _ : state) {
+    uint64_t triangles = 0;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      const auto succ_u = g.Successors(u);
+      for (VertexId v : succ_u) {
+        triangles += IntersectCount(succ_u, g.Successors(v));
+      }
+    }
+    benchmark::DoNotOptimize(triangles);
+  }
+}
+BENCHMARK(BM_DegreeOrderedEdgeIteratorWork);
+
+}  // namespace
+}  // namespace opt
+
+BENCHMARK_MAIN();

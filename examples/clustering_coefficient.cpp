@@ -1,0 +1,91 @@
+// Network-analysis example (paper §1): compute the clustering
+// coefficient and transitivity of a graph that does not fit in the
+// memory budget, using OPT's per-vertex triangle counts.
+//
+//   ./clustering_coefficient [--scale N] [--edge_factor K] [--threads T]
+#include <algorithm>
+#include <cstdio>
+
+#include "core/iterator_model.h"
+#include "core/opt_runner.h"
+#include "core/triangle_sink.h"
+#include "gen/rmat.h"
+#include "graph/reorder.h"
+#include "graph/stats.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+#include "util/cli.h"
+
+using namespace opt;
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) return 2;
+
+  // A skewed social-network-like graph.
+  RmatOptions gen;
+  gen.scale = static_cast<uint32_t>(cl->GetInt("scale", 13));
+  gen.edge_factor = static_cast<uint32_t>(cl->GetInt("edge_factor", 12));
+  gen.seed = 42;
+  CSRGraph raw = GenerateRmat(gen);
+  // The degree-ordering heuristic (§2.2) before storing; remember the
+  // mapping so statistics can be reported in original ids.
+  ReorderResult ordered = DegreeOrder(raw);
+  CSRGraph& graph = ordered.graph;
+
+  Env* env = Env::Default();
+  const std::string base = "/tmp/opt_clustering_graph";
+  GraphStoreOptions store_options;
+  if (Status s = GraphStore::Create(graph, env, base, store_options);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto store = GraphStore::Open(env, base);
+  if (!store.ok()) return 1;
+
+  // Triangulate with a memory budget of ~15% of the graph.
+  OptOptions options;
+  const uint32_t buffer = std::max(4u, (*store)->num_pages() * 15 / 100);
+  options.m_in = std::max(buffer / 2, (*store)->MaxRecordPages());
+  options.m_ex = std::max(1u, buffer / 2);
+  options.num_threads = static_cast<uint32_t>(cl->GetInt("threads", 2));
+
+  PerVertexCountSink sink(graph.num_vertices());
+  EdgeIteratorModel model;
+  OptRunner runner(store->get(), &model, options);
+  if (Status s = runner.Run(&sink, nullptr); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const auto counts = sink.Counts();
+  const double avg_cc = AverageClusteringCoefficient(graph, counts);
+  const double transitivity = Transitivity(graph, sink.total());
+  std::printf("vertices:               %u\n", graph.num_vertices());
+  std::printf("edges:                  %llu\n",
+              static_cast<unsigned long long>(graph.num_edges()));
+  std::printf("triangles:              %llu\n",
+              static_cast<unsigned long long>(sink.total()));
+  std::printf("avg clustering coeff:   %.4f\n", avg_cc);
+  std::printf("transitivity:           %.4f\n", transitivity);
+
+  // The most triangle-dense vertices (hubs of tightly knit regions).
+  std::vector<VertexId> by_triangles(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) by_triangles[v] = v;
+  std::partial_sort(by_triangles.begin(),
+                    by_triangles.begin() +
+                        std::min<size_t>(5, by_triangles.size()),
+                    by_triangles.end(), [&](VertexId a, VertexId b) {
+                      return counts[a] > counts[b];
+                    });
+  std::printf("top triangle-dense vertices (original ids):\n");
+  for (size_t i = 0; i < std::min<size_t>(5, by_triangles.size()); ++i) {
+    const VertexId v = by_triangles[i];
+    std::printf("  vertex %u: %llu triangles, degree %u\n",
+                ordered.new_to_old[v],
+                static_cast<unsigned long long>(counts[v]),
+                graph.degree(v));
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Community-detection example (paper §1, after Prat-Pérez et al.: "a
+// good community has many triangles"). Lists triangles out-of-core with
+// OPT, computes per-edge triangle support from the listing, drops
+// support-0 edges (pure bridges), and reports the tightly knit
+// components that remain.
+//
+// The input is a planted-partition graph: dense communities plus random
+// inter-community noise edges. Triangle-support filtering recovers the
+// planted structure.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "core/iterator_model.h"
+#include "core/opt_runner.h"
+#include "core/triangle_sink.h"
+#include "graph/builder.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+#include "util/cli.h"
+#include "util/random.h"
+
+using namespace opt;
+
+namespace {
+
+/// Thread-safe sink accumulating triangle support per edge.
+class EdgeSupportSink : public TriangleSink {
+ public:
+  void Emit(VertexId u, VertexId v, std::span<const VertexId> ws) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    support_[{u, v}] += ws.size();
+    for (VertexId w : ws) {
+      support_[{u, w}] += 1;
+      support_[{v, w}] += 1;
+    }
+  }
+  const std::map<std::pair<VertexId, VertexId>, uint64_t>& support() const {
+    return support_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::pair<VertexId, VertexId>, uint64_t> support_;
+};
+
+struct UnionFind {
+  std::vector<VertexId> parent;
+  explicit UnionFind(VertexId n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  VertexId Find(VertexId x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void Union(VertexId a, VertexId b) { parent[Find(a)] = Find(b); }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) return 2;
+  const uint32_t communities =
+      static_cast<uint32_t>(cl->GetInt("communities", 12));
+  const uint32_t members = static_cast<uint32_t>(cl->GetInt("members", 30));
+
+  // Planted partition: dense communities + random bridges.
+  Random64 rng(5);
+  std::vector<Edge> edges;
+  const VertexId n = communities * members;
+  for (uint32_t c = 0; c < communities; ++c) {
+    const VertexId base = c * members;
+    for (uint32_t i = 0; i < members; ++i) {
+      for (uint32_t j = i + 1; j < members; ++j) {
+        if (rng.Bernoulli(0.4)) edges.emplace_back(base + i, base + j);
+      }
+    }
+  }
+  const auto bridges = static_cast<uint32_t>(n);
+  for (uint32_t b = 0; b < bridges; ++b) {
+    edges.emplace_back(static_cast<VertexId>(rng.Uniform(n)),
+                       static_cast<VertexId>(rng.Uniform(n)));
+  }
+  CSRGraph graph = GraphBuilder::FromEdges(std::move(edges));
+
+  // Out-of-core triangle listing with OPT.
+  Env* env = Env::Default();
+  const std::string base_path = "/tmp/opt_community_graph";
+  GraphStoreOptions store_options;
+  store_options.page_size = 1024;
+  if (Status s = GraphStore::Create(graph, env, base_path, store_options);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto store = GraphStore::Open(env, base_path);
+  if (!store.ok()) return 1;
+  OptOptions options;
+  const uint32_t buffer = std::max(4u, (*store)->num_pages() / 5);
+  options.m_in = std::max(buffer / 2, (*store)->MaxRecordPages());
+  options.m_ex = std::max(1u, buffer / 2);
+  EdgeSupportSink sink;
+  EdgeIteratorModel model;
+  OptRunner runner(store->get(), &model, options);
+  if (Status s = runner.Run(&sink, nullptr); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Keep only edges with triangle support >= 2; their connected
+  // components are the triangle-dense communities.
+  UnionFind uf(graph.num_vertices());
+  uint64_t kept = 0;
+  for (const auto& [edge, support] : sink.support()) {
+    if (support >= 2) {
+      uf.Union(edge.first, edge.second);
+      ++kept;
+    }
+  }
+  std::map<VertexId, uint32_t> sizes;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    sizes[uf.Find(v)]++;
+  }
+  uint32_t recovered = 0;
+  for (const auto& [root, size] : sizes) {
+    if (size >= members / 2) ++recovered;
+  }
+  std::printf("planted communities:    %u (x%u members)\n", communities,
+              members);
+  std::printf("edges / kept by support: %llu / %llu\n",
+              static_cast<unsigned long long>(graph.num_edges()),
+              static_cast<unsigned long long>(kept));
+  std::printf("recovered communities:  %u\n", recovered);
+  std::printf("(components of size >= %u after dropping edges in < 2 "
+              "triangles)\n",
+              members / 2);
+  // Random bridges occasionally merge two planted communities; recovery
+  // within one of the planted count demonstrates the technique.
+  return recovered + 2 >= communities ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// End-to-end out-of-core pipeline: a raw edge-list file is converted to
+// a degree-ordered slotted-page store with O(|V|) memory (external
+// sort), triangulated with OPT under a tight buffer, streamed to a
+// nested-representation listing, and finally read back and verified.
+// This is the full production path a user would run on a graph larger
+// than memory.
+//
+//   ./out_of_core_pipeline [--scale N] [--work_dir /tmp]
+#include <cstdio>
+
+#include "core/iterator_model.h"
+#include "core/listing_reader.h"
+#include "core/opt_runner.h"
+#include "core/triangle_sink.h"
+#include "gen/rmat.h"
+#include "storage/env.h"
+#include "storage/store_builder.h"
+#include "util/cli.h"
+
+using namespace opt;
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) return 2;
+  Env* env = Env::Default();
+  const std::string work_dir = cl->GetString("work_dir", "/tmp");
+
+  // Stage 0 — a raw edge list "from a crawler" (synthesized here).
+  RmatOptions gen;
+  gen.scale = static_cast<uint32_t>(cl->GetInt("scale", 13));
+  gen.edge_factor = 10;
+  gen.seed = 31;
+  CSRGraph crawled = GenerateRmat(gen);
+  const std::string edge_path = work_dir + "/pipeline_edges.txt";
+  {
+    std::FILE* f = std::fopen(edge_path.c_str(), "wb");
+    if (f == nullptr) return 1;
+    for (VertexId u = 0; u < crawled.num_vertices(); ++u) {
+      for (VertexId v : crawled.Successors(u)) {
+        std::fprintf(f, "%u %u\n", u, v);
+      }
+    }
+    std::fclose(f);
+  }
+  std::printf("[0] edge list: %s (%llu edges)\n", edge_path.c_str(),
+              static_cast<unsigned long long>(crawled.num_edges()));
+
+  // Stage 1 — out-of-core store build (external sort, tiny budget to
+  // demonstrate spilling; memory stays O(|V|)).
+  StoreBuildOptions build_options;
+  build_options.page_size = 4096;
+  build_options.degree_order = true;
+  build_options.memory_budget_bytes = 1 << 16;
+  build_options.temp_dir = work_dir;
+  const std::string base = work_dir + "/pipeline_store";
+  auto build = BuildStoreFromEdgeList(env, edge_path, base, build_options);
+  if (!build.ok()) {
+    std::fprintf(stderr, "%s\n", build.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[1] store built: %u vertices, %llu edges, %u sort runs "
+              "spilled\n",
+              build->num_vertices,
+              static_cast<unsigned long long>(build->kept_edges),
+              build->sort_runs);
+
+  // Stage 2 — OPT triangulation with a 15% buffer, streaming the
+  // listing to disk.
+  auto store = GraphStore::Open(env, base);
+  if (!store.ok()) return 1;
+  OptOptions options;
+  const uint32_t buffer = std::max(4u, (*store)->num_pages() * 15 / 100);
+  options.m_in = std::max(buffer / 2, (*store)->MaxRecordPages());
+  options.m_ex = std::max(1u, buffer / 2);
+  options.num_threads = static_cast<uint32_t>(cl->GetInt("threads", 2));
+  const std::string listing_path = work_dir + "/pipeline_triangles.bin";
+  CountingSink counter;
+  OptRunStats stats;
+  {
+    ListingSink listing(env, listing_path);
+    TeeSink sink({&counter, &listing});
+    EdgeIteratorModel model;
+    OptRunner runner(store->get(), &model, options);
+    if (Status s = runner.Run(&sink, &stats); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("[2] OPT listed %llu triangles in %u iterations "
+              "(%llu page reads, %llu saved by buffering)\n",
+              static_cast<unsigned long long>(counter.count()),
+              stats.iterations,
+              static_cast<unsigned long long>(stats.internal_pages_read +
+                                              stats.external_pages_read),
+              static_cast<unsigned long long>(stats.internal_cache_hits +
+                                              stats.external_cache_hits));
+
+  // Stage 3 — consume the listing downstream.
+  auto replay = CountListingTriangles(env, listing_path);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "%s\n", replay.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[3] listing re-read: %llu triangles — %s\n",
+              static_cast<unsigned long long>(*replay),
+              *replay == counter.count() ? "MATCHES" : "MISMATCH");
+  (void)env->DeleteFile(edge_path);
+  (void)env->DeleteFile(listing_path);
+  return *replay == counter.count() ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+// Data-mining example (paper §1, after Becchetti et al.): use local
+// triangle counts to separate "spam-farm" pages from organic pages in a
+// web-like graph. Spam farms are densely interlinked cliques, so their
+// members sit in far more triangles per unit degree than organic pages.
+//
+// The example synthesizes a web graph, injects a clique spam farm,
+// triangulates it out-of-core with OPT, ranks vertices by the local
+// clustering score, and reports detection precision.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "core/iterator_model.h"
+#include "core/opt_runner.h"
+#include "core/triangle_sink.h"
+#include "gen/rmat.h"
+#include "graph/builder.h"
+#include "graph/reorder.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+#include "util/cli.h"
+#include "util/random.h"
+
+using namespace opt;
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) return 2;
+  const uint32_t scale = static_cast<uint32_t>(cl->GetInt("scale", 12));
+  const uint32_t farm_size =
+      static_cast<uint32_t>(cl->GetInt("farm_size", 40));
+
+  // Organic web graph (R-MAT with web-like skew) ...
+  RmatOptions gen;
+  gen.scale = scale;
+  gen.edge_factor = 8;
+  gen.a = 0.57;
+  gen.b = 0.19;
+  gen.c = 0.19;
+  gen.d = 0.05;
+  gen.seed = 7;
+  CSRGraph organic = GenerateRmat(gen);
+
+  // ... plus an injected spam farm: a clique of `farm_size` fresh
+  // vertices with a few random out-links to look legitimate.
+  const VertexId n = organic.num_vertices();
+  std::vector<Edge> edges;
+  edges.reserve(organic.num_edges() + farm_size * farm_size / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : organic.Successors(u)) edges.emplace_back(u, v);
+  }
+  std::set<VertexId> spam;
+  Random64 rng(99);
+  for (uint32_t i = 0; i < farm_size; ++i) {
+    const VertexId s = n + i;
+    spam.insert(s);
+    for (uint32_t j = i + 1; j < farm_size; ++j) edges.emplace_back(s, n + j);
+    edges.emplace_back(s, static_cast<VertexId>(rng.Uniform(n)));
+  }
+  CSRGraph graph_raw = GraphBuilder::FromEdges(std::move(edges));
+  ReorderResult ordered = DegreeOrder(graph_raw);
+  CSRGraph& graph = ordered.graph;
+
+  // Out-of-core triangulation with per-vertex counts.
+  Env* env = Env::Default();
+  const std::string base = "/tmp/opt_spam_graph";
+  if (Status s = GraphStore::Create(graph, env, base, {}); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto store = GraphStore::Open(env, base);
+  if (!store.ok()) return 1;
+  OptOptions options;
+  const uint32_t buffer = std::max(4u, (*store)->num_pages() * 15 / 100);
+  options.m_in = std::max(buffer / 2, (*store)->MaxRecordPages());
+  options.m_ex = std::max(1u, buffer / 2);
+  PerVertexCountSink sink(graph.num_vertices());
+  EdgeIteratorModel model;
+  OptRunner runner(store->get(), &model, options);
+  if (Status s = runner.Run(&sink, nullptr); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Score = triangle rate (triangles per unit degree), restricted to
+  // vertices with enough degree to matter — Becchetti et al.'s
+  // observation is that spam-farm members have anomalously many
+  // triangles for their degree.
+  const auto counts = sink.Counts();
+  std::vector<std::pair<double, VertexId>> scored;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const double d = graph.degree(v);
+    if (d < 5) continue;  // leaves trivially have clustering 1
+    scored.emplace_back(static_cast<double>(counts[v]) / d, v);
+  }
+  std::sort(scored.rbegin(), scored.rend());
+
+  // Precision@farm_size: how many of the top-scored vertices are spam?
+  uint32_t hits = 0;
+  for (uint32_t i = 0; i < farm_size && i < scored.size(); ++i) {
+    if (spam.count(ordered.new_to_old[scored[i].second]) > 0) ++hits;
+  }
+  std::printf("graph: %u vertices (%u spam), %llu edges, %llu triangles\n",
+              graph.num_vertices(), farm_size,
+              static_cast<unsigned long long>(graph.num_edges()),
+              static_cast<unsigned long long>(sink.total()));
+  std::printf("precision@%u of the triangle-density ranking: %.2f\n",
+              farm_size, static_cast<double>(hits) / farm_size);
+  std::printf("top suspects (original id, score, is_spam):\n");
+  for (uint32_t i = 0; i < 8 && i < scored.size(); ++i) {
+    const VertexId original = ordered.new_to_old[scored[i].second];
+    std::printf("  %8u  %.3f  %s\n", original, scored[i].first,
+                spam.count(original) > 0 ? "SPAM" : "organic");
+  }
+  return 0;
+}

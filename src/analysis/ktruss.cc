@@ -1,0 +1,92 @@
+#include "analysis/ktruss.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/intersect.h"
+
+namespace opt {
+
+namespace {
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+KTrussResult KTrussDecomposition(const CSRGraph& g) {
+  KTrussResult result;
+  const VertexId n = g.num_vertices();
+
+  // Index edges.
+  std::unordered_map<uint64_t, uint32_t> edge_index;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.Successors(u)) {
+      edge_index.emplace(EdgeKey(u, v),
+                         static_cast<uint32_t>(result.edges.size()));
+      result.edges.emplace_back(u, v);
+    }
+  }
+  const auto m = static_cast<uint32_t>(result.edges.size());
+  if (m == 0) return result;
+
+  // Triangle support per edge.
+  std::vector<uint32_t> support(m, 0);
+  std::vector<VertexId> ws;
+  for (uint32_t e = 0; e < m; ++e) {
+    const auto [u, v] = result.edges[e];
+    ws.clear();
+    Intersect(g.Neighbors(u), g.Neighbors(v), &ws);
+    support[e] = static_cast<uint32_t>(ws.size());
+  }
+
+  // Peel edges in increasing support order (bucket queue).
+  const uint32_t max_support =
+      *std::max_element(support.begin(), support.end());
+  std::vector<std::vector<uint32_t>> buckets(max_support + 1);
+  std::vector<uint32_t> current(support);
+  std::vector<bool> removed(m, false);
+  for (uint32_t e = 0; e < m; ++e) buckets[current[e]].push_back(e);
+
+  // Peel in non-decreasing support order. When the edge at `level` is
+  // removed, the supports of affected edges only drop from b > level to
+  // b-1 >= level, so the scan level never moves backwards.
+  result.truss.assign(m, 2);
+  uint32_t k = 2;
+  uint32_t processed = 0;
+  uint32_t level = 0;
+  while (processed < m && level <= max_support) {
+    if (buckets[level].empty()) {
+      ++level;
+      continue;
+    }
+    const uint32_t e = buckets[level].back();
+    buckets[level].pop_back();
+    if (removed[e] || current[e] != level) continue;  // stale entry
+    k = std::max(k, level + 2);
+    result.truss[e] = k;
+    removed[e] = true;
+    ++processed;
+
+    // Removing (u, v) lowers the support of the other two edges of
+    // every triangle through it.
+    const auto [u, v] = result.edges[e];
+    ws.clear();
+    Intersect(g.Neighbors(u), g.Neighbors(v), &ws);
+    for (VertexId w : ws) {
+      const uint32_t e_uw = edge_index.at(EdgeKey(u, w));
+      const uint32_t e_vw = edge_index.at(EdgeKey(v, w));
+      if (removed[e_uw] || removed[e_vw]) continue;
+      for (uint32_t other : {e_uw, e_vw}) {
+        if (current[other] > level) {
+          --current[other];
+          buckets[current[other]].push_back(other);
+        }
+      }
+    }
+  }
+  result.max_truss = k;
+  return result;
+}
+
+}  // namespace opt

@@ -1,0 +1,33 @@
+// k-truss decomposition — triangle-based cohesion analysis (the
+// "trigonal connectivity" application family of the paper's
+// introduction, and a concrete instance of the subgraph-listing future
+// work its conclusion sketches). The k-truss of G is the maximal
+// subgraph in which every edge participates in at least k-2 triangles;
+// the truss number of an edge is the largest k whose k-truss contains
+// it.
+#ifndef OPT_ANALYSIS_KTRUSS_H_
+#define OPT_ANALYSIS_KTRUSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace opt {
+
+struct KTrussResult {
+  /// Truss number per edge, indexed like `edges` below.
+  std::vector<uint32_t> truss;
+  /// The edges (u < v), sorted lexicographically.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  /// Largest k with a non-empty k-truss (>= 2 for any graph with edges).
+  uint32_t max_truss = 0;
+};
+
+/// Peeling-based exact decomposition; O(sum over edges of min-degree)
+/// support computation plus near-linear peeling.
+KTrussResult KTrussDecomposition(const CSRGraph& g);
+
+}  // namespace opt
+
+#endif  // OPT_ANALYSIS_KTRUSS_H_

@@ -1,0 +1,173 @@
+#include "baselines/approx.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <unordered_map>
+
+#include "baselines/inmemory.h"
+#include "core/triangle_sink.h"
+#include "graph/builder.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace opt {
+
+ApproxResult DoulionEstimate(const CSRGraph& g, double keep_probability,
+                             uint64_t seed) {
+  Stopwatch watch;
+  Random64 rng(seed);
+  std::vector<Edge> kept;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.Successors(u)) {
+      if (rng.Bernoulli(keep_probability)) kept.emplace_back(u, v);
+    }
+  }
+  ApproxResult result;
+  result.work = kept.size();
+  CSRGraph sparse = GraphBuilder::FromEdges(std::move(kept));
+  CountingSink sink;
+  EdgeIteratorInMemory(sparse, &sink);
+  const double p3 =
+      keep_probability * keep_probability * keep_probability;
+  result.estimate = p3 > 0 ? static_cast<double>(sink.count()) / p3 : 0;
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+ApproxResult WedgeSamplingEstimate(const CSRGraph& g, uint64_t num_samples,
+                                   uint64_t seed) {
+  Stopwatch watch;
+  ApproxResult result;
+  // Cumulative wedge counts for uniform wedge sampling.
+  const VertexId n = g.num_vertices();
+  std::vector<uint64_t> cumulative(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t d = g.degree(v);
+    cumulative[v + 1] = cumulative[v] + d * (d - 1) / 2;
+  }
+  const uint64_t total_wedges = cumulative[n];
+  if (total_wedges == 0) {
+    result.elapsed_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+  Random64 rng(seed);
+  uint64_t closed = 0;
+  for (uint64_t s = 0; s < num_samples; ++s) {
+    // Pick a wedge uniformly: a center weighted by its wedge count,
+    // then a uniform neighbor pair.
+    const uint64_t target = rng.Uniform(total_wedges);
+    VertexId lo = 0, hi = n;
+    while (lo + 1 < hi) {
+      const VertexId mid = lo + (hi - lo) / 2;
+      if (cumulative[mid] <= target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const VertexId center = lo;
+    const auto nbrs = g.Neighbors(center);
+    const uint64_t d = nbrs.size();
+    uint64_t i = rng.Uniform(d);
+    uint64_t j = rng.Uniform(d - 1);
+    if (j >= i) ++j;
+    if (g.HasEdge(nbrs[static_cast<size_t>(i)],
+                  nbrs[static_cast<size_t>(j)])) {
+      ++closed;
+    }
+  }
+  result.work = num_samples;
+  const double closed_fraction =
+      static_cast<double>(closed) / static_cast<double>(num_samples);
+  // Every triangle closes exactly three wedges.
+  result.estimate =
+      closed_fraction * static_cast<double>(total_wedges) / 3.0;
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+ApproxResult StreamingReservoirEstimate(const CSRGraph& g,
+                                        uint64_t reservoir_edges,
+                                        uint64_t seed) {
+  Stopwatch watch;
+  ApproxResult result;
+  // Materialize and shuffle the edge stream (the adversarial-order
+  // guarantee of reservoir sampling does not need this, but a fixed CSR
+  // order would correlate with vertex ids).
+  std::vector<Edge> stream;
+  stream.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.Successors(u)) stream.emplace_back(u, v);
+  }
+  Random64 rng(seed);
+  for (size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.Uniform(i)]);
+  }
+
+  const uint64_t m = std::max<uint64_t>(3, reservoir_edges);
+  std::vector<Edge> reservoir;
+  reservoir.reserve(static_cast<size_t>(m));
+  std::unordered_map<VertexId, std::vector<VertexId>> adjacency;
+
+  auto add_edge = [&](const Edge& e) {
+    adjacency[e.first].push_back(e.second);
+    adjacency[e.second].push_back(e.first);
+  };
+  auto drop_edge = [&](const Edge& e) {
+    auto erase_one = [&](VertexId from, VertexId what) {
+      auto& list = adjacency[from];
+      list.erase(std::find(list.begin(), list.end(), what));
+    };
+    erase_one(e.first, e.second);
+    erase_one(e.second, e.first);
+  };
+  auto common_in_reservoir = [&](VertexId u, VertexId v) -> uint64_t {
+    auto iu = adjacency.find(u);
+    auto iv = adjacency.find(v);
+    if (iu == adjacency.end() || iv == adjacency.end()) return 0;
+    const auto& small =
+        iu->second.size() <= iv->second.size() ? iu->second : iv->second;
+    const auto& large_owner =
+        iu->second.size() <= iv->second.size() ? iv->second : iu->second;
+    uint64_t count = 0;
+    for (VertexId w : small) {
+      if (std::find(large_owner.begin(), large_owner.end(), w) !=
+          large_owner.end()) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  double tau = 0;
+  uint64_t t = 0;
+  for (const Edge& e : stream) {
+    ++t;
+    // TRIEST-IMPR: count before the sampling decision, weighted by the
+    // inverse probability that both wedge edges are in the sample.
+    const double eta =
+        t <= m ? 1.0
+               : std::max(1.0, (static_cast<double>(t - 1) *
+                                static_cast<double>(t - 2)) /
+                                   (static_cast<double>(m) *
+                                    static_cast<double>(m - 1)));
+    tau += eta * static_cast<double>(common_in_reservoir(e.first, e.second));
+    if (reservoir.size() < m) {
+      reservoir.push_back(e);
+      add_edge(e);
+    } else if (rng.NextDouble() <
+               static_cast<double>(m) / static_cast<double>(t)) {
+      const auto victim = static_cast<size_t>(rng.Uniform(m));
+      drop_edge(reservoir[victim]);
+      reservoir[victim] = e;
+      add_edge(e);
+    }
+  }
+  result.estimate = tau;
+  result.work = std::min<uint64_t>(m, stream.size());
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace opt

@@ -1,0 +1,44 @@
+// Approximate triangle-counting baselines from the paper's related
+// work (§4): Doulion coin-flip sparsification (Tsourakakis et al.,
+// KDD'09) and uniform wedge sampling (the streaming-estimator family
+// [1, 9, 13]). The paper's point — and what these implementations show
+// in the ablation bench — is that approximation trades the full listing
+// for a count estimate, restricting the applications (§1).
+#ifndef OPT_BASELINES_APPROX_H_
+#define OPT_BASELINES_APPROX_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace opt {
+
+struct ApproxResult {
+  double estimate = 0;      // estimated triangle count
+  uint64_t work = 0;        // edges kept / wedges sampled
+  double elapsed_seconds = 0;
+};
+
+/// Doulion: keep each edge with probability p, count exactly on the
+/// sparsified graph, scale by 1/p^3. Unbiased; variance shrinks as p
+/// grows.
+ApproxResult DoulionEstimate(const CSRGraph& g, double keep_probability,
+                             uint64_t seed);
+
+/// Wedge sampling: sample `num_samples` wedges (paths of length two)
+/// uniformly over all wedges, measure the closed fraction, and scale:
+/// triangles = closed_fraction * #wedges / 3.
+ApproxResult WedgeSamplingEstimate(const CSRGraph& g, uint64_t num_samples,
+                                   uint64_t seed);
+
+/// TRIEST-IMPR-style one-pass streaming estimator over a shuffled edge
+/// stream with an M-edge reservoir: each arriving edge contributes the
+/// weighted count of its reservoir-closed wedges. Exact when M >= |E|;
+/// unbiased otherwise. Memory is O(M).
+ApproxResult StreamingReservoirEstimate(const CSRGraph& g,
+                                        uint64_t reservoir_edges,
+                                        uint64_t seed);
+
+}  // namespace opt
+
+#endif  // OPT_BASELINES_APPROX_H_

@@ -1,0 +1,30 @@
+// Alon–Yuster–Zwick triangle counting ([2] in the paper): split vertices
+// into a high-degree core and a low-degree fringe; count core triangles
+// with (bit-packed) matrix multiplication and the rest with the ordered
+// vertex-iterator. Counting only — AYZ does not list triangles, exactly
+// as the paper notes when excluding it from listing experiments.
+#ifndef OPT_BASELINES_AYZ_H_
+#define OPT_BASELINES_AYZ_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace opt {
+
+struct AyzStats {
+  uint32_t high_degree_vertices = 0;
+  uint64_t core_triangles = 0;     // all three vertices high-degree
+  uint64_t fringe_triangles = 0;   // at least one low-degree vertex
+  double matrix_seconds = 0;
+  double iterator_seconds = 0;
+};
+
+/// Counts triangles. `degree_threshold` = 0 picks the theory-optimal
+/// |E|^((ω-1)/(ω+1)) split automatically.
+uint64_t AyzTriangleCount(const CSRGraph& g, uint32_t degree_threshold = 0,
+                          AyzStats* stats = nullptr);
+
+}  // namespace opt
+
+#endif  // OPT_BASELINES_AYZ_H_

@@ -1,0 +1,49 @@
+// Chu–Cheng-style iterative disk-based triangulation (KDD'11; [12] in
+// the paper). Each iteration (a) loads a batch of the lowest remaining
+// vertex ids with their full adjacency lists, (b) lists every triangle
+// whose minimum vertex is in the batch (batch-internal edge-iterator
+// plus a streaming pass over the remainder), then (c) REMOVES the batch
+// vertices and rewrites the shrunken remainder graph to disk. The
+// read-the-graph-plus-write-the-remainder I/O per iteration is what puts
+// this family in the paper's "slow group" (§5.5).
+//
+// CC-Seq batches in the store's id order; CC-DS relabels by descending
+// degree first (a stand-in for Chu–Cheng's dominating-set partitioning
+// heuristic), so dense hubs leave the working graph early.
+#ifndef OPT_BASELINES_CC_H_
+#define OPT_BASELINES_CC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/triangle_sink.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct CcOptions {
+  /// Memory budget in pages for the batch area.
+  uint32_t memory_pages = 0;
+  /// Directory for the shrinking working-graph files; must be writable.
+  std::string temp_dir = "/tmp";
+  /// True = CC-DS (descending-degree relabel before partitioning);
+  /// false = CC-Seq.
+  bool dominating_set_order = false;
+  bool validate_pages = true;
+};
+
+struct CcStats {
+  uint32_t iterations = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  double elapsed_seconds = 0;
+};
+
+Status RunChuCheng(GraphStore* store, Env* env, TriangleSink* sink,
+                   const CcOptions& options, CcStats* stats = nullptr);
+
+}  // namespace opt
+
+#endif  // OPT_BASELINES_CC_H_

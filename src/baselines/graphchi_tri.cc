@@ -1,0 +1,34 @@
+#include "baselines/graphchi_tri.h"
+
+#include "baselines/shrink_loop.h"
+#include "util/stopwatch.h"
+
+namespace opt {
+
+Status RunGraphChiTri(GraphStore* store, Env* env, TriangleSink* sink,
+                      const GraphChiTriOptions& options,
+                      GraphChiTriStats* stats) {
+  Stopwatch watch;
+  internal::ShrinkLoopOptions loop_options;
+  loop_options.memory_pages = options.memory_pages;
+  loop_options.num_threads = options.num_threads;
+  loop_options.double_scan = true;  // odd/even load-update-store passes
+  loop_options.temp_dir = options.temp_dir;
+  loop_options.temp_prefix = "graphchi";
+  loop_options.validate_pages = options.validate_pages;
+
+  internal::ShrinkLoopStats loop_stats;
+  OPT_RETURN_IF_ERROR(
+      internal::RunShrinkLoop(store, env, sink, loop_options, &loop_stats));
+  if (stats != nullptr) {
+    stats->iterations = loop_stats.iterations;
+    stats->pages_read = loop_stats.pages_read;
+    stats->pages_written = loop_stats.pages_written;
+    stats->parallel_seconds = loop_stats.parallel_seconds;
+    stats->serial_seconds = loop_stats.serial_seconds;
+    stats->elapsed_seconds = watch.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
+}  // namespace opt

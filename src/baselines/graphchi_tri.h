@@ -1,0 +1,50 @@
+// GraphChi-Tri ([23] in the paper): the triangle-counting application of
+// the GraphChi out-of-core engine. Behavioral reproduction: interval
+// batches with a load-update-store alternation (an extra full scan per
+// iteration), remaining-edge rewriting every iteration, and parallelism
+// limited to the batch-internal portion (GraphChi's enforced
+// sequential-order processing for same-interval edges and synchronous
+// incoming-edge I/O keep the streaming portion serial), which caps its
+// Amdahl parallel fraction well below OPT's (Table 5).
+#ifndef OPT_BASELINES_GRAPHCHI_TRI_H_
+#define OPT_BASELINES_GRAPHCHI_TRI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/triangle_sink.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct GraphChiTriOptions {
+  uint32_t memory_pages = 0;
+  uint32_t num_threads = 1;  // "execthreads" in GraphChi
+  std::string temp_dir = "/tmp";
+  bool validate_pages = true;
+};
+
+struct GraphChiTriStats {
+  uint32_t iterations = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  /// Amdahl decomposition: only `parallel_seconds` scales with threads.
+  double parallel_seconds = 0;
+  double serial_seconds = 0;
+  double elapsed_seconds = 0;
+
+  double ParallelFraction() const {
+    const double total = parallel_seconds + serial_seconds;
+    return total <= 0 ? 0.0 : parallel_seconds / total;
+  }
+};
+
+Status RunGraphChiTri(GraphStore* store, Env* env, TriangleSink* sink,
+                      const GraphChiTriOptions& options,
+                      GraphChiTriStats* stats = nullptr);
+
+}  // namespace opt
+
+#endif  // OPT_BASELINES_GRAPHCHI_TRI_H_

@@ -1,0 +1,36 @@
+// MGT (Hu, Tao, Chung — "Massive graph triangulation", SIGMOD'13), the
+// strongest serial disk-based competitor. Per paper §3.5 it is the OPT
+// instance with (1) no internal triangulation, (2) every vertex an
+// external candidate, (3) the vertex-iterator external impl, and (4)
+// synchronous I/O: each iteration pins one buffer-load of adjacency
+// lists and re-scans the whole graph, so its I/O cost is
+// (1 + ceil(P/m)) * cP(G) (Eq. 7).
+#ifndef OPT_BASELINES_MGT_H_
+#define OPT_BASELINES_MGT_H_
+
+#include <cstdint>
+
+#include "core/triangle_sink.h"
+#include "storage/graph_store.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct MgtOptions {
+  /// Memory budget in pages (the paper's m).
+  uint32_t memory_pages = 0;
+  bool validate_pages = true;
+};
+
+struct MgtStats {
+  uint32_t iterations = 0;
+  uint64_t pages_read = 0;
+  double elapsed_seconds = 0;
+};
+
+Status RunMgt(GraphStore* store, TriangleSink* sink,
+              const MgtOptions& options, MgtStats* stats = nullptr);
+
+}  // namespace opt
+
+#endif  // OPT_BASELINES_MGT_H_

@@ -1,0 +1,49 @@
+// Shared engine for the "slow group" baselines (CC-Seq, CC-DS,
+// GraphChi-Tri): iteratively load a batch, list every triangle whose
+// minimum vertex is in the batch, then rewrite the shrunken remainder
+// graph to disk. Parameterized by batch parallelism and by an extra
+// emulated load-update-store scan (GraphChi's odd/even iterations).
+#ifndef OPT_BASELINES_SHRINK_LOOP_H_
+#define OPT_BASELINES_SHRINK_LOOP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/triangle_sink.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+#include "util/status.h"
+
+namespace opt {
+namespace internal {
+
+struct ShrinkLoopOptions {
+  uint32_t memory_pages = 0;
+  /// Threads for the batch-internal (parallelizable) portion.
+  uint32_t num_threads = 1;
+  /// Adds one extra full scan per iteration (GraphChi's separate
+  /// load/update passes).
+  bool double_scan = false;
+  std::string temp_dir = "/tmp";
+  /// Unique prefix for this run's temp files.
+  std::string temp_prefix = "shrink";
+  bool validate_pages = true;
+};
+
+struct ShrinkLoopStats {
+  uint32_t iterations = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  double parallel_seconds = 0;  // batch-internal triangulation wall time
+  double serial_seconds = 0;    // streaming + rewrite wall time
+  double elapsed_seconds = 0;
+};
+
+Status RunShrinkLoop(GraphStore* store, Env* env, TriangleSink* sink,
+                     const ShrinkLoopOptions& options,
+                     ShrinkLoopStats* stats);
+
+}  // namespace internal
+}  // namespace opt
+
+#endif  // OPT_BASELINES_SHRINK_LOOP_H_

@@ -1,0 +1,30 @@
+// The paper's `ideal` method (§3.3): one sequential scan of the graph
+// into an unbounded memory buffer followed by pure in-memory
+// triangulation — Cost_ideal = cP(G) + Cost_CPU. OPT's relative elapsed
+// time is measured against this (Figure 3a).
+#ifndef OPT_CORE_IDEAL_H_
+#define OPT_CORE_IDEAL_H_
+
+#include "core/iterator_model.h"
+#include "core/triangle_sink.h"
+#include "storage/graph_store.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct IdealStats {
+  double load_seconds = 0;
+  double cpu_seconds = 0;
+  double elapsed_seconds = 0;
+};
+
+/// Loads the whole store into memory (fails only on I/O errors — the
+/// harness guarantees the graph fits) and runs the model's internal
+/// triangulation over everything, page-parallel across `num_threads`.
+Status RunIdeal(GraphStore* store, const IteratorModel& model,
+                TriangleSink* sink, uint32_t num_threads,
+                IdealStats* stats = nullptr);
+
+}  // namespace opt
+
+#endif  // OPT_CORE_IDEAL_H_

@@ -1,0 +1,86 @@
+#include "core/listing_reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace opt {
+
+Status ReadListing(
+    Env* env, const std::string& path,
+    const std::function<void(VertexId, VertexId,
+                             std::span<const VertexId>)>& fn) {
+  OPT_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(path));
+  OPT_ASSIGN_OR_RETURN(auto file, env->OpenRandomAccess(path));
+  if (size % 4 != 0) {
+    return Status::Corruption("listing size not a multiple of 4 in " +
+                              path);
+  }
+  constexpr size_t kChunk = 1 << 20;
+  std::vector<char> buffer;
+  std::vector<VertexId> ws;
+  uint64_t offset = 0;
+  size_t carry = 0;  // unconsumed bytes at the start of buffer
+  while (offset < size || carry > 0) {
+    const size_t to_read =
+        static_cast<size_t>(std::min<uint64_t>(kChunk, size - offset));
+    buffer.resize(carry + to_read);
+    if (to_read > 0) {
+      OPT_RETURN_IF_ERROR(
+          file->Read(offset, to_read, buffer.data() + carry));
+      offset += to_read;
+    }
+    size_t pos = 0;
+    while (buffer.size() - pos >= 12) {
+      const VertexId u = DecodeFixed32(buffer.data() + pos);
+      const VertexId v = DecodeFixed32(buffer.data() + pos + 4);
+      const uint32_t k = DecodeFixed32(buffer.data() + pos + 8);
+      if (k == 0) {
+        return Status::Corruption("empty listing record in " + path);
+      }
+      const size_t record = 12 + static_cast<size_t>(k) * 4;
+      if (buffer.size() - pos < record) break;  // need more bytes
+      ws.resize(k);
+      std::memcpy(ws.data(), buffer.data() + pos + 12, k * 4);
+      fn(u, v, ws);
+      pos += record;
+    }
+    carry = buffer.size() - pos;
+    if (carry > 0) {
+      std::memmove(buffer.data(), buffer.data() + pos, carry);
+    }
+    buffer.resize(carry);
+    if (offset >= size) {
+      if (carry > 0) {
+        return Status::Corruption("truncated listing record in " + path);
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Triangle>> ReadListingTriangles(Env* env,
+                                                   const std::string& path) {
+  std::vector<Triangle> out;
+  OPT_RETURN_IF_ERROR(ReadListing(
+      env, path,
+      [&](VertexId u, VertexId v, std::span<const VertexId> ws) {
+        for (VertexId w : ws) out.push_back({u, v, w});
+      }));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<uint64_t> CountListingTriangles(Env* env, const std::string& path) {
+  uint64_t count = 0;
+  OPT_RETURN_IF_ERROR(ReadListing(
+      env, path, [&](VertexId, VertexId, std::span<const VertexId> ws) {
+        count += ws.size();
+      }));
+  return count;
+}
+
+}  // namespace opt

@@ -1,0 +1,35 @@
+// Reader for the nested-representation triangle listing produced by
+// ListingSink (§3.2): records of (u, v, k, w1..wk) little-endian u32.
+// Lets downstream consumers (analytics, verification) stream a listing
+// without materializing it.
+#ifndef OPT_CORE_LISTING_READER_H_
+#define OPT_CORE_LISTING_READER_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/triangle.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace opt {
+
+/// Streams every record of a listing file to `fn(u, v, ws)`. Validates
+/// framing; fails with Corruption on truncated or malformed records.
+Status ReadListing(
+    Env* env, const std::string& path,
+    const std::function<void(VertexId, VertexId,
+                             std::span<const VertexId>)>& fn);
+
+/// Convenience: materializes the whole listing as sorted triangles.
+Result<std::vector<Triangle>> ReadListingTriangles(Env* env,
+                                                   const std::string& path);
+
+/// Counts triangles in a listing without materializing them.
+Result<uint64_t> CountListingTriangles(Env* env, const std::string& path);
+
+}  // namespace opt
+
+#endif  // OPT_CORE_LISTING_READER_H_

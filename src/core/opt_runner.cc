@@ -1,0 +1,573 @@
+#include "core/opt_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <thread>
+
+#include "core/page_range_view.h"
+#include "storage/async_io.h"
+#include "storage/buffer_pool.h"
+#include "util/stopwatch.h"
+
+namespace opt {
+
+namespace {
+
+/// One external read unit: a run of consecutive pages covering every
+/// candidate assigned to it (Algorithm 4 groups candidates by page;
+/// adjacency lists spanning pages widen the run, and overlapping runs
+/// are merged so no page is ever read concurrently by two requests).
+struct Chunk {
+  uint32_t first_pid = 0;
+  uint32_t page_count = 0;
+  std::vector<VertexId> candidates;
+};
+
+/// All mutable state of one Run(); shared by the worker roles.
+struct RunContext {
+  // Immutable during an iteration.
+  GraphStore* store = nullptr;
+  const IteratorModel* model = nullptr;
+  OptOptions options;
+  TriangleSink* sink = nullptr;
+
+  BufferPool* pool = nullptr;
+  AsyncIoEngine* engine = nullptr;
+  CompletionQueue completions;
+
+  // Per-iteration state.
+  IterationPlan plan;
+  std::vector<Frame*> internal_frames;
+  std::vector<const char*> internal_page_data;
+  PageRangeView internal_view;
+
+  std::mutex candidate_mutex;
+  std::vector<VertexId> candidates;
+
+  std::mutex later_mutex;              // Algorithm 9's atomic block
+  std::deque<Chunk> later;
+  uint32_t ext_capacity = 0;  // in-flight external page budget (m_ex)
+  uint32_t ext_used = 0;      // guarded by later_mutex
+
+  CompletionGroup group_in;
+  CompletionGroup group_ex;
+
+  std::atomic<uint32_t> internal_cursor{0};
+  std::atomic<uint32_t> internal_pages_done{0};
+  uint32_t internal_page_count = 0;
+
+  // Error propagation: first error wins; workers drain without working.
+  std::mutex error_mutex;
+  Status first_error;
+  std::atomic<bool> abort{false};
+
+  // Instrumentation (micros, summed across threads).
+  std::atomic<uint64_t> internal_cpu_micros{0};
+  std::atomic<uint64_t> external_cpu_micros{0};
+  std::atomic<uint64_t> external_pages{0};
+  std::atomic<uint64_t> external_hits{0};
+
+  void RecordError(const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (first_error.ok()) first_error = status;
+    abort.store(true, std::memory_order_release);
+  }
+
+  bool aborted() const { return abort.load(std::memory_order_acquire); }
+
+  bool InternalDone() const {
+    return internal_pages_done.load(std::memory_order_acquire) >=
+           internal_page_count;
+  }
+};
+
+/// Parses one internal page and appends the model's external candidates
+/// (Algorithm 7: IdentifyExternalCandidateVertex).
+void CollectCandidatesFromPage(RunContext* ctx, const char* data) {
+  PageView page(data, ctx->store->page_size());
+  std::vector<VertexId> local;
+  const uint32_t slots = page.num_slots();
+  for (uint32_t s = 0; s < slots; ++s) {
+    const Segment seg = page.GetSegment(s);
+    if (seg.vertex < ctx->plan.v_lo || seg.vertex > ctx->plan.v_hi) continue;
+    ctx->model->CollectCandidates(ctx->plan, seg, &local);
+  }
+  if (!local.empty()) {
+    std::lock_guard<std::mutex> lock(ctx->candidate_mutex);
+    ctx->candidates.insert(ctx->candidates.end(), local.begin(),
+                           local.end());
+  }
+}
+
+/// Runs the internal triangulation for one page of the internal area
+/// (the page-granular parallel loop of Algorithm 5).
+void ProcessInternalPage(RunContext* ctx, uint32_t page_index,
+                         ModelScratch* scratch) {
+  Stopwatch watch;
+  if (!ctx->aborted()) {
+    PageView page(ctx->internal_page_data[page_index],
+                  ctx->store->page_size());
+    const uint32_t slots = page.num_slots();
+    for (uint32_t s = 0; s < slots; ++s) {
+      const Segment seg = page.GetSegment(s);
+      // A record is processed once, by the page holding its first segment.
+      if (!seg.IsFirstSegment()) continue;
+      if (seg.vertex < ctx->plan.v_lo || seg.vertex > ctx->plan.v_hi) {
+        continue;
+      }
+      ctx->model->InternalTriangles(ctx->internal_view, ctx->plan,
+                                    seg.vertex, ctx->sink, scratch);
+    }
+  }
+  ctx->internal_cpu_micros.fetch_add(
+      static_cast<uint64_t>(watch.ElapsedMicros()),
+      std::memory_order_relaxed);
+  ctx->internal_pages_done.fetch_add(1, std::memory_order_acq_rel);
+}
+
+/// Claims and runs one internal page. Returns false when none remain.
+bool RunOneInternalUnit(RunContext* ctx, ModelScratch* scratch) {
+  const uint32_t i =
+      ctx->internal_cursor.fetch_add(1, std::memory_order_relaxed);
+  if (i >= ctx->internal_page_count) return false;
+  ProcessInternalPage(ctx, i, scratch);
+  return true;
+}
+
+void SubmitChunk(RunContext* ctx, Chunk chunk);
+
+/// The L_now/L_later regulator of Algorithm 4: submits queued chunks
+/// while the in-flight external page budget (m_ex) allows. Completions
+/// return budget and pump again, which realizes Algorithm 9's chained
+/// asynchronous reads.
+void PumpExternal(RunContext* ctx) {
+  std::vector<Chunk> to_submit;
+  {
+    std::lock_guard<std::mutex> lock(ctx->later_mutex);
+    while (!ctx->later.empty() &&
+           ctx->ext_used + ctx->later.front().page_count <=
+               ctx->ext_capacity) {
+      ctx->ext_used += ctx->later.front().page_count;
+      to_submit.push_back(std::move(ctx->later.front()));
+      ctx->later.pop_front();
+    }
+  }
+  for (auto& chunk : to_submit) SubmitChunk(ctx, std::move(chunk));
+}
+
+/// Algorithm 9: ExternalTriangle for one loaded chunk, then chain the
+/// next read from L_later.
+void ProcessChunk(RunContext* ctx, Chunk chunk,
+                  std::vector<Frame*> frames) {
+  Stopwatch watch;
+  if (!ctx->aborted()) {
+    std::vector<const char*> data;
+    data.reserve(frames.size());
+    for (Frame* f : frames) data.push_back(f->data);
+    PageRangeView view;
+    Status s = view.Build(*ctx->store, chunk.first_pid, data);
+    if (!s.ok()) {
+      ctx->RecordError(s);
+    } else {
+      ModelScratch scratch;
+      for (VertexId v : chunk.candidates) {
+        if (!view.HasFull(v)) {
+          ctx->RecordError(Status::Corruption(
+              "external candidate " + std::to_string(v) +
+              " not fully covered by its chunk"));
+          break;
+        }
+        ctx->model->ExternalTriangles(ctx->internal_view, ctx->plan, v,
+                                      view.Get(v), ctx->sink, &scratch);
+      }
+    }
+  }
+  for (Frame* f : frames) ctx->pool->Unpin(f);
+  ctx->external_cpu_micros.fetch_add(
+      static_cast<uint64_t>(watch.ElapsedMicros()),
+      std::memory_order_relaxed);
+
+  // Return the budget and chain further requests (the paper's atomic
+  // block, lines 9-13).
+  {
+    std::lock_guard<std::mutex> lock(ctx->later_mutex);
+    ctx->ext_used -= chunk.page_count;
+  }
+  PumpExternal(ctx);
+  ctx->group_ex.Done();
+}
+
+/// Issues the asynchronous reads for one chunk; pages already cached in
+/// the buffer pool are reused without I/O (the Δ-I/O savings of §3.3).
+void SubmitChunk(RunContext* ctx, Chunk chunk) {
+  struct ChunkState {
+    RunContext* ctx;
+    Chunk chunk;
+    std::vector<Frame*> frames;
+    std::atomic<uint32_t> pending{0};
+  };
+  auto state = std::make_shared<ChunkState>();
+  state->ctx = ctx;
+  state->frames.resize(chunk.page_count, nullptr);
+
+  std::vector<uint32_t> missing;
+  for (uint32_t i = 0; i < chunk.page_count; ++i) {
+    const uint32_t pid = chunk.first_pid + i;
+    if (Frame* cached = ctx->pool->LookupAndPin(pid)) {
+      state->frames[i] = cached;
+      ctx->external_hits.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto frame = ctx->pool->AllocateForRead(pid);
+    if (!frame.ok()) {
+      ctx->RecordError(frame.status());
+      for (Frame* f : state->frames) {
+        if (f != nullptr) ctx->pool->Unpin(f);
+      }
+      {
+        std::lock_guard<std::mutex> lock(ctx->later_mutex);
+        ctx->ext_used -= chunk.page_count;
+      }
+      ctx->group_ex.Done();
+      return;
+    }
+    state->frames[i] = frame.value();
+    missing.push_back(i);
+  }
+  ctx->external_pages.fetch_add(missing.size(), std::memory_order_relaxed);
+  state->chunk = std::move(chunk);
+
+  if (missing.empty()) {
+    // Fully cached: skip the device, go straight to the callback queue.
+    ctx->completions.Push([state] {
+      ProcessChunk(state->ctx, std::move(state->chunk),
+                   std::move(state->frames));
+    });
+    return;
+  }
+  state->pending.store(static_cast<uint32_t>(missing.size()),
+                       std::memory_order_release);
+  for (uint32_t index : missing) {
+    const uint32_t pid = state->chunk.first_pid + index;
+    Frame* frame = state->frames[index];
+    ReadRequest request;
+    request.file = ctx->store->file();
+    request.first_pid = pid;
+    request.page_count = 1;
+    request.frames = {frame};
+    request.completion_queue = &ctx->completions;
+    request.callback = [state, pid, frame](const Status& status) {
+      RunContext* ctx = state->ctx;
+      if (!status.ok()) {
+        ctx->RecordError(status);
+      } else {
+        if (ctx->options.validate_pages) {
+          const Status v =
+              PageView(frame->data, ctx->store->page_size()).Validate(pid);
+          if (!v.ok()) ctx->RecordError(v);
+        }
+        ctx->pool->MarkValid(frame);
+      }
+      if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        ProcessChunk(ctx, std::move(state->chunk),
+                     std::move(state->frames));
+      }
+    };
+    ctx->engine->Submit(std::move(request));
+  }
+}
+
+/// True when the iteration's external triangulation has fully finished.
+bool ExternalDone(RunContext* ctx) { return ctx->group_ex.Finished(); }
+
+/// Drains completion tasks until the external side is finished; with
+/// morphing, steals internal pages while the queue is empty.
+void DrainExternal(RunContext* ctx, bool allow_morph,
+                   ModelScratch* scratch) {
+  while (!ExternalDone(ctx)) {
+    if (auto task = ctx->completions.TryPop()) {
+      (*task)();
+      continue;
+    }
+    if (allow_morph && RunOneInternalUnit(ctx, scratch)) continue;
+    if (auto task = ctx->completions.PopFor(200)) (*task)();
+  }
+}
+
+/// The callback-thread role for one iteration's overlapped phase:
+/// external triangulation first, then (if morphing) internal stealing.
+void CallbackRole(RunContext* ctx) {
+  ModelScratch scratch;
+  DrainExternal(ctx, ctx->options.thread_morphing, &scratch);
+  if (ctx->options.thread_morphing) {
+    while (RunOneInternalUnit(ctx, &scratch)) {
+    }
+  }
+}
+
+/// Extra workers prefer internal pages, then morph into callbacks.
+void FlexRole(RunContext* ctx) {
+  ModelScratch scratch;
+  while (RunOneInternalUnit(ctx, &scratch)) {
+  }
+  if (ctx->options.thread_morphing) {
+    DrainExternal(ctx, /*allow_morph=*/true, &scratch);
+  }
+}
+
+}  // namespace
+
+OptRunner::OptRunner(GraphStore* store, const IteratorModel* model,
+                     const OptOptions& options)
+    : store_(store), model_(model), options_(options) {}
+
+Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
+  if (options_.m_in == 0 || options_.m_ex == 0) {
+    return Status::InvalidArgument("m_in and m_ex must be positive");
+  }
+  if (options_.m_in < store_->MaxRecordPages()) {
+    return Status::ResourceExhausted(
+        "internal area (" + std::to_string(options_.m_in) +
+        " pages) smaller than the largest adjacency list (" +
+        std::to_string(store_->MaxRecordPages()) + " pages)");
+  }
+  if (store_->num_vertices() == 0) {
+    if (stats != nullptr) *stats = OptRunStats();
+    return sink->Finish();
+  }
+
+  Stopwatch total_watch;
+  // Declaration order is load-bearing: the context (and its completion
+  // queue) must outlive the engine, whose destructor joins the I/O
+  // workers — a worker's completion push may otherwise race the queue's
+  // destruction at the end of Run().
+  RunContext ctx;
+  // m_in + m_ex frames as in the paper; grows per iteration only if a
+  // merged chunk around spanning adjacency lists exceeds m_ex.
+  BufferPool pool(store_->page_size(), options_.m_in + options_.m_ex + 2);
+  AsyncIoEngine engine(options_.io_queue_depth);
+
+  ctx.store = store_;
+  ctx.model = model_;
+  ctx.options = options_;
+  ctx.sink = sink;
+  ctx.pool = &pool;
+  ctx.engine = &engine;
+
+  OptRunStats run_stats;
+  const VertexId n = store_->num_vertices();
+  VertexId v_start = 0;
+  while (v_start < n) {
+    OPT_ASSIGN_OR_RETURN(ctx.plan,
+                         store_->PlanIteration(v_start, options_.m_in));
+    IterationStats iter;
+    iter.v_lo = ctx.plan.v_lo;
+    iter.v_hi = ctx.plan.v_hi;
+
+    // ----- Phase A: fill the internal area (Algorithm 3 lines 5-8) -----
+    Stopwatch load_watch;
+    const uint32_t pages = ctx.plan.num_pages();
+    ctx.internal_frames.assign(pages, nullptr);
+    ctx.internal_page_data.assign(pages, nullptr);
+    ctx.internal_page_count = pages;
+    ctx.internal_cursor.store(0);
+    ctx.internal_pages_done.store(0);
+    ctx.candidates.clear();
+    ctx.internal_cpu_micros.store(0);
+    ctx.external_cpu_micros.store(0);
+    ctx.external_pages.store(0);
+    ctx.external_hits.store(0);
+
+    for (uint32_t i = 0; i < pages; ++i) {
+      const uint32_t pid = ctx.plan.pid_lo + i;
+      if (Frame* cached = pool.LookupAndPin(pid)) {
+        // Buffered by the previous iteration's external loads — the
+        // paper's Δin I/O saving.
+        ctx.internal_frames[i] = cached;
+        iter.internal_cache_hits++;
+        CollectCandidatesFromPage(&ctx, cached->data);
+        continue;
+      }
+      auto frame = pool.AllocateForRead(pid);
+      if (!frame.ok()) return frame.status();
+      ctx.internal_frames[i] = frame.value();
+      ctx.group_in.Add();
+      ReadRequest request;
+      request.file = store_->file();
+      request.first_pid = pid;
+      request.page_count = 1;
+      request.frames = {frame.value()};
+      request.completion_queue = &ctx.completions;
+      Frame* f = frame.value();
+      RunContext* pctx = &ctx;
+      request.callback = [pctx, pid, f](const Status& status) {
+        if (!status.ok()) {
+          pctx->RecordError(status);
+        } else {
+          if (pctx->options.validate_pages) {
+            const Status v =
+                PageView(f->data, pctx->store->page_size()).Validate(pid);
+            if (!v.ok()) pctx->RecordError(v);
+          }
+          pctx->pool->MarkValid(f);
+          if (!pctx->aborted()) CollectCandidatesFromPage(pctx, f->data);
+        }
+        pctx->group_in.Done();
+      };
+      engine.Submit(std::move(request));
+    }
+    // The main thread drains completion callbacks while remaining reads
+    // are in flight (micro-level overlap of load and candidate parsing).
+    while (!ctx.group_in.Finished()) {
+      if (auto task = ctx.completions.PopFor(200)) (*task)();
+    }
+    if (ctx.aborted()) break;
+    iter.internal_pages = pages;
+    iter.load_seconds = load_watch.ElapsedSeconds();
+
+    // ----- Phase B: plan the external loads (Algorithm 4) -----
+    Stopwatch plan_watch;
+    for (uint32_t i = 0; i < pages; ++i) {
+      ctx.internal_page_data[i] = ctx.internal_frames[i]->data;
+    }
+    Status view_status = ctx.internal_view.Build(
+        *store_, ctx.plan.pid_lo, ctx.internal_page_data);
+    if (!view_status.ok()) return view_status;
+
+    std::sort(ctx.candidates.begin(), ctx.candidates.end());
+    ctx.candidates.erase(
+        std::unique(ctx.candidates.begin(), ctx.candidates.end()),
+        ctx.candidates.end());
+    iter.candidates = ctx.candidates.size();
+
+    // Group candidates into page-run chunks, merge overlaps, order by
+    // descending page id so the pages nearest the internal area are
+    // loaded last and survive in the pool for the next iteration.
+    std::vector<Chunk> chunks;
+    {
+      std::map<uint32_t, Chunk> by_range;  // keyed by first_pid
+      for (VertexId v : ctx.candidates) {
+        const uint32_t fp = store_->FirstPageOfVertex(v);
+        const uint32_t lp = store_->LastPageOfVertex(v);
+        auto it = by_range.find(fp);
+        if (it == by_range.end()) {
+          Chunk c;
+          c.first_pid = fp;
+          c.page_count = lp - fp + 1;
+          c.candidates.push_back(v);
+          by_range.emplace(fp, std::move(c));
+        } else {
+          it->second.page_count =
+              std::max(it->second.page_count, lp - fp + 1);
+          it->second.candidates.push_back(v);
+        }
+      }
+      // Merge overlapping page ranges (spanning records sharing boundary
+      // pages) so no page has two concurrent in-flight reads.
+      for (auto& [fp, chunk] : by_range) {
+        if (!chunks.empty()) {
+          Chunk& prev = chunks.back();
+          if (fp <= prev.first_pid + prev.page_count - 1) {
+            const uint32_t new_end =
+                std::max(prev.first_pid + prev.page_count,
+                         fp + chunk.page_count);
+            prev.page_count = new_end - prev.first_pid;
+            prev.candidates.insert(prev.candidates.end(),
+                                   chunk.candidates.begin(),
+                                   chunk.candidates.end());
+            continue;
+          }
+        }
+        chunks.push_back(std::move(chunk));
+      }
+      if (options_.backward_external_order) {
+        std::reverse(chunks.begin(), chunks.end());  // descending page id
+      }
+    }
+    iter.chunks = chunks.size();
+
+    // The in-flight budget (m_ex) regulates L_now vs L_later; an
+    // oversized merged chunk raises it (and the pool grows to match).
+    uint32_t largest_chunk = 0;
+    for (const auto& chunk : chunks) {
+      largest_chunk = std::max(largest_chunk, chunk.page_count);
+    }
+    {
+      std::lock_guard<std::mutex> lock(ctx.later_mutex);
+      ctx.later.clear();
+      ctx.ext_capacity = std::max(options_.m_ex, largest_chunk);
+      ctx.ext_used = 0;
+      for (auto& chunk : chunks) ctx.later.push_back(std::move(chunk));
+    }
+    pool.EnsureFrames(options_.m_in + ctx.ext_capacity + 2);
+    ctx.group_ex.Add(static_cast<uint32_t>(chunks.size()));
+    run_stats.serial_seconds +=
+        iter.load_seconds + plan_watch.ElapsedSeconds();
+
+    // ----- Phase C: overlapped triangulation (Algorithm 3 lines 9-11) --
+    Stopwatch overlap_watch;
+    PumpExternal(&ctx);
+
+    if (options_.macro_overlap) {
+      std::vector<std::thread> helpers;
+      helpers.emplace_back(CallbackRole, &ctx);
+      for (uint32_t t = 2; t < options_.num_threads; ++t) {
+        helpers.emplace_back(FlexRole, &ctx);
+      }
+      // Main thread: internal triangulation, then morph into a callback
+      // drainer (or plain wait when morphing is off).
+      ModelScratch scratch;
+      while (RunOneInternalUnit(&ctx, &scratch)) {
+      }
+      if (options_.thread_morphing) {
+        DrainExternal(&ctx, /*allow_morph=*/true, &scratch);
+      }
+      ctx.group_ex.Wait();
+      for (auto& h : helpers) h.join();
+    } else {
+      // OPT_serial: internal first, then external, one thread. The async
+      // reads issued above progress meanwhile (micro-level overlap).
+      ModelScratch scratch;
+      while (RunOneInternalUnit(&ctx, &scratch)) {
+      }
+      DrainExternal(&ctx, /*allow_morph=*/false, &scratch);
+      ctx.group_ex.Wait();
+    }
+    iter.overlap_seconds = overlap_watch.ElapsedSeconds();
+    run_stats.parallel_seconds += iter.overlap_seconds;
+
+    // ----- Phase D: unpin the internal area (Algorithm 3 lines 12-13) --
+    for (Frame* f : ctx.internal_frames) pool.Unpin(f);
+
+    iter.internal_cpu_seconds =
+        static_cast<double>(ctx.internal_cpu_micros.load()) * 1e-6;
+    iter.external_cpu_seconds =
+        static_cast<double>(ctx.external_cpu_micros.load()) * 1e-6;
+    iter.external_pages = ctx.external_pages.load();
+    iter.external_cache_hits = ctx.external_hits.load();
+
+    run_stats.iterations++;
+    run_stats.internal_pages_read +=
+        iter.internal_pages - iter.internal_cache_hits;
+    run_stats.internal_cache_hits += iter.internal_cache_hits;
+    run_stats.external_pages_read += iter.external_pages;
+    run_stats.external_cache_hits += iter.external_cache_hits;
+    run_stats.per_iteration.push_back(iter);
+
+    if (ctx.aborted()) break;
+    v_start = ctx.plan.v_hi + 1;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(ctx.error_mutex);
+    if (!ctx.first_error.ok()) return ctx.first_error;
+  }
+  OPT_RETURN_IF_ERROR(sink->Finish());
+  run_stats.elapsed_seconds = total_watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = std::move(run_stats);
+  return Status::OK();
+}
+
+}  // namespace opt

@@ -1,0 +1,105 @@
+// The OPT framework (paper §3): overlapped, parallel, disk-based
+// triangulation. Drives iterations over the on-disk graph; each
+// iteration fills the internal area, identifies external candidate
+// vertices in read-completion callbacks, then overlaps internal
+// triangulation (main thread + page-parallel workers) with external
+// triangulation (callback thread draining async-read completions), with
+// optional thread morphing between the two roles (§3.4).
+#ifndef OPT_CORE_OPT_RUNNER_H_
+#define OPT_CORE_OPT_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/iterator_model.h"
+#include "core/triangle_sink.h"
+#include "storage/graph_store.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct OptOptions {
+  /// Internal-area size in pages (m_in). Must be >= the store's
+  /// MaxRecordPages(). The paper's default split is m_in = m_ex = m/2.
+  uint32_t m_in = 0;
+  /// External-area size in pages (m_ex): caps concurrently in-flight
+  /// external read requests (the L_now/L_later split of Algorithm 4).
+  uint32_t m_ex = 0;
+  /// Total CPU workers in the overlapped phase: 1 main thread, 1
+  /// callback thread, and num_threads-2 extra page-parallel workers.
+  /// Ignored (treated as 1) when macro_overlap is false.
+  uint32_t num_threads = 2;
+  /// False selects OPT_serial: the external triangulation runs after the
+  /// internal triangulation on the single main thread. The micro-level
+  /// CPU/I-O overlap (async reads in flight during CPU work) remains.
+  bool macro_overlap = true;
+  /// Thread morphing (§3.4): an idle role steals the other role's work.
+  bool thread_morphing = true;
+  /// Asynchronous-read worker count (emulated SSD queue depth).
+  uint32_t io_queue_depth = 16;
+  /// Verify page CRCs on every load.
+  bool validate_pages = true;
+  /// Algorithm 4's external load order: true (paper) loads far pages
+  /// first so the pages adjacent to the internal area are loaded last
+  /// and survive in the buffer pool for the next iteration's internal
+  /// fill (the Δin saving of §3.3). False loads in ascending page
+  /// order — an ablation knob that forfeits the saving.
+  bool backward_external_order = true;
+};
+
+/// Per-iteration instrumentation (Figure 4).
+struct IterationStats {
+  VertexId v_lo = 0;
+  VertexId v_hi = 0;
+  uint32_t internal_pages = 0;
+  uint32_t internal_cache_hits = 0;   // Δin: pages not re-read (paper §3.3)
+  uint64_t external_pages = 0;
+  uint64_t external_cache_hits = 0;
+  uint64_t candidates = 0;
+  uint64_t chunks = 0;
+  double load_seconds = 0;            // internal-area fill (phase A) wall
+  double overlap_seconds = 0;         // triangulation (phase C) wall
+  double internal_cpu_seconds = 0;    // summed across threads
+  double external_cpu_seconds = 0;    // summed across threads
+};
+
+struct OptRunStats {
+  uint32_t iterations = 0;
+  uint64_t internal_pages_read = 0;
+  uint64_t internal_cache_hits = 0;
+  uint64_t external_pages_read = 0;
+  uint64_t external_cache_hits = 0;
+  double elapsed_seconds = 0;
+  /// Non-parallelizable wall time (loads, planning) vs parallelizable
+  /// triangulation wall time — the Amdahl decomposition of Table 5.
+  double serial_seconds = 0;
+  double parallel_seconds = 0;
+  std::vector<IterationStats> per_iteration;
+
+  /// Measured parallel fraction p for Amdahl's law (Table 5).
+  double ParallelFraction() const {
+    const double total = serial_seconds + parallel_seconds;
+    return total <= 0 ? 0.0 : parallel_seconds / total;
+  }
+};
+
+class OptRunner {
+ public:
+  /// `store` and `model` must outlive the runner. The runner owns no
+  /// global state; concurrent runners on different stores are fine.
+  OptRunner(GraphStore* store, const IteratorModel* model,
+            const OptOptions& options);
+
+  /// Runs the full triangulation, emitting into `sink` (which must be
+  /// thread safe). Fills `stats` if non-null.
+  Status Run(TriangleSink* sink, OptRunStats* stats = nullptr);
+
+ private:
+  GraphStore* store_;
+  const IteratorModel* model_;
+  OptOptions options_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_CORE_OPT_RUNNER_H_

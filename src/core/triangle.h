@@ -1,0 +1,28 @@
+// Triangle value type shared by sinks, tests, and baselines.
+#ifndef OPT_CORE_TRIANGLE_H_
+#define OPT_CORE_TRIANGLE_H_
+
+#include <cstdint>
+#include <tuple>
+
+#include "graph/csr_graph.h"
+
+namespace opt {
+
+/// A triangle with the paper's canonical orientation id(u) < id(v) < id(w).
+struct Triangle {
+  VertexId u;
+  VertexId v;
+  VertexId w;
+
+  bool operator==(const Triangle& o) const {
+    return u == o.u && v == o.v && w == o.w;
+  }
+  bool operator<(const Triangle& o) const {
+    return std::tie(u, v, w) < std::tie(o.u, o.v, o.w);
+  }
+};
+
+}  // namespace opt
+
+#endif  // OPT_CORE_TRIANGLE_H_

@@ -1,0 +1,147 @@
+#include "core/triangle_sink.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace opt {
+
+void VectorSink::Emit(VertexId u, VertexId v, std::span<const VertexId> ws) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (VertexId w : ws) triangles_.push_back({u, v, w});
+}
+
+std::vector<Triangle> VectorSink::Sorted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Triangle> out = triangles_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t VectorSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return triangles_.size();
+}
+
+PerVertexCountSink::PerVertexCountSink(VertexId num_vertices)
+    : counts_(num_vertices) {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+void PerVertexCountSink::Emit(VertexId u, VertexId v,
+                              std::span<const VertexId> ws) {
+  counts_[u].fetch_add(ws.size(), std::memory_order_relaxed);
+  counts_[v].fetch_add(ws.size(), std::memory_order_relaxed);
+  for (VertexId w : ws) {
+    counts_[w].fetch_add(1, std::memory_order_relaxed);
+  }
+  total_.fetch_add(ws.size(), std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> PerVertexCountSink::Counts() const {
+  std::vector<uint64_t> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+ListingSink::ListingSink(Env* env, std::string path, size_t flush_threshold,
+                         bool asynchronous)
+    : env_(env), path_(std::move(path)), flush_threshold_(flush_threshold),
+      asynchronous_(asynchronous) {
+  auto file = env_->OpenWritable(path_);
+  if (file.ok()) {
+    file_ = std::move(file.value());
+  } else {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    write_status_ = file.status();
+  }
+  if (asynchronous_) {
+    writer_ = std::thread([this] { WriterLoop(); });
+  }
+}
+
+ListingSink::~ListingSink() {
+  Status s = Finish();
+  (void)s;
+}
+
+void ListingSink::Emit(VertexId u, VertexId v, std::span<const VertexId> ws) {
+  if (ws.empty()) return;
+  char header[12];
+  EncodeFixed32(header, u);
+  EncodeFixed32(header + 4, v);
+  EncodeFixed32(header + 8, static_cast<uint32_t>(ws.size()));
+  std::string block_to_flush;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer_.append(header, sizeof(header));
+    buffer_.append(reinterpret_cast<const char*>(ws.data()),
+                   ws.size() * sizeof(VertexId));
+    if (buffer_.size() >= flush_threshold_) {
+      block_to_flush.swap(buffer_);
+    }
+  }
+  triangles_.fetch_add(ws.size(), std::memory_order_relaxed);
+  if (!block_to_flush.empty()) {
+    if (asynchronous_) {
+      blocks_.Push(std::move(block_to_flush));
+    } else {
+      WriteBlock(block_to_flush);
+    }
+  }
+}
+
+void ListingSink::WriteBlock(const std::string& block) {
+  if (file_ == nullptr) return;
+  Status s = file_->Append(Slice(block));
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    if (write_status_.ok()) write_status_ = s;
+    return;
+  }
+  bytes_written_.fetch_add(block.size(), std::memory_order_relaxed);
+}
+
+Status ListingSink::Finish() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_) {
+      std::lock_guard<std::mutex> status_lock(status_mutex_);
+      return write_status_;
+    }
+    finished_ = true;
+    if (!buffer_.empty()) {
+      std::string tail;
+      tail.swap(buffer_);
+      if (asynchronous_) {
+        blocks_.Push(std::move(tail));
+      } else {
+        WriteBlock(tail);
+      }
+    }
+  }
+  blocks_.Close();
+  if (writer_.joinable()) writer_.join();
+  if (file_ != nullptr) {
+    Status s = file_->Sync();
+    if (s.ok()) s = file_->Close();
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(status_mutex_);
+      if (write_status_.ok()) write_status_ = s;
+    }
+  }
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return write_status_;
+}
+
+void ListingSink::WriterLoop() {
+  for (;;) {
+    auto block = blocks_.Pop();
+    if (!block.has_value()) return;
+    WriteBlock(*block);
+  }
+}
+
+}  // namespace opt

@@ -1,0 +1,264 @@
+#include "distsim/distributed.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/intersect.h"
+#include "util/stopwatch.h"
+
+namespace opt {
+
+namespace {
+
+uint64_t HashVertex(VertexId v, uint64_t seed) {
+  uint64_t x = v + seed * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Max over nodes of (sum of its task times / cores).
+double ClusterComputeSeconds(const std::vector<double>& node_seconds,
+                             uint32_t cores) {
+  double worst = 0;
+  for (double s : node_seconds) {
+    worst = std::max(worst, s / std::max(1u, cores));
+  }
+  return worst;
+}
+
+}  // namespace
+
+Result<DistSimResult> SimulateSV(const CSRGraph& g,
+                                 const DistSimOptions& options) {
+  if (options.nodes == 0) {
+    return Status::InvalidArgument("nodes must be positive");
+  }
+  // Smallest b >= 3 with C(b,3) >= nodes, so every node gets >= 1 reducer.
+  uint32_t b = 3;
+  while (static_cast<uint64_t>(b) * (b - 1) * (b - 2) / 6 < options.nodes) {
+    ++b;
+  }
+  auto group_of = [&](VertexId v) {
+    return static_cast<uint32_t>(HashVertex(v, options.seed) % b);
+  };
+
+  DistSimResult result;
+  result.nodes = options.nodes;
+  result.rounds = 2;  // one map round, one reduce round
+
+  // Map phase: ship each edge to every group triple containing both
+  // endpoint groups.
+  std::vector<std::vector<Edge>> reducer_edges;
+  std::vector<std::array<uint32_t, 3>> reducer_groups;
+  std::vector<std::vector<uint32_t>> triple_index(b * b);  // (i,j)->ids
+  for (uint32_t i = 0; i < b; ++i) {
+    for (uint32_t j = i + 1; j < b; ++j) {
+      for (uint32_t k = j + 1; k < b; ++k) {
+        reducer_groups.push_back({i, j, k});
+        reducer_edges.emplace_back();
+      }
+    }
+  }
+  auto reducers_containing = [&](uint32_t a,
+                                 uint32_t c) -> std::vector<uint32_t> {
+    std::vector<uint32_t> ids;
+    for (uint32_t r = 0; r < reducer_groups.size(); ++r) {
+      const auto& t = reducer_groups[r];
+      const bool has_a = t[0] == a || t[1] == a || t[2] == a;
+      const bool has_c = t[0] == c || t[1] == c || t[2] == c;
+      if (has_a && has_c) ids.push_back(r);
+    }
+    return ids;
+  };
+  // Precompute the reducer list per group pair.
+  std::vector<std::vector<uint32_t>> pair_reducers(b * b);
+  for (uint32_t i = 0; i < b; ++i) {
+    for (uint32_t j = i; j < b; ++j) {
+      pair_reducers[i * b + j] = reducers_containing(i, j);
+    }
+  }
+
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.Successors(u)) {
+      uint32_t a = group_of(u), c = group_of(v);
+      if (a > c) std::swap(a, c);
+      for (uint32_t r : pair_reducers[a * b + c]) {
+        reducer_edges[r].emplace_back(u, v);
+      }
+      result.shuffle_bytes +=
+          pair_reducers[a * b + c].size() * 2 * sizeof(VertexId);
+    }
+  }
+
+  // Reduce phase: each reducer lists triangles in its edge set; a
+  // triangle is counted only by the canonical (smallest) triple that
+  // contains its group set, making the total exact.
+  std::vector<double> node_seconds(options.nodes, 0.0);
+  uint64_t triangles = 0;
+  for (uint32_t r = 0; r < reducer_edges.size(); ++r) {
+    Stopwatch watch;
+    CSRGraph sub = GraphBuilder::FromEdges(reducer_edges[r]);
+    const auto& tg = reducer_groups[r];
+    uint64_t local = 0;
+    for (VertexId u = 0; u < sub.num_vertices(); ++u) {
+      const auto succ_u = sub.Successors(u);
+      for (VertexId v : succ_u) {
+        std::vector<VertexId> ws;
+        Intersect(succ_u, sub.Successors(v), &ws);
+        for (VertexId w : ws) {
+          // Canonical-triple ownership test.
+          uint32_t groups[3] = {group_of(u), group_of(v), group_of(w)};
+          std::sort(groups, groups + 3);
+          uint32_t distinct[3];
+          uint32_t nd = 0;
+          for (uint32_t x : groups) {
+            if (nd == 0 || distinct[nd - 1] != x) distinct[nd++] = x;
+          }
+          // Complete to 3 groups with the smallest unused group ids.
+          uint32_t canon[3];
+          uint32_t filled = 0;
+          for (uint32_t gi = 0; gi < nd; ++gi) canon[filled++] = distinct[gi];
+          for (uint32_t cand = 0; filled < 3 && cand < b; ++cand) {
+            bool used = false;
+            for (uint32_t gi = 0; gi < filled; ++gi) {
+              if (canon[gi] == cand) used = true;
+            }
+            if (!used) canon[filled++] = cand;
+          }
+          std::sort(canon, canon + 3);
+          if (canon[0] == tg[0] && canon[1] == tg[1] && canon[2] == tg[2]) {
+            ++local;
+          }
+        }
+      }
+    }
+    triangles += local;
+    node_seconds[r % options.nodes] += watch.ElapsedSeconds();
+  }
+  result.triangles = triangles;
+  result.compute_seconds =
+      ClusterComputeSeconds(node_seconds, options.cores_per_node);
+  result.network_seconds =
+      options.network.TransferSeconds(result.shuffle_bytes, result.rounds);
+  result.elapsed_seconds = result.compute_seconds + result.network_seconds;
+  return result;
+}
+
+Result<DistSimResult> SimulateAKM(const CSRGraph& g,
+                                  const DistSimOptions& options) {
+  if (options.nodes == 0) {
+    return Status::InvalidArgument("nodes must be positive");
+  }
+  DistSimResult result;
+  result.nodes = options.nodes;
+  result.rounds = 2;  // scatter partitions + reduce counts
+
+  // Contiguous vertex ranges balanced by adjacency volume.
+  const VertexId n = g.num_vertices();
+  const uint64_t total = g.num_directed_edges();
+  const uint64_t share = std::max<uint64_t>(1, total / options.nodes);
+  std::vector<VertexId> range_end;  // exclusive ends
+  uint64_t acc = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    acc += g.degree(v);
+    if (acc >= share && range_end.size() + 1 < options.nodes) {
+      range_end.push_back(v + 1);
+      acc = 0;
+    }
+  }
+  range_end.push_back(n);
+
+  std::vector<double> node_seconds(options.nodes, 0.0);
+  uint64_t triangles = 0;
+  VertexId lo = 0;
+  for (uint32_t node = 0; node < range_end.size(); ++node) {
+    const VertexId hi = range_end[node];
+    // Surrogate lists: neighbors outside [lo, hi) whose adjacency the
+    // node needs; each is shipped once per node.
+    std::unordered_set<VertexId> surrogates;
+    Stopwatch watch;
+    uint64_t local = 0;
+    for (VertexId u = lo; u < hi; ++u) {
+      const auto succ_u = g.Successors(u);
+      for (VertexId v : succ_u) {
+        if (v < lo || v >= hi) surrogates.insert(v);
+        local += IntersectCount(succ_u, g.Successors(v));
+      }
+    }
+    node_seconds[node] = watch.ElapsedSeconds();
+    triangles += local;
+    for (VertexId v : surrogates) {
+      result.shuffle_bytes += (g.degree(v) + 1) * sizeof(VertexId);
+    }
+    lo = hi;
+  }
+  result.triangles = triangles;
+  result.compute_seconds =
+      ClusterComputeSeconds(node_seconds, options.cores_per_node);
+  result.network_seconds =
+      options.network.TransferSeconds(result.shuffle_bytes, result.rounds);
+  result.elapsed_seconds = result.compute_seconds + result.network_seconds;
+  return result;
+}
+
+Result<DistSimResult> SimulatePowerGraph(const CSRGraph& g,
+                                         const DistSimOptions& options) {
+  if (options.nodes == 0) {
+    return Status::InvalidArgument("nodes must be positive");
+  }
+  DistSimResult result;
+  result.nodes = options.nodes;
+  result.rounds = 3;  // gather, apply, scatter
+
+  // Random vertex-cut: assign each (ordered-once) edge to a machine.
+  const uint32_t p = options.nodes;
+  auto edge_machine = [&](VertexId u, VertexId v) {
+    return static_cast<uint32_t>(
+        HashVertex(u, options.seed * 31 + HashVertex(v, options.seed)) % p);
+  };
+  // Replication factor: machines on which each vertex has a mirror.
+  std::vector<std::unordered_set<uint32_t>> mirrors(g.num_vertices());
+  std::vector<std::vector<Edge>> machine_edges(p);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.Successors(u)) {
+      const uint32_t m = edge_machine(u, v);
+      machine_edges[m].emplace_back(u, v);
+      mirrors[u].insert(m);
+      mirrors[v].insert(m);
+    }
+  }
+  // Gather: the master ships the vertex's neighbor-id set to each mirror.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (mirrors[v].size() > 1) {
+      result.shuffle_bytes += (mirrors[v].size() - 1) *
+                              (g.degree(v) + 1) * sizeof(VertexId);
+    }
+  }
+  // Apply: each machine intersects neighbor sets over its local edges;
+  // each triangle has three edges, so the per-edge sum triple-counts.
+  std::vector<double> node_seconds(p, 0.0);
+  uint64_t tripled = 0;
+  for (uint32_t m = 0; m < p; ++m) {
+    Stopwatch watch;
+    uint64_t local = 0;
+    for (const auto& [u, v] : machine_edges[m]) {
+      local += IntersectCount(g.Neighbors(u), g.Neighbors(v));
+    }
+    tripled += local;
+    node_seconds[m] = watch.ElapsedSeconds();
+  }
+  result.triangles = tripled / 3;
+  result.compute_seconds =
+      ClusterComputeSeconds(node_seconds, options.cores_per_node);
+  result.network_seconds =
+      options.network.TransferSeconds(result.shuffle_bytes, result.rounds);
+  result.elapsed_seconds = result.compute_seconds + result.network_seconds;
+  return result;
+}
+
+}  // namespace opt

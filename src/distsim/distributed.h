@@ -1,0 +1,43 @@
+// Simulators for the paper's distributed competitors (§5.9, Table 7):
+//   SV          — Suri & Vassilvitskii's MapReduce partition-triples
+//                 triangle counting (WWW'11), Hadoop-style rounds.
+//   AKM         — Arifuzzaman et al.'s MPI vertex-iterator ("PaTriC",
+//                 CIKM'13) with overlapping partitions.
+//   PowerGraph  — Gonzalez et al.'s GAS engine (OSDI'12) with a random
+//                 vertex-cut and neighbor-set gather.
+// Each simulator runs the algorithm's real computation (exact counts)
+// and charges its measured communication volume to a NetworkModel.
+#ifndef OPT_DISTSIM_DISTRIBUTED_H_
+#define OPT_DISTSIM_DISTRIBUTED_H_
+
+#include "distsim/network_model.h"
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct DistSimOptions {
+  uint32_t nodes = 31;
+  uint32_t cores_per_node = 12;
+  NetworkModel network;
+  uint64_t seed = 1;
+};
+
+/// SV (MapReduce): hash vertices into b groups, ship each edge to every
+/// group-triple reducer containing both endpoints, count per reducer.
+Result<DistSimResult> SimulateSV(const CSRGraph& g,
+                                 const DistSimOptions& options);
+
+/// AKM (MPI): contiguous vertex ranges per node plus surrogate adjacency
+/// lists for boundary neighbors; local ordered counting; one reduction.
+Result<DistSimResult> SimulateAKM(const CSRGraph& g,
+                                  const DistSimOptions& options);
+
+/// PowerGraph (GAS): random vertex-cut edge placement; gather replicates
+/// neighbor sets to mirrors; local per-edge intersections.
+Result<DistSimResult> SimulatePowerGraph(const CSRGraph& g,
+                                         const DistSimOptions& options);
+
+}  // namespace opt
+
+#endif  // OPT_DISTSIM_DISTRIBUTED_H_

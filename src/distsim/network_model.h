@@ -1,0 +1,40 @@
+// Cluster network cost model for the distributed-method simulators
+// (Table 7). The simulators execute the distributed algorithms' actual
+// computation on one machine (so triangle counts are exact) and charge
+// their real communication volumes against this model to estimate the
+// elapsed time a cluster deployment would see.
+#ifndef OPT_DISTSIM_NETWORK_MODEL_H_
+#define OPT_DISTSIM_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+namespace opt {
+
+struct NetworkModel {
+  /// Aggregate cluster bisection bandwidth (bytes/s). Default ~1 GbE
+  /// per node across 31 nodes, discounted for incast.
+  double bandwidth_bytes_per_sec = 2.0e9;
+  /// Per-communication-round latency (barriers, job scheduling). Hadoop
+  /// rounds are far more expensive than MPI rounds; callers override.
+  double round_latency_sec = 0.1;
+
+  double TransferSeconds(uint64_t bytes, uint32_t rounds) const {
+    return static_cast<double>(bytes) / bandwidth_bytes_per_sec +
+           round_latency_sec * rounds;
+  }
+};
+
+/// Per-method simulation result.
+struct DistSimResult {
+  uint64_t triangles = 0;
+  uint64_t shuffle_bytes = 0;   // data moved between nodes
+  uint32_t rounds = 0;
+  double compute_seconds = 0;   // max over nodes (measured, scaled)
+  double network_seconds = 0;   // from the NetworkModel
+  double elapsed_seconds = 0;   // compute + network
+  uint32_t nodes = 0;
+};
+
+}  // namespace opt
+
+#endif  // OPT_DISTSIM_NETWORK_MODEL_H_

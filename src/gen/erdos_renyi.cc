@@ -1,0 +1,34 @@
+#include "gen/erdos_renyi.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/random.h"
+
+namespace opt {
+
+CSRGraph GenerateErdosRenyi(VertexId num_vertices, uint64_t num_edges,
+                            uint64_t seed) {
+  if (num_vertices < 2) return GraphBuilder::FromEdges({});
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  if (num_edges > max_edges) num_edges = max_edges;
+
+  Random64 rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    auto u = static_cast<VertexId>(rng.Uniform(num_vertices));
+    auto v = static_cast<VertexId>(rng.Uniform(num_vertices));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) edges.emplace_back(u, v);
+  }
+  return GraphBuilder::FromEdges(std::move(edges));
+}
+
+}  // namespace opt

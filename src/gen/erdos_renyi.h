@@ -1,0 +1,19 @@
+// Erdős–Rényi G(n, m) generator — randomized inputs for property tests
+// and the uniform-degree extreme of the sensitivity analysis.
+#ifndef OPT_GEN_ERDOS_RENYI_H_
+#define OPT_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace opt {
+
+/// Samples `num_edges` distinct undirected edges uniformly at random over
+/// `num_vertices` vertices (self-loops excluded).
+CSRGraph GenerateErdosRenyi(VertexId num_vertices, uint64_t num_edges,
+                            uint64_t seed);
+
+}  // namespace opt
+
+#endif  // OPT_GEN_ERDOS_RENYI_H_

@@ -1,0 +1,36 @@
+// Holme–Kim "growing scale-free network with tunable clustering"
+// generator (Phys. Rev. E 2002) — the paper uses it for Figure 7c to
+// sweep the clustering coefficient at a fixed degree. Each new vertex
+// attaches preferentially; with probability `triad_probability` each
+// subsequent attachment is a triad-formation step (connect to a random
+// neighbor of the previous target), which closes triangles.
+#ifndef OPT_GEN_HOLME_KIM_H_
+#define OPT_GEN_HOLME_KIM_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace opt {
+
+struct HolmeKimOptions {
+  VertexId num_vertices = 1 << 14;
+  /// Edges added per new vertex (m in the paper); average degree ≈ 2m.
+  uint32_t edges_per_vertex = 5;
+  /// Probability that an attachment is a triad-formation step; higher
+  /// values raise the clustering coefficient.
+  double triad_probability = 0.5;
+  uint64_t seed = 1;
+};
+
+CSRGraph GenerateHolmeKim(const HolmeKimOptions& options);
+
+/// Calibration helper: triad probability that approximately achieves the
+/// requested average clustering coefficient for the given m (empirical
+/// linear fit; clamped to [0, 1]).
+double TriadProbabilityForClustering(double target_clustering,
+                                     uint32_t edges_per_vertex);
+
+}  // namespace opt
+
+#endif  // OPT_GEN_HOLME_KIM_H_

@@ -1,0 +1,57 @@
+#include "gen/rmat.h"
+
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/random.h"
+
+namespace opt {
+
+CSRGraph GenerateRmat(const RmatOptions& options) {
+  Random64 rng(options.seed);
+  const uint64_t n = 1ULL << options.scale;
+  const uint64_t target_edges =
+      static_cast<uint64_t>(options.edge_factor) * n;
+
+  std::vector<Edge> edges;
+  edges.reserve(target_edges);
+  for (uint64_t e = 0; e < target_edges; ++e) {
+    uint64_t u = 0, v = 0;
+    double a = options.a, b = options.b, c = options.c, d = options.d;
+    for (uint32_t level = 0; level < options.scale; ++level) {
+      const double r = rng.NextDouble();
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + b) {
+        v |= 1ULL << level;
+      } else if (r < a + b + c) {
+        u |= 1ULL << level;
+      } else {
+        u |= 1ULL << level;
+        v |= 1ULL << level;
+      }
+      // Jitter the quadrant probabilities per level and renormalize,
+      // as prescribed by the R-MAT paper to avoid staircase artifacts.
+      if (options.noise > 0) {
+        auto jitter = [&](double p) {
+          return p * (1.0 - options.noise / 2 +
+                      options.noise * rng.NextDouble());
+        };
+        a = jitter(a);
+        b = jitter(b);
+        c = jitter(c);
+        d = jitter(d);
+        const double sum = a + b + c + d;
+        a /= sum;
+        b /= sum;
+        c /= sum;
+        d /= sum;
+      }
+    }
+    if (u == v) continue;
+    edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return GraphBuilder::FromEdges(std::move(edges));
+}
+
+}  // namespace opt

@@ -1,0 +1,37 @@
+// R-MAT recursive-matrix generator (Chakrabarti et al., SDM'04) — the
+// paper's synthetic workload for Figures 7a/7b. Produces power-law-ish
+// degree distributions; with a = b = c = d = 0.25 it degenerates to
+// Erdős–Rényi.
+#ifndef OPT_GEN_RMAT_H_
+#define OPT_GEN_RMAT_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace opt {
+
+struct RmatOptions {
+  /// log2 of the number of vertices.
+  uint32_t scale = 14;
+  /// Average undirected degree target: |E| = edge_factor * |V| edges are
+  /// sampled (duplicates and self-loops are removed afterwards, so the
+  /// realized simple-graph density is slightly lower).
+  uint32_t edge_factor = 16;
+  /// Quadrant probabilities; defaults are GTgraph's defaults used in the
+  /// paper (a=0.45, b=0.15, c=0.15, d=0.25).
+  double a = 0.45;
+  double b = 0.15;
+  double c = 0.15;
+  double d = 0.25;
+  /// Per-level probability noise, as in the original R-MAT description.
+  double noise = 0.1;
+  uint64_t seed = 1;
+};
+
+/// Generates a simple undirected R-MAT graph.
+CSRGraph GenerateRmat(const RmatOptions& options);
+
+}  // namespace opt
+
+#endif  // OPT_GEN_RMAT_H_

@@ -1,0 +1,82 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace opt {
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+CSRGraph GraphBuilder::Build() && {
+  return FromEdges(std::move(edges_));
+}
+
+CSRGraph GraphBuilder::FromEdges(std::vector<Edge> edges) {
+  // Normalize: {min, max}, drop self-loops.
+  size_t w = 0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    auto [u, v] = edges[i];
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges[w++] = {u, v};
+  }
+  edges.resize(w);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  VertexId max_id = 0;
+  for (const auto& [u, v] : edges) max_id = std::max(max_id, v);
+  const VertexId n = edges.empty() ? 0 : max_id + 1;
+
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    offsets[u + 1]++;
+    offsets[v + 1]++;
+  }
+  for (VertexId i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+
+  std::vector<VertexId> adjacency(edges.size() * 2);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    adjacency[cursor[u]++] = v;
+    adjacency[cursor[v]++] = u;
+  }
+  // Each list is already sorted by construction order? No: u receives its
+  // higher neighbors in edge-sorted order (sorted), but v receives lower
+  // neighbors interleaved with higher ones. Sort each list.
+  for (VertexId i = 0; i < n; ++i) {
+    std::sort(adjacency.begin() + static_cast<ptrdiff_t>(offsets[i]),
+              adjacency.begin() + static_cast<ptrdiff_t>(offsets[i + 1]));
+  }
+  return CSRGraph(std::move(offsets), std::move(adjacency));
+}
+
+Result<CSRGraph> GraphBuilder::FromEdgeListFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  GraphBuilder builder;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '%') continue;
+    unsigned long long u, v;
+    if (std::sscanf(line, "%llu %llu", &u, &v) != 2) {
+      std::fclose(f);
+      return Status::Corruption("malformed edge list line: " +
+                                std::string(line));
+    }
+    if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1) {
+      std::fclose(f);
+      return Status::OutOfRange("vertex id exceeds 32-bit range");
+    }
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  std::fclose(f);
+  return std::move(builder).Build();
+}
+
+}  // namespace opt

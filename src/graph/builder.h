@@ -1,0 +1,46 @@
+// Turns raw edge lists into simple undirected CSR graphs: removes
+// self-loops and duplicate edges, symmetrizes, sorts adjacency lists.
+#ifndef OPT_GRAPH_BUILDER_H_
+#define OPT_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace opt {
+
+using Edge = std::pair<VertexId, VertexId>;
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Records an undirected edge {u, v}. Self-loops are dropped silently;
+  /// duplicates are removed at Build() time.
+  void AddEdge(VertexId u, VertexId v);
+
+  void Reserve(size_t num_edges) { edges_.reserve(num_edges); }
+  size_t edge_count() const { return edges_.size(); }
+
+  /// Builds the CSR graph. The vertex id space is [0, max_id] — isolated
+  /// ids in between get empty adjacency lists. Consumes the builder.
+  CSRGraph Build() &&;
+
+  /// Convenience: builds directly from an edge vector.
+  static CSRGraph FromEdges(std::vector<Edge> edges);
+
+  /// Parses a whitespace-separated text edge list ("u v" per line;
+  /// '#'-prefixed lines are comments).
+  static Result<CSRGraph> FromEdgeListFile(const std::string& path);
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_GRAPH_BUILDER_H_

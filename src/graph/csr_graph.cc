@@ -1,0 +1,88 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/coding.h"
+
+namespace opt {
+
+CSRGraph::CSRGraph(std::vector<uint64_t> offsets,
+                   std::vector<VertexId> adjacency)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+  const VertexId n = num_vertices();
+  succ_offsets_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto* begin = adjacency_.data() + offsets_[v];
+    const auto* end = adjacency_.data() + offsets_[v + 1];
+    succ_offsets_[v] = static_cast<uint64_t>(
+        std::upper_bound(begin, end, v) - adjacency_.data());
+    max_degree_ = std::max(max_degree_, degree(v));
+  }
+}
+
+bool CSRGraph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  // Probe the smaller list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nu = Neighbors(u);
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+uint64_t CSRGraph::ArboricityWork() const {
+  uint64_t total = 0;
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : Successors(u)) {
+      total += std::min(degree(u), degree(v));
+    }
+  }
+  return total;
+}
+
+namespace {
+constexpr uint64_t kMagic = 0x4F50544752415048ULL;  // "OPTGRAPH"
+}
+
+Status CSRGraph::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char header[24];
+  EncodeFixed64(header, kMagic);
+  EncodeFixed64(header + 8, num_vertices());
+  EncodeFixed64(header + 16, adjacency_.size());
+  bool ok = std::fwrite(header, 1, sizeof(header), f) == sizeof(header);
+  ok = ok && std::fwrite(offsets_.data(), sizeof(uint64_t), offsets_.size(),
+                         f) == offsets_.size();
+  ok = ok && std::fwrite(adjacency_.data(), sizeof(VertexId),
+                         adjacency_.size(), f) == adjacency_.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<CSRGraph> CSRGraph::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char header[24];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    std::fclose(f);
+    return Status::Corruption("truncated graph header in " + path);
+  }
+  if (DecodeFixed64(header) != kMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad graph magic in " + path);
+  }
+  const uint64_t n = DecodeFixed64(header + 8);
+  const uint64_t m2 = DecodeFixed64(header + 16);
+  std::vector<uint64_t> offsets(n + 1);
+  std::vector<VertexId> adjacency(m2);
+  bool ok = std::fread(offsets.data(), sizeof(uint64_t), offsets.size(), f) ==
+            offsets.size();
+  ok = ok && std::fread(adjacency.data(), sizeof(VertexId), adjacency.size(),
+                        f) == adjacency.size();
+  std::fclose(f);
+  if (!ok) return Status::Corruption("truncated graph body in " + path);
+  return CSRGraph(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace opt

@@ -1,0 +1,88 @@
+// Compressed-sparse-row representation of a simple undirected graph with
+// sorted adjacency lists. This is the in-memory substrate for the
+// in-memory baselines and the input to the on-disk GraphStore builder.
+#ifndef OPT_GRAPH_CSR_GRAPH_H_
+#define OPT_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace opt {
+
+using VertexId = uint32_t;
+inline constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+
+/// Immutable undirected graph in CSR form. Adjacency lists are sorted by
+/// id; every undirected edge {u, v} appears in both n(u) and n(v).
+/// Successors(v) is the paper's n_succ(v): neighbors with id > v.
+class CSRGraph {
+ public:
+  CSRGraph() = default;
+
+  /// Takes ownership of CSR arrays. `offsets` has num_vertices()+1 entries;
+  /// adjacency lists must already be sorted and simple (no self-loops, no
+  /// duplicates). Computes per-vertex successor boundaries.
+  CSRGraph(std::vector<uint64_t> offsets, std::vector<VertexId> adjacency);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges (each {u,v} counted once).
+  uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Total adjacency entries (2 * num_edges()).
+  uint64_t num_directed_edges() const { return adjacency_.size(); }
+
+  uint32_t degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// n(v), sorted ascending.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// n_succ(v): neighbors with id > v, sorted ascending.
+  std::span<const VertexId> Successors(VertexId v) const {
+    return {adjacency_.data() + succ_offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// n_prec(v): neighbors with id < v, sorted ascending.
+  std::span<const VertexId> Predecessors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + succ_offsets_[v]};
+  }
+
+  /// O(log degree) membership test for the undirected edge {u, v}.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  uint32_t max_degree() const { return max_degree_; }
+
+  /// Sum over edges of min(|n(u)|, |n(v)|) — the arboricity-related bound
+  /// of Chiba–Nishizeki (Eq. 1 in the paper). Useful for cost predictions.
+  uint64_t ArboricityWork() const;
+
+  /// Serializes to a simple binary file; see Load().
+  Status Save(const std::string& path) const;
+  static Result<CSRGraph> Load(const std::string& path);
+
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& adjacency() const { return adjacency_; }
+
+ private:
+  std::vector<uint64_t> offsets_;       // size n+1
+  std::vector<uint64_t> succ_offsets_;  // size n: first index of n_succ(v)
+  std::vector<VertexId> adjacency_;     // size 2|E|
+  uint32_t max_degree_ = 0;
+};
+
+}  // namespace opt
+
+#endif  // OPT_GRAPH_CSR_GRAPH_H_

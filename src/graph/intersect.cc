@@ -1,0 +1,113 @@
+#include "graph/intersect.h"
+
+#include <algorithm>
+
+namespace opt {
+
+namespace {
+// Exponential-search lower bound within [lo, data.size()).
+size_t Gallop(std::span<const VertexId> data, size_t lo, VertexId target) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < data.size() && data[hi] < target) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  if (hi > data.size()) hi = data.size();
+  return static_cast<size_t>(
+      std::lower_bound(data.begin() + static_cast<ptrdiff_t>(lo),
+                       data.begin() + static_cast<ptrdiff_t>(hi), target) -
+      data.begin());
+}
+}  // namespace
+
+size_t IntersectMerge(std::span<const VertexId> a, std::span<const VertexId> b,
+                      std::vector<VertexId>* out) {
+  const size_t before = out->size();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out->size() - before;
+}
+
+size_t IntersectGalloping(std::span<const VertexId> a,
+                          std::span<const VertexId> b,
+                          std::vector<VertexId>* out) {
+  if (a.size() > b.size()) return IntersectGalloping(b, a, out);
+  const size_t before = out->size();
+  size_t j = 0;
+  for (VertexId x : a) {
+    j = Gallop(b, j, x);
+    if (j >= b.size()) break;
+    if (b[j] == x) {
+      out->push_back(x);
+      ++j;
+    }
+  }
+  return out->size() - before;
+}
+
+size_t Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+                 std::vector<VertexId>* out) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small == 0) return 0;
+  // Galloping wins when the size ratio exceeds ~log2(large).
+  if (large / small >= 16) return IntersectGalloping(a, b, out);
+  return IntersectMerge(a, b, out);
+}
+
+uint64_t IntersectCountMerge(std::span<const VertexId> a,
+                             std::span<const VertexId> b) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t IntersectCountGalloping(std::span<const VertexId> a,
+                                 std::span<const VertexId> b) {
+  if (a.size() > b.size()) return IntersectCountGalloping(b, a);
+  uint64_t count = 0;
+  size_t j = 0;
+  for (VertexId x : a) {
+    j = Gallop(b, j, x);
+    if (j >= b.size()) break;
+    if (b[j] == x) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t IntersectCount(std::span<const VertexId> a,
+                        std::span<const VertexId> b) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small == 0) return 0;
+  if (large / small >= 16) return IntersectCountGalloping(a, b);
+  return IntersectCountMerge(a, b);
+}
+
+}  // namespace opt

@@ -1,0 +1,40 @@
+// Sorted-list intersection kernels — the inner loop of every iterator
+// model. Three strategies: linear merge, galloping (for skewed list
+// sizes), and hash-probe (the O(min(|a|,|b|)) variant the paper's cost
+// analysis assumes, Eq. 3).
+#ifndef OPT_GRAPH_INTERSECT_H_
+#define OPT_GRAPH_INTERSECT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace opt {
+
+/// Appends a ∩ b (both sorted ascending) to *out. Returns count added.
+size_t IntersectMerge(std::span<const VertexId> a, std::span<const VertexId> b,
+                      std::vector<VertexId>* out);
+
+/// Galloping intersection: binary-searches the larger list for each
+/// element of the smaller one. Wins when |a| << |b|.
+size_t IntersectGalloping(std::span<const VertexId> a,
+                          std::span<const VertexId> b,
+                          std::vector<VertexId>* out);
+
+/// Adaptive: picks merge vs galloping from the size ratio.
+size_t Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+                 std::vector<VertexId>* out);
+
+/// Count-only variants (no output materialization) for counting sinks.
+uint64_t IntersectCountMerge(std::span<const VertexId> a,
+                             std::span<const VertexId> b);
+uint64_t IntersectCountGalloping(std::span<const VertexId> a,
+                                 std::span<const VertexId> b);
+uint64_t IntersectCount(std::span<const VertexId> a,
+                        std::span<const VertexId> b);
+
+}  // namespace opt
+
+#endif  // OPT_GRAPH_INTERSECT_H_

@@ -1,0 +1,110 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace opt {
+
+ReorderResult ApplyOrder(const CSRGraph& g,
+                         const std::vector<VertexId>& old_to_new) {
+  const VertexId n = g.num_vertices();
+  ReorderResult result;
+  result.old_to_new = old_to_new;
+  result.new_to_old.resize(n);
+  for (VertexId old_id = 0; old_id < n; ++old_id) {
+    result.new_to_old[old_to_new[old_id]] = old_id;
+  }
+
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (VertexId new_id = 0; new_id < n; ++new_id) {
+    offsets[new_id + 1] =
+        offsets[new_id] + g.degree(result.new_to_old[new_id]);
+  }
+  std::vector<VertexId> adjacency(g.num_directed_edges());
+  for (VertexId new_id = 0; new_id < n; ++new_id) {
+    uint64_t cursor = offsets[new_id];
+    for (VertexId old_nbr : g.Neighbors(result.new_to_old[new_id])) {
+      adjacency[cursor++] = old_to_new[old_nbr];
+    }
+    std::sort(adjacency.begin() + static_cast<ptrdiff_t>(offsets[new_id]),
+              adjacency.begin() + static_cast<ptrdiff_t>(offsets[new_id + 1]));
+  }
+  result.graph = CSRGraph(std::move(offsets), std::move(adjacency));
+  return result;
+}
+
+ReorderResult DegreeOrder(const CSRGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](VertexId a, VertexId b) {
+                     return g.degree(a) < g.degree(b);
+                   });
+  std::vector<VertexId> old_to_new(n);
+  for (VertexId new_id = 0; new_id < n; ++new_id) {
+    old_to_new[by_degree[new_id]] = new_id;
+  }
+  return ApplyOrder(g, old_to_new);
+}
+
+ReorderResult DegeneracyOrder(const CSRGraph& g, uint32_t* degeneracy_out) {
+  const VertexId n = g.num_vertices();
+  // Matula–Beck bucket peeling in O(|V| + |E|).
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+
+  std::vector<VertexId> removal_order;
+  removal_order.reserve(n);
+  std::vector<bool> removed(n, false);
+  uint32_t degeneracy = 0;
+  uint32_t level = 0;
+  while (removal_order.size() < n) {
+    while (level <= max_degree && buckets[level].empty()) ++level;
+    if (level > max_degree) break;
+    const VertexId v = buckets[level].back();
+    buckets[level].pop_back();
+    if (removed[v] || degree[v] != level) continue;  // stale entry
+    removed[v] = true;
+    degeneracy = std::max(degeneracy, level);
+    removal_order.push_back(v);
+    for (VertexId nbr : g.Neighbors(v)) {
+      if (!removed[nbr] && degree[nbr] > 0) {
+        --degree[nbr];
+        buckets[degree[nbr]].push_back(nbr);
+        if (degree[nbr] < level) level = degree[nbr];
+      }
+    }
+  }
+  if (degeneracy_out != nullptr) *degeneracy_out = degeneracy;
+
+  // Assign ids in removal order: when v was peeled it had at most
+  // `degeneracy` not-yet-removed neighbors, and exactly those get
+  // higher ids — so |n_succ(v)| <= degeneracy for every vertex.
+  std::vector<VertexId> old_to_new(n);
+  for (VertexId i = 0; i < n; ++i) {
+    old_to_new[removal_order[i]] = i;
+  }
+  return ApplyOrder(g, old_to_new);
+}
+
+ReorderResult RandomOrder(const CSRGraph& g, uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> old_to_new(n);
+  std::iota(old_to_new.begin(), old_to_new.end(), 0);
+  Random64 rng(seed);
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(old_to_new[i - 1], old_to_new[rng.Uniform(i)]);
+  }
+  return ApplyOrder(g, old_to_new);
+}
+
+}  // namespace opt

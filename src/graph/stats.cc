@@ -1,0 +1,62 @@
+#include "graph/stats.h"
+
+#include <cstdio>
+
+namespace opt {
+
+GraphStats ComputeStats(const CSRGraph& g) {
+  GraphStats stats;
+  stats.num_vertices = g.num_vertices();
+  stats.num_edges = g.num_edges();
+  stats.max_degree = g.max_degree();
+  stats.avg_degree = stats.num_vertices == 0
+                         ? 0.0
+                         : 2.0 * static_cast<double>(stats.num_edges) /
+                               static_cast<double>(stats.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const uint64_t d = g.degree(v);
+    stats.degree_histogram.Add(d);
+    stats.wedge_count += d * (d - 1) / 2;
+  }
+  return stats;
+}
+
+double AverageClusteringCoefficient(
+    const CSRGraph& g, const std::vector<uint64_t>& triangles_per_vertex) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  VertexId counted = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t d = g.degree(v);
+    if (d < 2) continue;
+    const double wedges = static_cast<double>(d) * (d - 1) / 2.0;
+    sum += static_cast<double>(triangles_per_vertex[v]) / wedges;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+double Transitivity(const CSRGraph& g, uint64_t num_triangles) {
+  uint64_t wedges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const uint64_t d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(num_triangles) /
+         static_cast<double>(wedges);
+}
+
+std::string StatsSummary(const GraphStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "|V|=%u |E|=%llu max_deg=%u avg_deg=%.2f wedges=%llu",
+                stats.num_vertices,
+                static_cast<unsigned long long>(stats.num_edges),
+                stats.max_degree, stats.avg_degree,
+                static_cast<unsigned long long>(stats.wedge_count));
+  return buf;
+}
+
+}  // namespace opt

@@ -1,0 +1,42 @@
+// Graph statistics: degree distribution, clustering coefficient,
+// transitivity — the network-analysis metrics the paper's introduction
+// motivates triangulation with.
+#ifndef OPT_GRAPH_STATS_H_
+#define OPT_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/histogram.h"
+
+namespace opt {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  uint64_t wedge_count = 0;  // paths of length 2 (ordered centers)
+  Histogram degree_histogram;
+};
+
+/// Computes structural statistics in one pass (no triangle counting).
+GraphStats ComputeStats(const CSRGraph& g);
+
+/// Per-vertex triangle participation counts -> average local clustering
+/// coefficient (Watts–Strogatz). `triangles_per_vertex[v]` counts the
+/// triangles containing v.
+double AverageClusteringCoefficient(
+    const CSRGraph& g, const std::vector<uint64_t>& triangles_per_vertex);
+
+/// Global transitivity: 3 * #triangles / #wedges.
+double Transitivity(const CSRGraph& g, uint64_t num_triangles);
+
+/// Human-readable one-line summary.
+std::string StatsSummary(const GraphStats& stats);
+
+}  // namespace opt
+
+#endif  // OPT_GRAPH_STATS_H_

@@ -1,0 +1,17 @@
+// Amdahl's-law helpers for the Table 5 analysis.
+#ifndef OPT_HARNESS_AMDAHL_H_
+#define OPT_HARNESS_AMDAHL_H_
+
+namespace opt {
+
+/// Upper-bound speed-up with parallel fraction p on c cores:
+/// 1 / ((1-p) + p/c).
+inline double AmdahlUpperBound(double parallel_fraction, unsigned cores) {
+  if (cores == 0) return 0.0;
+  const double p = parallel_fraction;
+  return 1.0 / ((1.0 - p) + p / static_cast<double>(cores));
+}
+
+}  // namespace opt
+
+#endif  // OPT_HARNESS_AMDAHL_H_

@@ -1,0 +1,50 @@
+// Synthetic stand-ins for the paper's datasets (Table 2). The real
+// LJ/ORKUT/TWITTER/UK/YAHOO graphs are multi-GB downloads unavailable
+// offline; these generators reproduce the *structural* contrasts that
+// drive the evaluation — social-network skew (LJ/ORKUT), heavy-tailed
+// hub structure at scale (TWITTER), a sparser web-like graph (UK), and a
+// very sparse billion-vertex-class graph (YAHOO) — at a size scaled by
+// `scale_shift`. See DESIGN.md §3 for the substitution rationale.
+#ifndef OPT_HARNESS_DATASETS_H_
+#define OPT_HARNESS_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+
+namespace opt {
+
+struct DatasetSpec {
+  std::string name;        // e.g. "LJ(synth)"
+  std::string paper_name;  // e.g. "LJ"
+  uint32_t scale;          // log2 |V| after applying the shift
+  uint32_t edge_factor;
+  double rmat_a, rmat_b, rmat_c;  // skew profile (d = 1-a-b-c)
+  uint64_t seed;
+};
+
+/// The five stand-ins. `scale_shift` subtracts from each dataset's
+/// default scale (larger shift = smaller graphs; default sizes suit CI).
+std::vector<DatasetSpec> PaperDatasets(int scale_shift = 0);
+
+/// Generates the graph for a spec with the degree-ordering heuristic
+/// applied (as all paper experiments do; §5.1).
+CSRGraph BuildDataset(const DatasetSpec& spec);
+
+/// Generates, degree-orders, and materializes a dataset as a GraphStore
+/// under `work_dir`. Returns the opened store.
+Result<std::unique_ptr<GraphStore>> MaterializeDataset(
+    const DatasetSpec& spec, Env* env, const std::string& work_dir,
+    uint32_t page_size, CSRGraph* graph_out = nullptr);
+
+/// Buffer budget in pages for "x% of the graph size" (the paper's
+/// memory-buffer axis; §5.3/5.5).
+uint32_t PagesForBufferPercent(const GraphStore& store, double percent);
+
+}  // namespace opt
+
+#endif  // OPT_HARNESS_DATASETS_H_

@@ -1,0 +1,50 @@
+#include "storage/async_io.h"
+
+#include <cassert>
+#include <utility>
+
+namespace opt {
+
+AsyncIoEngine::AsyncIoEngine(uint32_t num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  workers_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncIoEngine::~AsyncIoEngine() {
+  submissions_.Close();
+  for (auto& w : workers_) w.join();
+}
+
+void AsyncIoEngine::Submit(ReadRequest request) {
+  assert(request.file != nullptr);
+  assert(request.frames.size() == request.page_count);
+  assert(request.completion_queue != nullptr);
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  submissions_.Push(std::move(request));
+}
+
+void AsyncIoEngine::WorkerLoop() {
+  for (;;) {
+    auto item = submissions_.Pop();
+    if (!item.has_value()) return;  // engine shutting down
+    ReadRequest request = std::move(*item);
+    Status status;
+    for (uint32_t i = 0; i < request.page_count && status.ok(); ++i) {
+      status = request.file->ReadPage(request.first_pid + i,
+                                      request.frames[i]->data);
+      if (status.ok()) {
+        stats_.pages_read.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.read_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    auto callback = std::move(request.callback);
+    request.completion_queue->Push(
+        [callback = std::move(callback), status]() { callback(status); });
+  }
+}
+
+}  // namespace opt

@@ -1,0 +1,112 @@
+// Asynchronous page-read engine — the paper's AsyncRead(pid, Callback,
+// Args) primitive (§3.2). A pool of I/O worker threads emulates the
+// FlashSSD's internal parallelism (queue depth); on completion of a read
+// the engine enqueues the registered callback on a *completion queue*
+// that the framework's callback thread drains. Decoupling completion
+// delivery (a queue) from callback execution (whoever pops) is what makes
+// the paper's thread morphing possible: when the main thread runs out of
+// internal work it simply starts popping completions too.
+#ifndef OPT_STORAGE_ASYNC_IO_H_
+#define OPT_STORAGE_ASYNC_IO_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "util/blocking_queue.h"
+#include "util/status.h"
+
+namespace opt {
+
+/// Counts in-flight operations; Wait() returns when the count drops to
+/// zero. Callbacks may Add() more work before their own Done() (the
+/// chained reads of Algorithm 9), so the count can rise and fall freely.
+class CompletionGroup {
+ public:
+  void Add(uint32_t n = 1) {
+    count_.fetch_add(n, std::memory_order_acq_rel);
+  }
+
+  void Done() {
+    if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_.notify_all();
+    }
+  }
+
+  bool Finished() const {
+    return count_.load(std::memory_order_acquire) == 0;
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return Finished(); });
+  }
+
+ private:
+  std::atomic<uint32_t> count_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// A unit of post-I/O work, executed by whoever drains the queue.
+using CompletionTask = std::function<void()>;
+using CompletionQueue = BlockingQueue<CompletionTask>;
+
+/// A read of `page_count` consecutive pages starting at `first_pid`, each
+/// into its own (already pinned) frame. Multi-page requests carry an
+/// adjacency list that spans pages.
+struct ReadRequest {
+  PageFile* file = nullptr;
+  uint32_t first_pid = 0;
+  uint32_t page_count = 1;
+  std::vector<Frame*> frames;  // page_count entries, pre-pinned
+  /// Runs on a completion-queue drainer after all pages are read.
+  std::function<void(const Status&)> callback;
+  CompletionQueue* completion_queue = nullptr;
+};
+
+struct AsyncIoStats {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> pages_read{0};
+  std::atomic<uint64_t> read_errors{0};
+  void Reset() {
+    requests = 0;
+    pages_read = 0;
+    read_errors = 0;
+  }
+};
+
+class AsyncIoEngine {
+ public:
+  /// `num_workers` concurrent I/O threads (the emulated SSD queue depth).
+  explicit AsyncIoEngine(uint32_t num_workers);
+  ~AsyncIoEngine();
+
+  AsyncIoEngine(const AsyncIoEngine&) = delete;
+  AsyncIoEngine& operator=(const AsyncIoEngine&) = delete;
+
+  /// Submits an asynchronous read. On completion, pushes a task invoking
+  /// request.callback(status) onto request.completion_queue.
+  void Submit(ReadRequest request);
+
+  AsyncIoStats& stats() { return stats_; }
+  uint32_t num_workers() const { return static_cast<uint32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  BlockingQueue<ReadRequest> submissions_;
+  std::vector<std::thread> workers_;
+  AsyncIoStats stats_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_STORAGE_ASYNC_IO_H_

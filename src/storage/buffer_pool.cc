@@ -1,0 +1,123 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace opt {
+
+BufferPool::BufferPool(uint32_t page_size, uint32_t num_frames)
+    : page_size_(page_size), num_frames_(0) {
+  EnsureFrames(num_frames);
+}
+
+BufferPool::~BufferPool() = default;
+
+void BufferPool::EnsureFrames(uint32_t min_frames) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (min_frames <= num_frames_) return;
+  const uint32_t add = min_frames - num_frames_;
+  // Frames are page-aligned so O_DIRECT file implementations can read
+  // straight into them.
+  arena_blocks_.emplace_back(static_cast<size_t>(page_size_) * add, 4096);
+  char* block = arena_blocks_.back().data();
+  for (uint32_t i = 0; i < add; ++i) {
+    frames_.emplace_back();
+    frames_.back().data = block + static_cast<size_t>(i) * page_size_;
+    free_frames_.push_back(num_frames_ + i);
+  }
+  num_frames_ = min_frames;
+}
+
+void BufferPool::TouchLru(uint32_t pid) {
+  auto it = lru_pos_.find(pid);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_back(pid);
+  lru_pos_[pid] = std::prev(lru_.end());
+}
+
+Frame* BufferPool::LookupAndPin(uint32_t pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  auto it = page_table_.find(pid);
+  if (it == page_table_.end()) return nullptr;
+  Frame& frame = frames_[it->second];
+  if (!frame.valid) return nullptr;  // read still in flight elsewhere
+  ++frame.pins;
+  TouchLru(pid);
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  return &frame;
+}
+
+Result<Frame*> BufferPool::AllocateForRead(uint32_t pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+  uint32_t frame_index;
+  if (!free_frames_.empty()) {
+    frame_index = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    // Evict the coldest unpinned page.
+    bool found = false;
+    for (auto lru_it = lru_.begin(); lru_it != lru_.end(); ++lru_it) {
+      const uint32_t victim_pid = *lru_it;
+      const uint32_t victim_index = page_table_.at(victim_pid);
+      if (frames_[victim_index].pins == 0) {
+        lru_.erase(lru_it);
+        lru_pos_.erase(victim_pid);
+        page_table_.erase(victim_pid);
+        frame_index = victim_index;
+        found = true;
+        stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (!found) {
+      return Status::ResourceExhausted(
+          "buffer pool: all " + std::to_string(num_frames_) +
+          " frames pinned");
+    }
+  }
+  Frame& frame = frames_[frame_index];
+  frame.pid = pid;
+  frame.pins = 1;
+  frame.valid = false;
+  page_table_[pid] = frame_index;
+  TouchLru(pid);
+  return &frame;
+}
+
+void BufferPool::MarkValid(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frame->valid = true;
+}
+
+void BufferPool::Pin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++frame->pins;
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(frame->pins > 0);
+  --frame->pins;
+}
+
+void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = page_table_.begin(); it != page_table_.end();) {
+    Frame& frame = frames_[it->second];
+    if (frame.pins == 0) {
+      auto pos = lru_pos_.find(it->first);
+      if (pos != lru_pos_.end()) {
+        lru_.erase(pos->second);
+        lru_pos_.erase(pos);
+      }
+      frame.valid = false;
+      free_frames_.push_back(it->second);
+      it = page_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace opt

@@ -1,0 +1,169 @@
+// External merge sort over fixed-size POD records — the out-of-core
+// preprocessing substrate for building graph stores from edge lists
+// that exceed memory. Run generation under a byte budget, then a k-way
+// heap merge streaming to a consumer.
+#ifndef OPT_STORAGE_EXTERNAL_SORT_H_
+#define OPT_STORAGE_EXTERNAL_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace opt {
+
+template <typename Record>
+class ExternalSorter {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "records must be PODs");
+
+ public:
+  /// Spills sorted runs under `temp_dir` once the in-memory buffer
+  /// exceeds `memory_budget_bytes` (minimum one record).
+  ExternalSorter(Env* env, std::string temp_dir, std::string run_prefix,
+                 size_t memory_budget_bytes)
+      : env_(env), temp_dir_(std::move(temp_dir)),
+        run_prefix_(std::move(run_prefix)) {
+    capacity_ = std::max<size_t>(1, memory_budget_bytes / sizeof(Record));
+    buffer_.reserve(std::min<size_t>(capacity_, 1 << 20));
+  }
+
+  ~ExternalSorter() { CleanupRuns(); }
+
+  Status Add(const Record& record) {
+    buffer_.push_back(record);
+    ++total_records_;
+    if (buffer_.size() >= capacity_) return SpillRun();
+    return Status::OK();
+  }
+
+  uint64_t total_records() const { return total_records_; }
+  size_t num_runs() const { return runs_.size(); }
+
+  /// Streams all records in sorted order. The sorter cannot be reused.
+  Status Merge(const std::function<Status(const Record&)>& consume) {
+    std::sort(buffer_.begin(), buffer_.end());
+    if (runs_.empty()) {
+      for (const Record& r : buffer_) OPT_RETURN_IF_ERROR(consume(r));
+      buffer_.clear();
+      return Status::OK();
+    }
+
+    // One buffered cursor per run, plus the in-memory tail as a
+    // virtual run.
+    struct Cursor {
+      std::unique_ptr<RandomAccessFile> file;
+      uint64_t file_records = 0;
+      uint64_t next_index = 0;
+      std::vector<Record> block;
+      size_t block_pos = 0;
+
+      bool exhausted() const {
+        return next_index >= file_records && block_pos >= block.size();
+      }
+    };
+    std::vector<Cursor> cursors(runs_.size());
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      OPT_ASSIGN_OR_RETURN(cursors[i].file,
+                           env_->OpenRandomAccess(runs_[i].path));
+      cursors[i].file_records = runs_[i].records;
+    }
+    constexpr size_t kBlockRecords = 4096;
+    auto refill = [&](Cursor& c) -> Status {
+      if (c.block_pos < c.block.size() || c.next_index >= c.file_records) {
+        return Status::OK();
+      }
+      const size_t take = static_cast<size_t>(std::min<uint64_t>(
+          kBlockRecords, c.file_records - c.next_index));
+      c.block.resize(take);
+      OPT_RETURN_IF_ERROR(c.file->Read(c.next_index * sizeof(Record),
+                                       take * sizeof(Record),
+                                       reinterpret_cast<char*>(
+                                           c.block.data())));
+      c.next_index += take;
+      c.block_pos = 0;
+      return Status::OK();
+    };
+
+    using HeapItem = std::pair<Record, size_t>;  // record, cursor index
+    auto greater = [](const HeapItem& a, const HeapItem& b) {
+      return b.first < a.first;
+    };
+    std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(greater)>
+        heap(greater);
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      OPT_RETURN_IF_ERROR(refill(cursors[i]));
+      if (cursors[i].block_pos < cursors[i].block.size()) {
+        heap.emplace(cursors[i].block[cursors[i].block_pos++], i);
+      }
+    }
+    const size_t kMemoryRun = cursors.size();
+    size_t memory_pos = 0;
+    if (memory_pos < buffer_.size()) {
+      heap.emplace(buffer_[memory_pos++], kMemoryRun);
+    }
+    while (!heap.empty()) {
+      auto [record, source] = heap.top();
+      heap.pop();
+      OPT_RETURN_IF_ERROR(consume(record));
+      if (source == kMemoryRun) {
+        if (memory_pos < buffer_.size()) {
+          heap.emplace(buffer_[memory_pos++], kMemoryRun);
+        }
+      } else {
+        Cursor& c = cursors[source];
+        OPT_RETURN_IF_ERROR(refill(c));
+        if (c.block_pos < c.block.size()) {
+          heap.emplace(c.block[c.block_pos++], source);
+        }
+      }
+    }
+    buffer_.clear();
+    CleanupRuns();
+    return Status::OK();
+  }
+
+ private:
+  struct Run {
+    std::string path;
+    uint64_t records;
+  };
+
+  Status SpillRun() {
+    std::sort(buffer_.begin(), buffer_.end());
+    const std::string path = temp_dir_ + "/" + run_prefix_ + "_run" +
+                             std::to_string(runs_.size());
+    OPT_ASSIGN_OR_RETURN(auto file, env_->OpenWritable(path));
+    OPT_RETURN_IF_ERROR(file->Append(
+        Slice(reinterpret_cast<const char*>(buffer_.data()),
+              buffer_.size() * sizeof(Record))));
+    OPT_RETURN_IF_ERROR(file->Close());
+    runs_.push_back({path, buffer_.size()});
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  void CleanupRuns() {
+    for (const Run& run : runs_) (void)env_->DeleteFile(run.path);
+    runs_.clear();
+  }
+
+  Env* env_;
+  std::string temp_dir_;
+  std::string run_prefix_;
+  size_t capacity_;
+  std::vector<Record> buffer_;
+  std::vector<Run> runs_;
+  uint64_t total_records_ = 0;
+};
+
+}  // namespace opt
+
+#endif  // OPT_STORAGE_EXTERNAL_SORT_H_

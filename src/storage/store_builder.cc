@@ -1,0 +1,220 @@
+#include "storage/store_builder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "storage/external_sort.h"
+
+namespace opt {
+
+namespace {
+
+/// One direction of an undirected edge; sorting by (src, dst) groups
+/// adjacency lists.
+struct DirectedEdge {
+  VertexId src;
+  VertexId dst;
+  bool operator<(const DirectedEdge& o) const {
+    if (src != o.src) return src < o.src;
+    return dst < o.dst;
+  }
+};
+
+/// Streams deduplicated, grouped records out of a sorted edge stream.
+class RecordAssembler {
+ public:
+  RecordAssembler(GraphStoreWriter* writer, StoreBuildStats* stats)
+      : writer_(writer), stats_(stats) {}
+
+  Status Consume(const DirectedEdge& edge) {
+    if (edge.src == current_ && !neighbors_.empty() &&
+        neighbors_.back() == edge.dst) {
+      ++stats_->duplicates;
+      return Status::OK();
+    }
+    if (edge.src != current_) {
+      OPT_RETURN_IF_ERROR(Flush());
+      current_ = edge.src;
+    }
+    neighbors_.push_back(edge.dst);
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (current_ == kInvalidVertex) return Status::OK();
+    OPT_RETURN_IF_ERROR(writer_->AddRecord(current_, neighbors_));
+    neighbors_.clear();
+    current_ = kInvalidVertex;
+    return Status::OK();
+  }
+
+ private:
+  GraphStoreWriter* writer_;
+  StoreBuildStats* stats_;
+  VertexId current_ = kInvalidVertex;
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace
+
+Result<StoreBuildStats> BuildStoreFromEdgeList(
+    Env* env, const std::string& edge_list_path,
+    const std::string& base_path, const StoreBuildOptions& options) {
+  StoreBuildStats stats;
+
+  // ----- Pass A: parse the text list into an external sorter ---------
+  ExternalSorter<DirectedEdge> sorter(env, options.temp_dir, "store_build",
+                                      options.memory_budget_bytes);
+  VertexId max_id = 0;
+  {
+    std::FILE* f = std::fopen(edge_list_path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IOError("cannot open " + edge_list_path);
+    }
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+      unsigned long long u, v;
+      if (std::sscanf(line, "%llu %llu", &u, &v) != 2) {
+        std::fclose(f);
+        return Status::Corruption("malformed edge list line: " +
+                                  std::string(line));
+      }
+      ++stats.input_edges;
+      if (u == v) {
+        ++stats.self_loops;
+        continue;
+      }
+      if (u >= kInvalidVertex || v >= kInvalidVertex) {
+        std::fclose(f);
+        return Status::OutOfRange("vertex id exceeds 32-bit range");
+      }
+      const auto a = static_cast<VertexId>(u);
+      const auto b = static_cast<VertexId>(v);
+      max_id = std::max({max_id, a, b});
+      Status s = sorter.Add({a, b});
+      if (s.ok()) s = sorter.Add({b, a});
+      if (!s.ok()) {
+        std::fclose(f);
+        return s;
+      }
+    }
+    std::fclose(f);
+  }
+  if (sorter.total_records() == 0) {
+    // Empty graph: still produce a valid (empty) store.
+    OPT_ASSIGN_OR_RETURN(auto writer, GraphStoreWriter::Create(
+                                          env, base_path,
+                                          {.page_size = options.page_size}));
+    OPT_RETURN_IF_ERROR(writer->Finish());
+    return stats;
+  }
+  stats.num_vertices = max_id + 1;
+
+  GraphStoreOptions store_options;
+  store_options.page_size = options.page_size;
+
+  if (!options.degree_order) {
+    // ----- Single merge: dedup + group + stream into the writer ------
+    stats.sort_runs = static_cast<uint32_t>(sorter.num_runs());
+    OPT_ASSIGN_OR_RETURN(
+        auto writer, GraphStoreWriter::Create(env, base_path, store_options));
+    RecordAssembler assembler(writer.get(), &stats);
+    OPT_RETURN_IF_ERROR(sorter.Merge([&](const DirectedEdge& e) {
+      return assembler.Consume(e);
+    }));
+    OPT_RETURN_IF_ERROR(assembler.Flush());
+    OPT_RETURN_IF_ERROR(writer->Finish());
+    OPT_ASSIGN_OR_RETURN(auto reopened, GraphStore::Open(env, base_path));
+    stats.kept_edges = reopened->num_directed_edges() / 2;
+    return stats;
+  }
+
+  // ----- Degree-order path -------------------------------------------
+  // Merge pass 1: dedup, compute degrees (O(|V|) memory), and spool the
+  // deduplicated directed edges to a temp file for the remap pass.
+  std::vector<uint32_t> degrees(stats.num_vertices, 0);
+  const std::string dedup_path = options.temp_dir + "/store_build_dedup";
+  {
+    OPT_ASSIGN_OR_RETURN(auto spool, env->OpenWritable(dedup_path));
+    DirectedEdge previous{kInvalidVertex, kInvalidVertex};
+    std::vector<DirectedEdge> block;
+    block.reserve(1 << 14);
+    auto flush_block = [&]() -> Status {
+      if (block.empty()) return Status::OK();
+      OPT_RETURN_IF_ERROR(spool->Append(
+          Slice(reinterpret_cast<const char*>(block.data()),
+                block.size() * sizeof(DirectedEdge))));
+      block.clear();
+      return Status::OK();
+    };
+    stats.sort_runs = static_cast<uint32_t>(sorter.num_runs());
+    OPT_RETURN_IF_ERROR(sorter.Merge([&](const DirectedEdge& e) -> Status {
+      if (e.src == previous.src && e.dst == previous.dst) {
+        ++stats.duplicates;
+        return Status::OK();
+      }
+      previous = e;
+      ++degrees[e.src];
+      block.push_back(e);
+      if (block.size() == block.capacity()) return flush_block();
+      return Status::OK();
+    }));
+    OPT_RETURN_IF_ERROR(flush_block());
+    OPT_RETURN_IF_ERROR(spool->Close());
+  }
+
+  // Rank vertices by (degree, old id) — ids ascend with degree (§2.2).
+  std::vector<VertexId> by_degree(stats.num_vertices);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](VertexId a, VertexId b) {
+                     return degrees[a] < degrees[b];
+                   });
+  std::vector<VertexId> old_to_new(stats.num_vertices);
+  for (VertexId rank = 0; rank < stats.num_vertices; ++rank) {
+    old_to_new[by_degree[rank]] = rank;
+  }
+
+  // Merge pass 2: remap ids, re-sort externally, stream into the store.
+  ExternalSorter<DirectedEdge> remapped(env, options.temp_dir,
+                                        "store_build2",
+                                        options.memory_budget_bytes);
+  {
+    OPT_ASSIGN_OR_RETURN(auto spool, env->OpenRandomAccess(dedup_path));
+    OPT_ASSIGN_OR_RETURN(uint64_t bytes, env->FileSize(dedup_path));
+    const uint64_t records = bytes / sizeof(DirectedEdge);
+    constexpr uint64_t kBlock = 1 << 14;
+    std::vector<DirectedEdge> block;
+    for (uint64_t pos = 0; pos < records; pos += kBlock) {
+      const auto take =
+          static_cast<size_t>(std::min<uint64_t>(kBlock, records - pos));
+      block.resize(take);
+      OPT_RETURN_IF_ERROR(
+          spool->Read(pos * sizeof(DirectedEdge),
+                      take * sizeof(DirectedEdge),
+                      reinterpret_cast<char*>(block.data())));
+      for (const DirectedEdge& e : block) {
+        OPT_RETURN_IF_ERROR(
+            remapped.Add({old_to_new[e.src], old_to_new[e.dst]}));
+      }
+    }
+  }
+  (void)env->DeleteFile(dedup_path);
+  stats.sort_runs += static_cast<uint32_t>(remapped.num_runs());
+
+  OPT_ASSIGN_OR_RETURN(
+      auto writer, GraphStoreWriter::Create(env, base_path, store_options));
+  RecordAssembler assembler(writer.get(), &stats);
+  OPT_RETURN_IF_ERROR(remapped.Merge(
+      [&](const DirectedEdge& e) { return assembler.Consume(e); }));
+  OPT_RETURN_IF_ERROR(assembler.Flush());
+  OPT_RETURN_IF_ERROR(writer->Finish());
+  OPT_ASSIGN_OR_RETURN(auto reopened, GraphStore::Open(env, base_path));
+  stats.kept_edges = reopened->num_directed_edges() / 2;
+  return stats;
+}
+
+}  // namespace opt

@@ -1,0 +1,46 @@
+// Out-of-core GraphStore construction from raw edge lists. Never holds
+// the edge set in memory: edges stream through an external sorter into
+// the streaming GraphStoreWriter; only O(|V|) state (degrees, id map)
+// is resident. This is the preprocessing path for graphs at the
+// paper's billion-edge scale ("billion-scale web graphs can easily be
+// obtained by ordinary users", §1).
+#ifndef OPT_STORAGE_STORE_BUILDER_H_
+#define OPT_STORAGE_STORE_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/env.h"
+#include "storage/graph_store.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct StoreBuildOptions {
+  uint32_t page_size = kDefaultPageSize;
+  /// Apply the Schank–Wagner degree-ordering heuristic (adds a second
+  /// external sorting pass; degrees themselves are computed streaming).
+  bool degree_order = true;
+  /// In-memory budget for sort runs (per pass).
+  size_t memory_budget_bytes = 64u << 20;
+  std::string temp_dir = "/tmp";
+};
+
+struct StoreBuildStats {
+  uint64_t input_edges = 0;      // lines parsed (pre-dedup, pre-loop drop)
+  uint64_t kept_edges = 0;       // distinct undirected edges
+  uint64_t self_loops = 0;
+  uint64_t duplicates = 0;
+  VertexId num_vertices = 0;
+  uint32_t sort_runs = 0;        // spilled runs across both passes
+};
+
+/// Builds `<base_path>.pages/.meta` from a text edge list ("u v" per
+/// line, '#'/'%' comments).
+Result<StoreBuildStats> BuildStoreFromEdgeList(
+    Env* env, const std::string& edge_list_path,
+    const std::string& base_path, const StoreBuildOptions& options = {});
+
+}  // namespace opt
+
+#endif  // OPT_STORAGE_STORE_BUILDER_H_

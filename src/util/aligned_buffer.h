@@ -1,0 +1,54 @@
+// Page-aligned heap buffer, required for O_DIRECT reads and used for
+// all page arenas so any Env can fill them.
+#ifndef OPT_UTIL_ALIGNED_BUFFER_H_
+#define OPT_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace opt {
+
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  /// Allocates `size` bytes aligned to `alignment` (which must be a
+  /// power of two; the size is rounded up to a multiple of it).
+  explicit AlignedBuffer(size_t size, size_t alignment = 4096) {
+    const size_t rounded = (size + alignment - 1) / alignment * alignment;
+    data_ = static_cast<char*>(std::aligned_alloc(alignment, rounded));
+    size_ = rounded;
+  }
+
+  ~AlignedBuffer() { std::free(data_); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_ALIGNED_BUFFER_H_

@@ -1,0 +1,58 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace opt {
+
+Result<CommandLine> CommandLine::Parse(int argc, char** argv) {
+  CommandLine cl;
+  cl.program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      cl.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      cl.flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      cl.flags_[arg] = argv[++i];
+    } else {
+      cl.flags_[arg] = "true";
+    }
+  }
+  return cl;
+}
+
+bool CommandLine::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CommandLine::GetString(const std::string& name,
+                                   const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t CommandLine::GetInt(const std::string& name, int64_t def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CommandLine::GetBool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace opt

@@ -1,0 +1,39 @@
+// Tiny --flag=value / --flag value command-line parser used by the tools,
+// examples, and bench binaries.
+#ifndef OPT_UTIL_CLI_H_
+#define OPT_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace opt {
+
+class CommandLine {
+ public:
+  /// Parses argv. Flags take the form --name=value, --name value, or
+  /// --name (boolean true). Everything else becomes a positional argument.
+  static Result<CommandLine> Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_CLI_H_

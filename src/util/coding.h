@@ -1,0 +1,32 @@
+// Little-endian fixed-width integer encoding for the on-disk page format.
+#ifndef OPT_UTIL_CODING_H_
+#define OPT_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace opt {
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));  // little-endian hosts only
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_CODING_H_

@@ -1,0 +1,17 @@
+// CRC-32C (Castagnoli) checksum protecting on-disk pages against
+// corruption, verified on every page read.
+#ifndef OPT_UTIL_CRC32_H_
+#define OPT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace opt {
+
+/// Computes CRC-32C of `data[0..n)` with an initial value of `crc`
+/// (pass 0 for a fresh checksum).
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_CRC32_H_

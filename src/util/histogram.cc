@@ -1,0 +1,96 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace opt {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+namespace {
+int BucketOf(uint64_t value) {
+  if (value <= 1) return 0;
+  return 64 - std::countl_zero(value) - 1;
+}
+
+uint64_t BucketLow(int b) { return b == 0 ? 0 : (1ULL << b); }
+uint64_t BucketHigh(int b) { return b >= 63 ? ~0ULL : (1ULL << (b + 1)); }
+}  // namespace
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketOf(value)]++;
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double next = seen + static_cast<double>(buckets_[b]);
+    if (next >= target) {
+      const double frac =
+          buckets_[b] == 0 ? 0.0 : (target - seen) / buckets_[b];
+      const double lo = static_cast<double>(BucketLow(b));
+      const double hi = static_cast<double>(BucketHigh(b));
+      return lo + frac * (hi - lo);
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "count=%llu mean=%.2f min=%llu max=%llu\n",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max_));
+  out += line;
+  uint64_t largest = 1;
+  for (int b = 0; b < kNumBuckets; ++b) largest = std::max(largest, buckets_[b]);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const int bar =
+        static_cast<int>(40.0 * static_cast<double>(buckets_[b]) /
+                         static_cast<double>(largest));
+    std::snprintf(line, sizeof(line), "[%12llu, %12llu) %10llu %s\n",
+                  static_cast<unsigned long long>(BucketLow(b)),
+                  static_cast<unsigned long long>(BucketHigh(b)),
+                  static_cast<unsigned long long>(buckets_[b]),
+                  std::string(static_cast<size_t>(bar), '#').c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace opt

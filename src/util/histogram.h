@@ -1,0 +1,46 @@
+// Power-of-two bucketed histogram for degree distributions and latency
+// profiles reported by the harness.
+#ifndef OPT_UTIL_HISTOGRAM_H_
+#define OPT_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opt {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  /// Approximate p-quantile (q in [0,1]) assuming uniform density within a
+  /// bucket.
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering: one row per non-empty bucket with a bar.
+  std::string ToString() const;
+
+  /// Number of power-of-two buckets (bucket b covers [2^b, 2^(b+1)) except
+  /// bucket 0 which covers {0, 1}).
+  static constexpr int kNumBuckets = 64;
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_HISTOGRAM_H_

@@ -1,0 +1,60 @@
+// Minimal leveled logger writing to stderr. Thread safe.
+#ifndef OPT_UTIL_LOGGING_H_
+#define OPT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace opt {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  void operator&(LogStream&) {}
+};
+
+}  // namespace internal
+}  // namespace opt
+
+#define OPT_LOG(level)                                                     \
+  (static_cast<int>(::opt::LogLevel::k##level) <                           \
+   static_cast<int>(::opt::GetLogLevel()))                                 \
+      ? (void)0                                                            \
+      : ::opt::internal::LogVoidify() &                                    \
+            ::opt::internal::LogStream(::opt::LogLevel::k##level,          \
+                                       __FILE__, __LINE__)
+
+#define OPT_CHECK(cond)                                                    \
+  if (!(cond))                                                             \
+  ::opt::internal::LogStream(::opt::LogLevel::kError, __FILE__, __LINE__)  \
+      << "CHECK failed: " #cond " "
+
+#endif  // OPT_UTIL_LOGGING_H_

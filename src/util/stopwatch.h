@@ -1,0 +1,55 @@
+// Wall-clock stopwatch used by the experiment harness.
+#ifndef OPT_UTIL_STOPWATCH_H_
+#define OPT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace opt {
+
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall-clock time over multiple start/stop intervals; used to
+/// attribute per-iteration time to the main and callback thread roles
+/// (Figure 4 instrumentation).
+class TimeAccumulator {
+ public:
+  void Start() { watch_.Restart(); running_ = true; }
+  void Stop() {
+    if (running_) {
+      total_ += watch_.ElapsedSeconds();
+      running_ = false;
+    }
+  }
+  void Reset() { total_ = 0.0; running_ = false; }
+  double TotalSeconds() const { return total_; }
+
+ private:
+  Stopwatch watch_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_STOPWATCH_H_

@@ -1,0 +1,37 @@
+// Aligned ASCII table rendering used by every bench binary to print
+// paper-style tables and figure series.
+#ifndef OPT_UTIL_TABLE_PRINTER_H_
+#define OPT_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opt {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience formatters.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int64_t v);
+
+  /// Renders the table with a header rule and column alignment.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_TABLE_PRINTER_H_

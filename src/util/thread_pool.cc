@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <cassert>
+
+namespace opt {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(!shutdown_);
+    tasks_.push(std::move(task));
+    ++outstanding_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --outstanding_;
+      if (outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(size_t begin, size_t end, size_t num_threads,
+                 const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  if (num_threads > n) num_threads = n;
+  std::atomic<size_t> cursor{begin};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  auto body = [&] {
+    for (;;) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      fn(i);
+    }
+  };
+  for (size_t t = 1; t < num_threads; ++t) workers.emplace_back(body);
+  body();
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace opt

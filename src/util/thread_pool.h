@@ -1,0 +1,55 @@
+// A fixed-size worker pool with a parallel-for helper. OPT's page-parallel
+// internal triangulation (Algorithm 5) runs on this pool; the paper used
+// OpenMP, which we do not assume to be available.
+#ifndef OPT_UTIL_THREAD_POOL_H_
+#define OPT_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace opt {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across `num_threads` threads using a
+/// shared atomic cursor (dynamic scheduling, like `omp for schedule(dynamic)`).
+/// With num_threads <= 1 runs inline.
+void ParallelFor(size_t begin, size_t end, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_THREAD_POOL_H_

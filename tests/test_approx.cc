@@ -1,0 +1,89 @@
+// Statistical tests for the approximate counting baselines (Doulion,
+// wedge sampling): unbiasedness within tolerance, degenerate inputs,
+// determinism per seed.
+#include <gtest/gtest.h>
+
+#include "baselines/approx.h"
+#include "gen/erdos_renyi.h"
+#include "gen/holme_kim.h"
+#include "graph/builder.h"
+#include "test_helpers.h"
+
+namespace opt {
+namespace {
+
+TEST(DoulionTest, KeepAllIsExact) {
+  CSRGraph g = GenerateErdosRenyi(300, 3000, 5);
+  ApproxResult result = DoulionEstimate(g, 1.0, 1);
+  EXPECT_DOUBLE_EQ(result.estimate,
+                   static_cast<double>(testutil::OracleCount(g)));
+  EXPECT_EQ(result.work, g.num_edges());
+}
+
+TEST(DoulionTest, EstimateWithinToleranceAveragedOverSeeds) {
+  CSRGraph g = GenerateHolmeKim({.num_vertices = 2000,
+                                 .edges_per_vertex = 6,
+                                 .triad_probability = 0.6,
+                                 .seed = 11});
+  const double exact = static_cast<double>(testutil::OracleCount(g));
+  double sum = 0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    sum += DoulionEstimate(g, 0.5, 100 + t).estimate;
+  }
+  const double mean = sum / kTrials;
+  EXPECT_NEAR(mean / exact, 1.0, 0.15);
+}
+
+TEST(DoulionTest, SparsificationReducesWork) {
+  CSRGraph g = GenerateErdosRenyi(500, 8000, 6);
+  ApproxResult full = DoulionEstimate(g, 1.0, 2);
+  ApproxResult sparse = DoulionEstimate(g, 0.25, 2);
+  EXPECT_LT(sparse.work, full.work / 2);
+}
+
+TEST(DoulionTest, EmptyGraph) {
+  CSRGraph g = GraphBuilder::FromEdges({});
+  EXPECT_DOUBLE_EQ(DoulionEstimate(g, 0.5, 1).estimate, 0.0);
+}
+
+TEST(WedgeSamplingTest, EstimateWithinTolerance) {
+  CSRGraph g = GenerateHolmeKim({.num_vertices = 2000,
+                                 .edges_per_vertex = 6,
+                                 .triad_probability = 0.6,
+                                 .seed = 13});
+  const double exact = static_cast<double>(testutil::OracleCount(g));
+  ApproxResult result = WedgeSamplingEstimate(g, 200000, 7);
+  EXPECT_NEAR(result.estimate / exact, 1.0, 0.1);
+}
+
+TEST(WedgeSamplingTest, ExactOnTriangle) {
+  CSRGraph g = GraphBuilder::FromEdges({{0, 1}, {1, 2}, {0, 2}});
+  // Every wedge is closed, so any sample size gives exactly 1.
+  ApproxResult result = WedgeSamplingEstimate(g, 100, 3);
+  EXPECT_DOUBLE_EQ(result.estimate, 1.0);
+}
+
+TEST(WedgeSamplingTest, ZeroOnTriangleFree) {
+  GraphBuilder b;
+  for (VertexId v = 0; v + 1 < 50; ++v) b.AddEdge(v, v + 1);
+  ApproxResult result =
+      WedgeSamplingEstimate(std::move(b).Build(), 1000, 4);
+  EXPECT_DOUBLE_EQ(result.estimate, 0.0);
+}
+
+TEST(WedgeSamplingTest, NoWedgesNoCrash) {
+  CSRGraph g = GraphBuilder::FromEdges({{0, 1}});  // single edge
+  EXPECT_DOUBLE_EQ(WedgeSamplingEstimate(g, 100, 1).estimate, 0.0);
+}
+
+TEST(ApproxTest, DeterministicPerSeed) {
+  CSRGraph g = GenerateErdosRenyi(400, 5000, 9);
+  EXPECT_DOUBLE_EQ(DoulionEstimate(g, 0.3, 42).estimate,
+                   DoulionEstimate(g, 0.3, 42).estimate);
+  EXPECT_DOUBLE_EQ(WedgeSamplingEstimate(g, 5000, 42).estimate,
+                   WedgeSamplingEstimate(g, 5000, 42).estimate);
+}
+
+}  // namespace
+}  // namespace opt

@@ -1,0 +1,279 @@
+// Tests for all baselines: in-memory VI/EI vs brute force, AYZ counting,
+// MGT, CC-Seq, CC-DS, and GraphChi-Tri vs the oracle.
+#include <gtest/gtest.h>
+
+#include "baselines/ayz.h"
+#include "baselines/cc.h"
+#include "baselines/graphchi_tri.h"
+#include "baselines/inmemory.h"
+#include "baselines/mgt.h"
+#include "gen/erdos_renyi.h"
+#include "gen/holme_kim.h"
+#include "gen/rmat.h"
+#include "graph/builder.h"
+#include "test_helpers.h"
+
+namespace opt {
+namespace {
+
+CSRGraph PaperGraph() {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 5);
+  b.AddEdge(2, 6);
+  b.AddEdge(2, 7);
+  b.AddEdge(3, 4);
+  b.AddEdge(3, 5);
+  b.AddEdge(4, 5);
+  b.AddEdge(5, 6);
+  b.AddEdge(6, 7);
+  return std::move(b).Build();
+}
+
+TEST(InMemoryTest, PaperGraphHasFiveTriangles) {
+  CSRGraph g = PaperGraph();
+  VectorSink sink;
+  EdgeIteratorInMemory(g, &sink);
+  auto triangles = sink.Sorted();
+  ASSERT_EQ(triangles.size(), 5u);
+  EXPECT_EQ(triangles[0], (Triangle{0, 1, 2}));  // abc
+  EXPECT_EQ(triangles[1], (Triangle{2, 3, 5}));  // cdf
+  EXPECT_EQ(triangles[2], (Triangle{2, 5, 6}));  // cfg
+  EXPECT_EQ(triangles[3], (Triangle{2, 6, 7}));  // cgh
+  EXPECT_EQ(triangles[4], (Triangle{3, 4, 5}));  // def
+}
+
+TEST(InMemoryTest, EdgeAndVertexIteratorsAgreeWithBruteForce) {
+  for (uint64_t seed : {1, 2, 3}) {
+    CSRGraph g = GenerateErdosRenyi(60, 400, seed);
+    const uint64_t brute = BruteForceTriangleCount(g);
+    CountingSink ei, vi;
+    EdgeIteratorInMemory(g, &ei);
+    VertexIteratorInMemory(g, &vi);
+    EXPECT_EQ(ei.count(), brute) << "seed " << seed;
+    EXPECT_EQ(vi.count(), brute) << "seed " << seed;
+  }
+}
+
+TEST(InMemoryTest, IteratorsEmitIdenticalTriangleSets) {
+  CSRGraph g = GenerateErdosRenyi(150, 1200, 9);
+  VectorSink ei, vi;
+  EdgeIteratorInMemory(g, &ei);
+  VertexIteratorInMemory(g, &vi);
+  EXPECT_EQ(ei.Sorted(), vi.Sorted());
+}
+
+TEST(InMemoryTest, ParallelMatchesSerial) {
+  CSRGraph g = GenerateErdosRenyi(300, 3000, 4);
+  CountingSink serial, parallel;
+  EdgeIteratorInMemory(g, &serial, 1);
+  EdgeIteratorInMemory(g, &parallel, 4);
+  EXPECT_EQ(serial.count(), parallel.count());
+}
+
+TEST(InMemoryTest, CliqueTriangleCount) {
+  // K10 has C(10,3) = 120 triangles.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId v = u + 1; v < 10; ++v) b.AddEdge(u, v);
+  }
+  CSRGraph g = std::move(b).Build();
+  CountingSink sink;
+  EdgeIteratorInMemory(g, &sink);
+  EXPECT_EQ(sink.count(), 120u);
+}
+
+TEST(AyzTest, MatchesOracleAcrossThresholds) {
+  CSRGraph g = GenerateErdosRenyi(200, 2500, 17);
+  const uint64_t oracle = testutil::OracleCount(g);
+  for (uint32_t threshold : {0u, 2u, 5u, 20u, 1000u}) {
+    EXPECT_EQ(AyzTriangleCount(g, threshold), oracle)
+        << "threshold " << threshold;
+  }
+}
+
+TEST(AyzTest, SkewedGraph) {
+  RmatOptions opts;
+  opts.scale = 10;
+  opts.edge_factor = 8;
+  opts.seed = 3;
+  CSRGraph g = GenerateRmat(opts);
+  EXPECT_EQ(AyzTriangleCount(g), testutil::OracleCount(g));
+}
+
+TEST(AyzTest, StatsPartitionTriangles) {
+  CSRGraph g = GenerateHolmeKim(
+      {.num_vertices = 1000, .edges_per_vertex = 5,
+       .triad_probability = 0.6, .seed = 8});
+  AyzStats stats;
+  const uint64_t total = AyzTriangleCount(g, 0, &stats);
+  EXPECT_EQ(total, stats.core_triangles + stats.fringe_triangles);
+  EXPECT_EQ(total, testutil::OracleCount(g));
+}
+
+TEST(MgtTest, MatchesOracle) {
+  CSRGraph g = GenerateErdosRenyi(300, 3000, 21);
+  auto store = testutil::MakeStore(g, Env::Default(), "mgt");
+  MgtOptions options;
+  options.memory_pages =
+      std::max(store->MaxRecordPages(), store->num_pages() / 5);
+  CountingSink sink;
+  MgtStats stats;
+  ASSERT_TRUE(RunMgt(store.get(), &sink, options, &stats).ok());
+  EXPECT_EQ(sink.count(), testutil::OracleCount(g));
+  EXPECT_GT(stats.iterations, 1u);
+  // Eq. 7: MGT reads roughly (1 + iterations) * P pages.
+  EXPECT_GE(stats.pages_read,
+            static_cast<uint64_t>(stats.iterations) * store->num_pages());
+}
+
+TEST(MgtTest, ExactTriangleSet) {
+  CSRGraph g = PaperGraph();
+  auto store = testutil::MakeStore(g, Env::Default(), "mgt_exact", 64);
+  MgtOptions options;
+  options.memory_pages = std::max(2u, store->MaxRecordPages());
+  VectorSink sink;
+  ASSERT_TRUE(RunMgt(store.get(), &sink, options, nullptr).ok());
+  EXPECT_EQ(sink.Sorted(), testutil::OracleTriangles(g));
+}
+
+TEST(MgtTest, SingleIterationWhenGraphFits) {
+  CSRGraph g = GenerateErdosRenyi(100, 600, 2);
+  auto store = testutil::MakeStore(g, Env::Default(), "mgt_fits");
+  MgtOptions options;
+  options.memory_pages = store->num_pages();
+  CountingSink sink;
+  MgtStats stats;
+  ASSERT_TRUE(RunMgt(store.get(), &sink, options, &stats).ok());
+  EXPECT_EQ(stats.iterations, 1u);
+  EXPECT_EQ(sink.count(), testutil::OracleCount(g));
+}
+
+TEST(CcTest, SeqMatchesOracle) {
+  CSRGraph g = GenerateErdosRenyi(250, 2500, 33);
+  auto store = testutil::MakeStore(g, Env::Default(), "cc_seq");
+  CcOptions options;
+  options.memory_pages =
+      std::max(store->MaxRecordPages(), store->num_pages() / 4);
+  options.temp_dir = testing::TempDir();
+  CountingSink sink;
+  CcStats stats;
+  ASSERT_TRUE(
+      RunChuCheng(store.get(), Env::Default(), &sink, options, &stats).ok());
+  EXPECT_EQ(sink.count(), testutil::OracleCount(g));
+  EXPECT_GT(stats.iterations, 1u);
+  EXPECT_GT(stats.pages_written, 0u);  // rewrites the remainder
+}
+
+TEST(CcTest, SeqExactTriangleSet) {
+  CSRGraph g = PaperGraph();
+  auto store = testutil::MakeStore(g, Env::Default(), "cc_exact", 64);
+  CcOptions options;
+  options.memory_pages = std::max(2u, store->MaxRecordPages());
+  options.temp_dir = testing::TempDir();
+  VectorSink sink;
+  ASSERT_TRUE(
+      RunChuCheng(store.get(), Env::Default(), &sink, options, nullptr).ok());
+  EXPECT_EQ(sink.Sorted(), testutil::OracleTriangles(g));
+}
+
+TEST(CcTest, DsMatchesOracle) {
+  CSRGraph g = GenerateHolmeKim(
+      {.num_vertices = 400, .edges_per_vertex = 4,
+       .triad_probability = 0.5, .seed = 12});
+  auto store = testutil::MakeStore(g, Env::Default(), "cc_ds");
+  CcOptions options;
+  options.memory_pages =
+      std::max(store->MaxRecordPages() * 2, store->num_pages() / 4);
+  options.temp_dir = testing::TempDir();
+  options.dominating_set_order = true;
+  VectorSink sink;
+  ASSERT_TRUE(
+      RunChuCheng(store.get(), Env::Default(), &sink, options, nullptr).ok());
+  EXPECT_EQ(sink.Sorted(), testutil::OracleTriangles(g));
+}
+
+TEST(CcTest, DsHandlesHighDegreeFirstBatches) {
+  // A graph with one dominant hub: CC-DS batches it first.
+  GraphBuilder b;
+  for (VertexId leaf = 1; leaf <= 100; ++leaf) b.AddEdge(0, leaf);
+  for (VertexId v = 1; v < 100; ++v) b.AddEdge(v, v + 1);
+  CSRGraph g = std::move(b).Build();
+  auto store = testutil::MakeStore(g, Env::Default(), "cc_ds_hub");
+  CcOptions options;
+  options.memory_pages = std::max(store->MaxRecordPages() * 2,
+                                  store->num_pages() / 3);
+  options.temp_dir = testing::TempDir();
+  options.dominating_set_order = true;
+  CountingSink sink;
+  ASSERT_TRUE(
+      RunChuCheng(store.get(), Env::Default(), &sink, options, nullptr).ok());
+  EXPECT_EQ(sink.count(), testutil::OracleCount(g));
+}
+
+TEST(GraphChiTriTest, MatchesOracle) {
+  CSRGraph g = GenerateErdosRenyi(250, 2500, 44);
+  auto store = testutil::MakeStore(g, Env::Default(), "graphchi");
+  GraphChiTriOptions options;
+  options.memory_pages =
+      std::max(store->MaxRecordPages(), store->num_pages() / 4);
+  options.temp_dir = testing::TempDir();
+  options.num_threads = 2;
+  CountingSink sink;
+  GraphChiTriStats stats;
+  ASSERT_TRUE(RunGraphChiTri(store.get(), Env::Default(), &sink, options,
+                             &stats)
+                  .ok());
+  EXPECT_EQ(sink.count(), testutil::OracleCount(g));
+  // The double-scan makes GraphChi-Tri read strictly more than one pass
+  // per iteration.
+  EXPECT_GT(stats.pages_read,
+            static_cast<uint64_t>(store->num_pages()) * stats.iterations);
+  EXPECT_GE(stats.ParallelFraction(), 0.0);
+  EXPECT_LE(stats.ParallelFraction(), 1.0);
+}
+
+TEST(GraphChiTriTest, SerialAndParallelAgree) {
+  CSRGraph g = GenerateErdosRenyi(200, 2000, 66);
+  auto store = testutil::MakeStore(g, Env::Default(), "graphchi_par");
+  GraphChiTriOptions options;
+  options.memory_pages =
+      std::max(store->MaxRecordPages(), store->num_pages() / 3);
+  options.temp_dir = testing::TempDir();
+  options.num_threads = 1;
+  CountingSink serial;
+  ASSERT_TRUE(RunGraphChiTri(store.get(), Env::Default(), &serial, options,
+                             nullptr)
+                  .ok());
+  options.num_threads = 4;
+  CountingSink parallel;
+  ASSERT_TRUE(RunGraphChiTri(store.get(), Env::Default(), &parallel,
+                             options, nullptr)
+                  .ok());
+  EXPECT_EQ(serial.count(), parallel.count());
+}
+
+TEST(BaselineGuardTest, RejectUndersizedBuffers) {
+  GraphBuilder b;
+  for (VertexId leaf = 1; leaf <= 400; ++leaf) b.AddEdge(0, leaf);
+  CSRGraph g = std::move(b).Build();
+  auto store = testutil::MakeStore(g, Env::Default(), "guard");
+  ASSERT_GT(store->MaxRecordPages(), 1u);
+  CountingSink sink;
+  MgtOptions mgt;
+  mgt.memory_pages = 1;
+  EXPECT_EQ(RunMgt(store.get(), &sink, mgt, nullptr).code(),
+            StatusCode::kResourceExhausted);
+  CcOptions cc;
+  cc.memory_pages = 1;
+  cc.temp_dir = testing::TempDir();
+  EXPECT_EQ(
+      RunChuCheng(store.get(), Env::Default(), &sink, cc, nullptr).code(),
+      StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace opt

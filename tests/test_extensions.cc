@@ -1,0 +1,116 @@
+// Tests for the extension algorithms: compact-forward, degeneracy
+// ordering, and the streaming reservoir estimator.
+#include <gtest/gtest.h>
+
+#include "baselines/approx.h"
+#include "baselines/inmemory.h"
+#include "gen/erdos_renyi.h"
+#include "gen/holme_kim.h"
+#include "gen/rmat.h"
+#include "graph/builder.h"
+#include "graph/reorder.h"
+#include "test_helpers.h"
+
+namespace opt {
+namespace {
+
+TEST(CompactForwardTest, MatchesOracleTriangleSet) {
+  for (uint64_t seed : {1, 2, 3}) {
+    CSRGraph g = GenerateErdosRenyi(200, 1600, seed);
+    VectorSink sink;
+    CompactForwardInMemory(g, &sink);
+    EXPECT_EQ(sink.Sorted(), testutil::OracleTriangles(g)) << seed;
+  }
+}
+
+TEST(CompactForwardTest, SkewedGraph) {
+  RmatOptions gen;
+  gen.scale = 10;
+  gen.edge_factor = 8;
+  gen.seed = 4;
+  CSRGraph g = DegreeOrder(GenerateRmat(gen)).graph;
+  CountingSink forward, oracle;
+  CompactForwardInMemory(g, &forward);
+  EdgeIteratorInMemory(g, &oracle);
+  EXPECT_EQ(forward.count(), oracle.count());
+}
+
+TEST(CompactForwardTest, EmptyAndTriangleFree) {
+  CountingSink sink;
+  CompactForwardInMemory(GraphBuilder::FromEdges({}), &sink);
+  EXPECT_EQ(sink.count(), 0u);
+  GraphBuilder b;
+  for (VertexId v = 0; v + 1 < 50; ++v) b.AddEdge(v, v + 1);
+  CompactForwardInMemory(std::move(b).Build(), &sink);
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(DegeneracyOrderTest, CliqueDegeneracy) {
+  GraphBuilder b;
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) b.AddEdge(u, v);
+  }
+  uint32_t degeneracy = 0;
+  DegeneracyOrder(std::move(b).Build(), &degeneracy);
+  EXPECT_EQ(degeneracy, 5u);
+}
+
+TEST(DegeneracyOrderTest, TreeDegeneracyIsOne) {
+  GraphBuilder b;
+  for (VertexId v = 1; v < 64; ++v) b.AddEdge(v / 2, v);  // binary tree
+  uint32_t degeneracy = 0;
+  DegeneracyOrder(std::move(b).Build(), &degeneracy);
+  EXPECT_EQ(degeneracy, 1u);
+}
+
+TEST(DegeneracyOrderTest, SuccessorBoundHolds) {
+  // The defining property: after reordering, |n_succ(v)| <= degeneracy.
+  CSRGraph g = GenerateHolmeKim({.num_vertices = 1500,
+                                 .edges_per_vertex = 5,
+                                 .triad_probability = 0.5,
+                                 .seed = 6});
+  uint32_t degeneracy = 0;
+  ReorderResult r = DegeneracyOrder(g, &degeneracy);
+  EXPECT_GE(degeneracy, 1u);
+  for (VertexId v = 0; v < r.graph.num_vertices(); ++v) {
+    EXPECT_LE(r.graph.Successors(v).size(), degeneracy) << "vertex " << v;
+  }
+}
+
+TEST(DegeneracyOrderTest, PreservesTriangleCount) {
+  CSRGraph g = GenerateErdosRenyi(300, 2500, 8);
+  ReorderResult r = DegeneracyOrder(g);
+  EXPECT_EQ(testutil::OracleCount(r.graph), testutil::OracleCount(g));
+}
+
+TEST(StreamingReservoirTest, ExactWhenReservoirHoldsAllEdges) {
+  CSRGraph g = GenerateErdosRenyi(200, 1500, 9);
+  ApproxResult result = StreamingReservoirEstimate(g, g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(result.estimate,
+                   static_cast<double>(testutil::OracleCount(g)));
+}
+
+TEST(StreamingReservoirTest, EstimateWithinToleranceAveraged) {
+  CSRGraph g = GenerateHolmeKim({.num_vertices = 1200,
+                                 .edges_per_vertex = 6,
+                                 .triad_probability = 0.6,
+                                 .seed = 10});
+  const double exact = static_cast<double>(testutil::OracleCount(g));
+  double sum = 0;
+  constexpr int kTrials = 8;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += StreamingReservoirEstimate(g, g.num_edges() / 2, 200 + i)
+               .estimate;
+  }
+  EXPECT_NEAR(sum / kTrials / exact, 1.0, 0.2);
+}
+
+TEST(StreamingReservoirTest, EmptyGraph) {
+  EXPECT_DOUBLE_EQ(
+      StreamingReservoirEstimate(GraphBuilder::FromEdges({}), 100, 1)
+          .estimate,
+      0.0);
+}
+
+}  // namespace
+}  // namespace opt

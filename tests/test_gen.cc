@@ -1,0 +1,148 @@
+// Tests for the synthetic graph generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/inmemory.h"
+#include "core/triangle_sink.h"
+#include "gen/erdos_renyi.h"
+#include "gen/holme_kim.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+
+namespace opt {
+namespace {
+
+bool IsSimple(const CSRGraph& g) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    if (!std::is_sorted(nbrs.begin(), nbrs.end())) return false;
+    if (std::adjacent_find(nbrs.begin(), nbrs.end()) != nbrs.end()) {
+      return false;  // duplicate neighbor
+    }
+    if (std::binary_search(nbrs.begin(), nbrs.end(), v)) return false;
+    for (VertexId u : nbrs) {
+      if (!g.HasEdge(u, v)) return false;  // symmetry
+    }
+  }
+  return true;
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  CSRGraph g = GenerateErdosRenyi(1000, 5000, 7);
+  EXPECT_EQ(g.num_edges(), 5000u);
+  EXPECT_TRUE(IsSimple(g));
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  CSRGraph a = GenerateErdosRenyi(500, 2000, 3);
+  CSRGraph b = GenerateErdosRenyi(500, 2000, 3);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  CSRGraph c = GenerateErdosRenyi(500, 2000, 4);
+  EXPECT_NE(a.adjacency(), c.adjacency());
+}
+
+TEST(ErdosRenyiTest, ClampsToCompleteGraph) {
+  CSRGraph g = GenerateErdosRenyi(5, 1000, 1);
+  EXPECT_EQ(g.num_edges(), 10u);  // C(5,2)
+}
+
+TEST(ErdosRenyiTest, DegenerateInputs) {
+  EXPECT_EQ(GenerateErdosRenyi(0, 10, 1).num_vertices(), 0u);
+  EXPECT_EQ(GenerateErdosRenyi(1, 10, 1).num_edges(), 0u);
+}
+
+TEST(RmatTest, ProducesSimpleGraph) {
+  RmatOptions opts;
+  opts.scale = 10;
+  opts.edge_factor = 8;
+  opts.seed = 11;
+  CSRGraph g = GenerateRmat(opts);
+  EXPECT_TRUE(IsSimple(g));
+  EXPECT_GT(g.num_edges(), (1u << 10));  // plenty of edges survive dedup
+}
+
+TEST(RmatTest, Deterministic) {
+  RmatOptions opts;
+  opts.scale = 9;
+  opts.seed = 5;
+  CSRGraph a = GenerateRmat(opts);
+  CSRGraph b = GenerateRmat(opts);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+}
+
+TEST(RmatTest, SkewedDegreesVersusUniform) {
+  RmatOptions skewed;
+  skewed.scale = 12;
+  skewed.edge_factor = 8;
+  skewed.seed = 2;
+  CSRGraph rmat = GenerateRmat(skewed);
+
+  CSRGraph er =
+      GenerateErdosRenyi(1u << 12, rmat.num_edges(), 2);
+  // The R-MAT max degree should far exceed the Erdős–Rényi one.
+  EXPECT_GT(rmat.max_degree(), 2 * er.max_degree());
+}
+
+TEST(RmatTest, UniformQuadrantsApproximateErdosRenyi) {
+  RmatOptions opts;
+  opts.scale = 10;
+  opts.edge_factor = 8;
+  opts.a = opts.b = opts.c = opts.d = 0.25;
+  opts.noise = 0.0;
+  opts.seed = 9;
+  CSRGraph g = GenerateRmat(opts);
+  // Degrees concentrate: max degree within a small factor of the mean.
+  GraphStats stats = ComputeStats(g);
+  EXPECT_LT(stats.max_degree, stats.avg_degree * 5);
+}
+
+double MeasuredClustering(const CSRGraph& g) {
+  PerVertexCountSink sink(g.num_vertices());
+  EdgeIteratorInMemory(g, &sink);
+  return AverageClusteringCoefficient(g, sink.Counts());
+}
+
+TEST(HolmeKimTest, ProducesSimpleGraph) {
+  HolmeKimOptions opts;
+  opts.num_vertices = 2000;
+  opts.edges_per_vertex = 4;
+  opts.triad_probability = 0.5;
+  opts.seed = 13;
+  CSRGraph g = GenerateHolmeKim(opts);
+  EXPECT_TRUE(IsSimple(g));
+  EXPECT_EQ(g.num_vertices(), 2000u);
+}
+
+TEST(HolmeKimTest, TriadProbabilityRaisesClustering) {
+  HolmeKimOptions low;
+  low.num_vertices = 3000;
+  low.edges_per_vertex = 5;
+  low.triad_probability = 0.05;
+  low.seed = 21;
+  HolmeKimOptions high = low;
+  high.triad_probability = 0.9;
+  const double c_low = MeasuredClustering(GenerateHolmeKim(low));
+  const double c_high = MeasuredClustering(GenerateHolmeKim(high));
+  EXPECT_GT(c_high, c_low + 0.1);
+}
+
+TEST(HolmeKimTest, Deterministic) {
+  HolmeKimOptions opts;
+  opts.num_vertices = 500;
+  opts.seed = 3;
+  CSRGraph a = GenerateHolmeKim(opts);
+  CSRGraph b = GenerateHolmeKim(opts);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+}
+
+TEST(HolmeKimTest, CalibrationHelperMonotone) {
+  const double p1 = TriadProbabilityForClustering(0.1, 5);
+  const double p2 = TriadProbabilityForClustering(0.3, 5);
+  EXPECT_LE(p1, p2);
+  EXPECT_GE(p1, 0.0);
+  EXPECT_LE(p2, 1.0);
+}
+
+}  // namespace
+}  // namespace opt

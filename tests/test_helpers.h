@@ -1,0 +1,52 @@
+// Shared helpers for the test suite.
+#ifndef OPT_TESTS_TEST_HELPERS_H_
+#define OPT_TESTS_TEST_HELPERS_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "baselines/inmemory.h"
+#include "core/triangle_sink.h"
+#include "graph/csr_graph.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+
+namespace opt {
+namespace testutil {
+
+/// Creates a GraphStore for `g` under a unique temp base path and opens
+/// it. Aborts the test on failure.
+inline std::unique_ptr<GraphStore> MakeStore(const CSRGraph& g, Env* env,
+                                             const std::string& tag,
+                                             uint32_t page_size = 256) {
+  static int counter = 0;
+  const std::string base =
+      testing::TempDir() + "/store_" + tag + "_" + std::to_string(counter++);
+  GraphStoreOptions options;
+  options.page_size = page_size;
+  Status s = GraphStore::Create(g, env, base, options);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  auto store = GraphStore::Open(env, base);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store.value());
+}
+
+/// Reference triangle list via the in-memory edge iterator.
+inline std::vector<Triangle> OracleTriangles(const CSRGraph& g) {
+  VectorSink sink;
+  EdgeIteratorInMemory(g, &sink);
+  return sink.Sorted();
+}
+
+inline uint64_t OracleCount(const CSRGraph& g) {
+  CountingSink sink;
+  EdgeIteratorInMemory(g, &sink);
+  return sink.count();
+}
+
+}  // namespace testutil
+}  // namespace opt
+
+#endif  // OPT_TESTS_TEST_HELPERS_H_

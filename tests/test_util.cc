@@ -1,0 +1,315 @@
+// Unit tests for the utility substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/blocking_queue.h"
+#include "util/cli.h"
+#include "util/crc32.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace opt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk unplugged");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.ToString(), "IOError: disk unplugged");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotSupported), "NotSupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "Aborted");
+}
+
+Status FailingFunction() { return Status::NotFound("nope"); }
+
+Status Propagates() {
+  OPT_RETURN_IF_ERROR(FailingFunction());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Propagates().IsNotFound());
+}
+
+Result<int> MakeValue(bool fail) {
+  if (fail) return Status::InvalidArgument("bad");
+  return 42;
+}
+
+Status UseValue(bool fail, int* out) {
+  OPT_ASSIGN_OR_RETURN(*out, MakeValue(fail));
+  return Status::OK();
+}
+
+TEST(ResultTest, ValueAndError) {
+  auto good = MakeValue(false);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  auto bad = MakeValue(true);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseValue(false, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(UseValue(true, &out).IsInvalidArgument());
+}
+
+TEST(SliceTest, BasicOperations) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[1], 'e');
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "llo");
+  EXPECT_TRUE(Slice("abc") == Slice("abc"));
+  EXPECT_TRUE(Slice("abc") != Slice("abd"));
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abcd").compare(Slice("abc")), 0);
+}
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Random64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random64 rng(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random64 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random64 rng(99);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_EQ(*q.Pop(), 3);
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenEnds) {
+  BlockingQueue<int> q;
+  q.Push(10);
+  q.Close();
+  EXPECT_FALSE(q.Push(11));
+  EXPECT_EQ(*q.Pop(), 10);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, TryPopNonBlocking) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+  q.Push(5);
+  EXPECT_EQ(*q.TryPop(), 5);
+}
+
+TEST(BlockingQueueTest, PopForTimesOut) {
+  BlockingQueue<int> q;
+  Stopwatch watch;
+  EXPECT_FALSE(q.PopFor(1000).has_value());
+  EXPECT_GE(watch.ElapsedMicros(), 500);
+}
+
+TEST(BlockingQueueTest, ConcurrentProducersConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (q.Pop().has_value()) consumed.fetch_add(1);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), kPerProducer * kProducers);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, 4, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ParallelFor(5, 5, 4, [&](size_t) { FAIL(); });
+  ParallelFor(7, 3, 4, [&](size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, SingleThreadInline) {
+  std::vector<int> order;
+  ParallelFor(0, 5, 1, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v : {1, 2, 4, 8, 16}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 16u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 31.0 / 5.0);
+}
+
+TEST(HistogramTest, MergeAccumulates) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(20);
+  b.Add(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 30u);
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  Histogram h;
+  for (uint64_t i = 0; i < 1000; ++i) h.Add(i);
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.99));
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283.
+  EXPECT_EQ(Crc32c(0, "123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  char data[64];
+  for (int i = 0; i < 64; ++i) data[i] = static_cast<char>(i * 7);
+  const uint32_t before = Crc32c(0, data, sizeof(data));
+  data[33] ^= 0x10;
+  EXPECT_NE(before, Crc32c(0, data, sizeof(data)));
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const char* s = "incremental-checksum-data-0123456789";
+  const size_t n = 36;
+  const uint32_t one_shot = Crc32c(0, s, n);
+  uint32_t crc = Crc32c(0, s, 10);
+  // Note: our Crc32c chains by passing the previous value.
+  crc = Crc32c(crc, s + 10, n - 10);
+  EXPECT_EQ(crc, one_shot);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<uint64_t>(42)), "42");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<int64_t>(-7)), "-7");
+}
+
+TEST(CommandLineTest, ParsesFlagForms) {
+  // "--beta 2" consumes the next token as its value; a flag followed by
+  // another flag (or end of line) is boolean.
+  const char* argv[] = {"prog", "--alpha=1", "--beta",      "2",
+                        "pos1", "--gamma",   "--delta=x y"};
+  auto cl = CommandLine::Parse(7, const_cast<char**>(argv));
+  ASSERT_TRUE(cl.ok());
+  EXPECT_EQ(cl->GetInt("alpha", 0), 1);
+  EXPECT_EQ(cl->GetInt("beta", 0), 2);
+  EXPECT_TRUE(cl->GetBool("gamma", false));
+  EXPECT_EQ(cl->GetString("delta"), "x y");
+  ASSERT_EQ(cl->positional().size(), 1u);
+  EXPECT_EQ(cl->positional()[0], "pos1");
+}
+
+TEST(CommandLineTest, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  auto cl = CommandLine::Parse(1, const_cast<char**>(argv));
+  ASSERT_TRUE(cl.ok());
+  EXPECT_EQ(cl->GetInt("missing", 99), 99);
+  EXPECT_EQ(cl->GetDouble("missing", 2.5), 2.5);
+  EXPECT_FALSE(cl->Has("missing"));
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(w.ElapsedSeconds(), 0.005);
+}
+
+TEST(TimeAccumulatorTest, AccumulatesIntervals) {
+  TimeAccumulator acc;
+  acc.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  acc.Stop();
+  const double first = acc.TotalSeconds();
+  EXPECT_GT(first, 0.0);
+  acc.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  acc.Stop();
+  EXPECT_GT(acc.TotalSeconds(), first);
+}
+
+}  // namespace
+}  // namespace opt

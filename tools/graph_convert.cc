@@ -1,0 +1,53 @@
+// Converts a whitespace text edge list into an OPT GraphStore through
+// the fully out-of-core pipeline (external sort + streaming store
+// writer): memory use is O(|V|), never O(|E|). Applies the Schank–
+// Wagner degree-ordering heuristic by default.
+//
+//   graph_convert --input edges.txt --output /path/base
+//                 [--page_size 4096] [--no_degree_order]
+//                 [--memory_mb 64] [--temp_dir /tmp]
+#include <cstdio>
+
+#include "storage/env.h"
+#include "storage/store_builder.h"
+#include "util/cli.h"
+
+using namespace opt;
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok() || !cl->Has("input") || !cl->Has("output")) {
+    std::fprintf(stderr,
+                 "usage: %s --input edges.txt --output /path/base "
+                 "[--page_size N] [--no_degree_order] [--memory_mb M] "
+                 "[--temp_dir DIR]\n",
+                 argv[0]);
+    return 2;
+  }
+  StoreBuildOptions options;
+  options.page_size =
+      static_cast<uint32_t>(cl->GetInt("page_size", kDefaultPageSize));
+  options.degree_order = !cl->GetBool("no_degree_order", false);
+  options.memory_budget_bytes =
+      static_cast<size_t>(cl->GetInt("memory_mb", 64)) << 20;
+  options.temp_dir = cl->GetString("temp_dir", "/tmp");
+
+  auto stats = BuildStoreFromEdgeList(Env::Default(),
+                                      cl->GetString("input"),
+                                      cl->GetString("output"), options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s.pages / .meta\n", cl->GetString("output").c_str());
+  std::printf("  input lines:    %llu\n",
+              static_cast<unsigned long long>(stats->input_edges));
+  std::printf("  kept edges:     %llu (dropped %llu self-loops, %llu "
+              "duplicates)\n",
+              static_cast<unsigned long long>(stats->kept_edges),
+              static_cast<unsigned long long>(stats->self_loops),
+              static_cast<unsigned long long>(stats->duplicates));
+  std::printf("  vertices:       %u\n", stats->num_vertices);
+  std::printf("  sort runs:      %u\n", stats->sort_runs);
+  return 0;
+}
