@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3b_inmemory"
+  "../bench/bench_fig3b_inmemory.pdb"
+  "CMakeFiles/bench_fig3b_inmemory.dir/bench_fig3b_inmemory.cc.o"
+  "CMakeFiles/bench_fig3b_inmemory.dir/bench_fig3b_inmemory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_inmemory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

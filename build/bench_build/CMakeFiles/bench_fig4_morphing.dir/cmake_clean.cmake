@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_morphing"
+  "../bench/bench_fig4_morphing.pdb"
+  "CMakeFiles/bench_fig4_morphing.dir/bench_fig4_morphing.cc.o"
+  "CMakeFiles/bench_fig4_morphing.dir/bench_fig4_morphing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_morphing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_output_writing"
+  "../bench/bench_table3_output_writing.pdb"
+  "CMakeFiles/bench_table3_output_writing.dir/bench_table3_output_writing.cc.o"
+  "CMakeFiles/bench_table3_output_writing.dir/bench_table3_output_writing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_output_writing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

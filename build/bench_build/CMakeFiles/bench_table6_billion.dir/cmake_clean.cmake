@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_billion"
+  "../bench/bench_table6_billion.pdb"
+  "CMakeFiles/bench_table6_billion.dir/bench_table6_billion.cc.o"
+  "CMakeFiles/bench_table6_billion.dir/bench_table6_billion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_billion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

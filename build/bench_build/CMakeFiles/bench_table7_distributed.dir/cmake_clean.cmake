@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_distributed"
+  "../bench/bench_table7_distributed.pdb"
+  "CMakeFiles/bench_table7_distributed.dir/bench_table7_distributed.cc.o"
+  "CMakeFiles/bench_table7_distributed.dir/bench_table7_distributed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

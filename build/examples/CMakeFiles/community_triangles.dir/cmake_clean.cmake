@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_triangles.dir/community_triangles.cpp.o"
+  "CMakeFiles/community_triangles.dir/community_triangles.cpp.o.d"
+  "community_triangles"
+  "community_triangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

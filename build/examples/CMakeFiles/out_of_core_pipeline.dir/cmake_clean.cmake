@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_pipeline.dir/out_of_core_pipeline.cpp.o"
+  "CMakeFiles/out_of_core_pipeline.dir/out_of_core_pipeline.cpp.o.d"
+  "out_of_core_pipeline"
+  "out_of_core_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clique4.cc" "src/analysis/CMakeFiles/opt_analysis.dir/clique4.cc.o" "gcc" "src/analysis/CMakeFiles/opt_analysis.dir/clique4.cc.o.d"
+  "/root/repo/src/analysis/ktruss.cc" "src/analysis/CMakeFiles/opt_analysis.dir/ktruss.cc.o" "gcc" "src/analysis/CMakeFiles/opt_analysis.dir/ktruss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/opt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

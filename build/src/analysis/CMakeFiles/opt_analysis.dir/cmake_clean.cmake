@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_analysis.dir/clique4.cc.o"
+  "CMakeFiles/opt_analysis.dir/clique4.cc.o.d"
+  "CMakeFiles/opt_analysis.dir/ktruss.cc.o"
+  "CMakeFiles/opt_analysis.dir/ktruss.cc.o.d"
+  "libopt_analysis.a"
+  "libopt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/approx.cc" "src/baselines/CMakeFiles/opt_baselines.dir/approx.cc.o" "gcc" "src/baselines/CMakeFiles/opt_baselines.dir/approx.cc.o.d"
+  "/root/repo/src/baselines/ayz.cc" "src/baselines/CMakeFiles/opt_baselines.dir/ayz.cc.o" "gcc" "src/baselines/CMakeFiles/opt_baselines.dir/ayz.cc.o.d"
+  "/root/repo/src/baselines/cc.cc" "src/baselines/CMakeFiles/opt_baselines.dir/cc.cc.o" "gcc" "src/baselines/CMakeFiles/opt_baselines.dir/cc.cc.o.d"
+  "/root/repo/src/baselines/graphchi_tri.cc" "src/baselines/CMakeFiles/opt_baselines.dir/graphchi_tri.cc.o" "gcc" "src/baselines/CMakeFiles/opt_baselines.dir/graphchi_tri.cc.o.d"
+  "/root/repo/src/baselines/inmemory.cc" "src/baselines/CMakeFiles/opt_baselines.dir/inmemory.cc.o" "gcc" "src/baselines/CMakeFiles/opt_baselines.dir/inmemory.cc.o.d"
+  "/root/repo/src/baselines/mgt.cc" "src/baselines/CMakeFiles/opt_baselines.dir/mgt.cc.o" "gcc" "src/baselines/CMakeFiles/opt_baselines.dir/mgt.cc.o.d"
+  "/root/repo/src/baselines/shrink_loop.cc" "src/baselines/CMakeFiles/opt_baselines.dir/shrink_loop.cc.o" "gcc" "src/baselines/CMakeFiles/opt_baselines.dir/shrink_loop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/opt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/opt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/opt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_baselines.dir/approx.cc.o"
+  "CMakeFiles/opt_baselines.dir/approx.cc.o.d"
+  "CMakeFiles/opt_baselines.dir/ayz.cc.o"
+  "CMakeFiles/opt_baselines.dir/ayz.cc.o.d"
+  "CMakeFiles/opt_baselines.dir/cc.cc.o"
+  "CMakeFiles/opt_baselines.dir/cc.cc.o.d"
+  "CMakeFiles/opt_baselines.dir/graphchi_tri.cc.o"
+  "CMakeFiles/opt_baselines.dir/graphchi_tri.cc.o.d"
+  "CMakeFiles/opt_baselines.dir/inmemory.cc.o"
+  "CMakeFiles/opt_baselines.dir/inmemory.cc.o.d"
+  "CMakeFiles/opt_baselines.dir/mgt.cc.o"
+  "CMakeFiles/opt_baselines.dir/mgt.cc.o.d"
+  "CMakeFiles/opt_baselines.dir/shrink_loop.cc.o"
+  "CMakeFiles/opt_baselines.dir/shrink_loop.cc.o.d"
+  "libopt_baselines.a"
+  "libopt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

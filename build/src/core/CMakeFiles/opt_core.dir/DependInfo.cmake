@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ideal.cc" "src/core/CMakeFiles/opt_core.dir/ideal.cc.o" "gcc" "src/core/CMakeFiles/opt_core.dir/ideal.cc.o.d"
+  "/root/repo/src/core/iterator_model.cc" "src/core/CMakeFiles/opt_core.dir/iterator_model.cc.o" "gcc" "src/core/CMakeFiles/opt_core.dir/iterator_model.cc.o.d"
+  "/root/repo/src/core/listing_reader.cc" "src/core/CMakeFiles/opt_core.dir/listing_reader.cc.o" "gcc" "src/core/CMakeFiles/opt_core.dir/listing_reader.cc.o.d"
+  "/root/repo/src/core/opt_runner.cc" "src/core/CMakeFiles/opt_core.dir/opt_runner.cc.o" "gcc" "src/core/CMakeFiles/opt_core.dir/opt_runner.cc.o.d"
+  "/root/repo/src/core/page_range_view.cc" "src/core/CMakeFiles/opt_core.dir/page_range_view.cc.o" "gcc" "src/core/CMakeFiles/opt_core.dir/page_range_view.cc.o.d"
+  "/root/repo/src/core/triangle_sink.cc" "src/core/CMakeFiles/opt_core.dir/triangle_sink.cc.o" "gcc" "src/core/CMakeFiles/opt_core.dir/triangle_sink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/opt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/opt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_core.dir/ideal.cc.o"
+  "CMakeFiles/opt_core.dir/ideal.cc.o.d"
+  "CMakeFiles/opt_core.dir/iterator_model.cc.o"
+  "CMakeFiles/opt_core.dir/iterator_model.cc.o.d"
+  "CMakeFiles/opt_core.dir/listing_reader.cc.o"
+  "CMakeFiles/opt_core.dir/listing_reader.cc.o.d"
+  "CMakeFiles/opt_core.dir/opt_runner.cc.o"
+  "CMakeFiles/opt_core.dir/opt_runner.cc.o.d"
+  "CMakeFiles/opt_core.dir/page_range_view.cc.o"
+  "CMakeFiles/opt_core.dir/page_range_view.cc.o.d"
+  "CMakeFiles/opt_core.dir/triangle_sink.cc.o"
+  "CMakeFiles/opt_core.dir/triangle_sink.cc.o.d"
+  "libopt_core.a"
+  "libopt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

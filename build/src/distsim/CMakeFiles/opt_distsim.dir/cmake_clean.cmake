@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_distsim.dir/distributed.cc.o"
+  "CMakeFiles/opt_distsim.dir/distributed.cc.o.d"
+  "libopt_distsim.a"
+  "libopt_distsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_distsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

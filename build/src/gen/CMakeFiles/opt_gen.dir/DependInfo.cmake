@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/erdos_renyi.cc" "src/gen/CMakeFiles/opt_gen.dir/erdos_renyi.cc.o" "gcc" "src/gen/CMakeFiles/opt_gen.dir/erdos_renyi.cc.o.d"
+  "/root/repo/src/gen/holme_kim.cc" "src/gen/CMakeFiles/opt_gen.dir/holme_kim.cc.o" "gcc" "src/gen/CMakeFiles/opt_gen.dir/holme_kim.cc.o.d"
+  "/root/repo/src/gen/rmat.cc" "src/gen/CMakeFiles/opt_gen.dir/rmat.cc.o" "gcc" "src/gen/CMakeFiles/opt_gen.dir/rmat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/opt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_gen.dir/erdos_renyi.cc.o"
+  "CMakeFiles/opt_gen.dir/erdos_renyi.cc.o.d"
+  "CMakeFiles/opt_gen.dir/holme_kim.cc.o"
+  "CMakeFiles/opt_gen.dir/holme_kim.cc.o.d"
+  "CMakeFiles/opt_gen.dir/rmat.cc.o"
+  "CMakeFiles/opt_gen.dir/rmat.cc.o.d"
+  "libopt_gen.a"
+  "libopt_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

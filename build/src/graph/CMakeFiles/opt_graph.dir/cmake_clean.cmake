@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_graph.dir/builder.cc.o"
+  "CMakeFiles/opt_graph.dir/builder.cc.o.d"
+  "CMakeFiles/opt_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/opt_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/opt_graph.dir/intersect.cc.o"
+  "CMakeFiles/opt_graph.dir/intersect.cc.o.d"
+  "CMakeFiles/opt_graph.dir/reorder.cc.o"
+  "CMakeFiles/opt_graph.dir/reorder.cc.o.d"
+  "CMakeFiles/opt_graph.dir/stats.cc.o"
+  "CMakeFiles/opt_graph.dir/stats.cc.o.d"
+  "libopt_graph.a"
+  "libopt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_harness.dir/datasets.cc.o"
+  "CMakeFiles/opt_harness.dir/datasets.cc.o.d"
+  "CMakeFiles/opt_harness.dir/methods.cc.o"
+  "CMakeFiles/opt_harness.dir/methods.cc.o.d"
+  "libopt_harness.a"
+  "libopt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

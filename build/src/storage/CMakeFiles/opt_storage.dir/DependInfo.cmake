@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/async_io.cc" "src/storage/CMakeFiles/opt_storage.dir/async_io.cc.o" "gcc" "src/storage/CMakeFiles/opt_storage.dir/async_io.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/opt_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/opt_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/storage/CMakeFiles/opt_storage.dir/env.cc.o" "gcc" "src/storage/CMakeFiles/opt_storage.dir/env.cc.o.d"
+  "/root/repo/src/storage/graph_store.cc" "src/storage/CMakeFiles/opt_storage.dir/graph_store.cc.o" "gcc" "src/storage/CMakeFiles/opt_storage.dir/graph_store.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/opt_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/opt_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/storage/CMakeFiles/opt_storage.dir/page_file.cc.o" "gcc" "src/storage/CMakeFiles/opt_storage.dir/page_file.cc.o.d"
+  "/root/repo/src/storage/record_scanner.cc" "src/storage/CMakeFiles/opt_storage.dir/record_scanner.cc.o" "gcc" "src/storage/CMakeFiles/opt_storage.dir/record_scanner.cc.o.d"
+  "/root/repo/src/storage/store_builder.cc" "src/storage/CMakeFiles/opt_storage.dir/store_builder.cc.o" "gcc" "src/storage/CMakeFiles/opt_storage.dir/store_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/opt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/opt_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_storage.dir/async_io.cc.o"
+  "CMakeFiles/opt_storage.dir/async_io.cc.o.d"
+  "CMakeFiles/opt_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/opt_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/opt_storage.dir/env.cc.o"
+  "CMakeFiles/opt_storage.dir/env.cc.o.d"
+  "CMakeFiles/opt_storage.dir/graph_store.cc.o"
+  "CMakeFiles/opt_storage.dir/graph_store.cc.o.d"
+  "CMakeFiles/opt_storage.dir/page.cc.o"
+  "CMakeFiles/opt_storage.dir/page.cc.o.d"
+  "CMakeFiles/opt_storage.dir/page_file.cc.o"
+  "CMakeFiles/opt_storage.dir/page_file.cc.o.d"
+  "CMakeFiles/opt_storage.dir/record_scanner.cc.o"
+  "CMakeFiles/opt_storage.dir/record_scanner.cc.o.d"
+  "CMakeFiles/opt_storage.dir/store_builder.cc.o"
+  "CMakeFiles/opt_storage.dir/store_builder.cc.o.d"
+  "libopt_storage.a"
+  "libopt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

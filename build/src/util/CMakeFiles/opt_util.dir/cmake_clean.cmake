@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_util.dir/cli.cc.o"
+  "CMakeFiles/opt_util.dir/cli.cc.o.d"
+  "CMakeFiles/opt_util.dir/crc32.cc.o"
+  "CMakeFiles/opt_util.dir/crc32.cc.o.d"
+  "CMakeFiles/opt_util.dir/histogram.cc.o"
+  "CMakeFiles/opt_util.dir/histogram.cc.o.d"
+  "CMakeFiles/opt_util.dir/logging.cc.o"
+  "CMakeFiles/opt_util.dir/logging.cc.o.d"
+  "CMakeFiles/opt_util.dir/status.cc.o"
+  "CMakeFiles/opt_util.dir/status.cc.o.d"
+  "CMakeFiles/opt_util.dir/table_printer.cc.o"
+  "CMakeFiles/opt_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/opt_util.dir/thread_pool.cc.o"
+  "CMakeFiles/opt_util.dir/thread_pool.cc.o.d"
+  "libopt_util.a"
+  "libopt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

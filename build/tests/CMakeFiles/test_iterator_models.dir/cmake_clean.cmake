@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iterator_models.dir/test_iterator_models.cc.o"
+  "CMakeFiles/test_iterator_models.dir/test_iterator_models.cc.o.d"
+  "test_iterator_models"
+  "test_iterator_models.pdb"
+  "test_iterator_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iterator_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_builder.dir/test_store_builder.cc.o"
+  "CMakeFiles/test_store_builder.dir/test_store_builder.cc.o.d"
+  "test_store_builder"
+  "test_store_builder.pdb"
+  "test_store_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

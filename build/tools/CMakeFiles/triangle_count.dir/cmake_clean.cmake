@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_count.dir/triangle_count.cc.o"
+  "CMakeFiles/triangle_count.dir/triangle_count.cc.o.d"
+  "triangle_count"
+  "triangle_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
