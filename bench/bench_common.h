@@ -6,6 +6,8 @@
 //   --write_us N      emulated per-page write latency (µs)
 //   --threads  N      worker threads for parallel methods
 //   --work_dir PATH   where graph stores are materialized
+//   --kernel   K      intersection kernel: scalar|sse|avx2|auto
+//                     (default: leave the auto-selected kernel in place)
 // The latency injection stands in for the paper's direct-I/O FlashSSD:
 // it makes I/O cost proportional to pages touched even when the OS page
 // cache would otherwise hide it (DESIGN.md §3).
@@ -14,9 +16,11 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <sys/stat.h>
 
+#include "graph/intersect.h"
 #include "harness/datasets.h"
 #include "harness/methods.h"
 #include "storage/env.h"
@@ -36,6 +40,8 @@ struct BenchContext {
   std::string work_dir;
   int scale_shift = kDefaultShift;
   uint32_t threads = 2;
+  /// Set when --kernel was passed; already installed process-wide.
+  std::optional<IntersectKernel> kernel;
 
   Env* get_env() { return env.get(); }
 };
@@ -58,7 +64,40 @@ inline BenchContext MakeContext(int argc, char** argv) {
   ::mkdir(ctx.work_dir.c_str(), 0755);
   ctx.env = std::make_unique<ThrottledEnv>(Env::Default(), read_us,
                                            write_us);
+  if (cl->Has("kernel")) {
+    auto choice =
+        cl->GetChoice("kernel", {"scalar", "sse", "avx2", "auto"}, "auto");
+    if (!choice.ok()) {
+      std::fprintf(stderr, "%s\n", choice.status().ToString().c_str());
+      std::exit(2);
+    }
+    auto kernel = ParseIntersectKernel(*choice);
+    if (Status s = SetIntersectKernel(*kernel); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::exit(2);
+    }
+    ctx.kernel = *kernel;
+  }
   return ctx;
+}
+
+/// Prints per-kernel intersection throughput from a counter delta — the
+/// kernel-level view the SIMD ablation reads (`--kernel` to force one).
+inline void PrintKernelCounters(const char* tag,
+                                const IntersectCounters& delta,
+                                double seconds) {
+  for (int k = 0; k < kNumIntersectKernels; ++k) {
+    if (delta.calls[k] == 0) continue;
+    const double elems = static_cast<double>(delta.elements[k]);
+    std::printf(
+        "  [%s] kernel=%s calls=%llu elements=%llu (%.1f Melem/s, "
+        "%.1f MB/s)\n",
+        tag, IntersectKernelName(static_cast<IntersectKernel>(k)),
+        static_cast<unsigned long long>(delta.calls[k]),
+        static_cast<unsigned long long>(delta.elements[k]),
+        seconds > 0 ? elems / seconds * 1e-6 : 0.0,
+        seconds > 0 ? elems * sizeof(VertexId) / seconds * 1e-6 : 0.0);
+  }
 }
 
 /// Prints the standard experiment banner.

@@ -42,11 +42,14 @@ int main(int argc, char** argv) {
     // In-memory methods pay the same one-scan load cost as ideal.
     const double load = ideal.load_seconds;
     double ei_s, vi_s, ayz_s;
+    IntersectCounters ei_delta;
     {
       CountingSink sink;
+      const IntersectCounters before = SnapshotIntersectCounters();
       Stopwatch w;
       EdgeIteratorInMemory(graph, &sink);
       ei_s = load + w.ElapsedSeconds();
+      ei_delta = IntersectCounters::Delta(SnapshotIntersectCounters(), before);
     }
     {
       CountingSink sink;
@@ -64,6 +67,7 @@ int main(int argc, char** argv) {
       }
     }
     double opt_s;
+    OptRunStats opt_stats;
     {
       OptOptions options;
       const uint32_t buffer = PagesForBufferPercent(**store, 15.0);
@@ -71,16 +75,21 @@ int main(int argc, char** argv) {
       options.m_ex = std::max(1u, buffer / 2);
       options.macro_overlap = false;
       options.thread_morphing = false;
+      options.kernel = ctx.kernel;
       OptRunner runner(store->get(), &model, options);
       CountingSink sink;
       Stopwatch w;
-      (void)runner.Run(&sink, nullptr);
+      (void)runner.Run(&sink, &opt_stats);
       opt_s = w.ElapsedSeconds();
     }
     table.AddRow({specs[d].paper_name, TablePrinter::Fmt(ei_s / base, 2),
                   TablePrinter::Fmt(vi_s / base, 2),
                   TablePrinter::Fmt(ayz_s / base, 2),
                   TablePrinter::Fmt(opt_s / base, 2)});
+    std::printf("%s: per-kernel intersection throughput (see --kernel)\n",
+                specs[d].paper_name.c_str());
+    bench::PrintKernelCounters("EdgeIter", ei_delta, ei_s - load);
+    bench::PrintKernelCounters("OPT_serial", opt_stats.intersect, opt_s);
   }
   table.Print();
   std::printf("Expected shape (paper Fig. 3b): EdgeIter ~1.0 < OPT_serial "

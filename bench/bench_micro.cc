@@ -1,8 +1,10 @@
-// Micro-benchmarks (google-benchmark): intersection kernels, page
-// codec, CRC, buffer pool, async engine — the substrate costs behind
-// the macro experiments.
+// Micro-benchmarks (google-benchmark): intersection kernels (one
+// benchmark per kernel variant, with elements/sec and bytes/sec from
+// the per-kernel dispatch counters), page codec, CRC, buffer pool,
+// async engine — the substrate costs behind the macro experiments.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "gen/erdos_renyi.h"
@@ -28,35 +30,95 @@ std::vector<VertexId> MakeSorted(size_t n, uint64_t seed) {
   return out;
 }
 
-void BM_IntersectMerge(benchmark::State& state) {
-  auto a = MakeSorted(static_cast<size_t>(state.range(0)), 1);
-  auto b = MakeSorted(static_cast<size_t>(state.range(1)), 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(IntersectCountMerge(a, b));
-  }
+/// Sets elements/sec and bytes/sec on `state` from the per-kernel
+/// dispatch counters (not wall-clock math), so `--benchmark_format=json`
+/// output (BENCH_*.json) carries directly comparable kernel throughput.
+void ReportFromCounters(benchmark::State& state,
+                        const IntersectCounters& before) {
+  const IntersectCounters delta =
+      IntersectCounters::Delta(SnapshotIntersectCounters(), before);
+  state.SetItemsProcessed(static_cast<int64_t>(delta.TotalElements()));
+  state.SetBytesProcessed(
+      static_cast<int64_t>(delta.TotalElements() * sizeof(VertexId)));
+  state.counters["intersect_calls"] = benchmark::Counter(
+      static_cast<double>(delta.TotalCalls()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_IntersectMerge)->Args({64, 64})->Args({64, 4096})
-    ->Args({1024, 1024});
 
-void BM_IntersectGalloping(benchmark::State& state) {
+void BM_IntersectMergeKernel(benchmark::State& state, IntersectKernel kernel,
+                             size_t len_a, size_t len_b) {
+  auto a = MakeSorted(len_a, 1);
+  auto b = MakeSorted(len_b, 2);
+  const IntersectCounters before = SnapshotIntersectCounters();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectCountMergeWith(kernel, a, b));
+  }
+  ReportFromCounters(state, before);
+}
+
+void BM_IntersectGallopingKernel(benchmark::State& state,
+                                 IntersectKernel kernel, size_t len_a,
+                                 size_t len_b) {
+  auto a = MakeSorted(len_a, 1);
+  auto b = MakeSorted(len_b, 2);
+  const IntersectCounters before = SnapshotIntersectCounters();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectCountGallopingWith(kernel, a, b));
+  }
+  ReportFromCounters(state, before);
+}
+
+void BM_IntersectHash(benchmark::State& state) {
   auto a = MakeSorted(static_cast<size_t>(state.range(0)), 1);
   auto b = MakeSorted(static_cast<size_t>(state.range(1)), 2);
+  const IntersectCounters before = SnapshotIntersectCounters();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(IntersectCountGalloping(a, b));
+    benchmark::DoNotOptimize(IntersectCountHash(a, b));
   }
+  ReportFromCounters(state, before);
 }
-BENCHMARK(BM_IntersectGalloping)->Args({64, 64})->Args({64, 4096})
+BENCHMARK(BM_IntersectHash)->Args({64, 64})->Args({64, 4096})
     ->Args({1024, 1024});
 
 void BM_IntersectAdaptive(benchmark::State& state) {
   auto a = MakeSorted(static_cast<size_t>(state.range(0)), 1);
   auto b = MakeSorted(static_cast<size_t>(state.range(1)), 2);
+  const IntersectCounters before = SnapshotIntersectCounters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(IntersectCount(a, b));
   }
+  ReportFromCounters(state, before);
 }
 BENCHMARK(BM_IntersectAdaptive)->Args({64, 64})->Args({64, 4096})
     ->Args({1024, 1024});
+
+/// Registers merge/galloping benchmarks for every kernel the host CPU
+/// supports — unsupported kernels are omitted rather than silently
+/// falling back, so each reported row really measured its kernel.
+void RegisterIntersectKernelBenchmarks() {
+  static const std::pair<size_t, size_t> kSizes[] = {
+      {64, 64}, {64, 4096}, {1024, 1024}};
+  for (IntersectKernel kernel :
+       {IntersectKernel::kScalar, IntersectKernel::kSse,
+        IntersectKernel::kAvx2}) {
+    if (!IntersectKernelSupported(kernel)) continue;
+    for (const auto& [len_a, len_b] : kSizes) {
+      const std::string suffix = std::string("<") +
+                                 IntersectKernelName(kernel) + ">/" +
+                                 std::to_string(len_a) + "x" +
+                                 std::to_string(len_b);
+      benchmark::RegisterBenchmark(
+          ("BM_IntersectMerge" + suffix).c_str(),
+          [kernel, la = len_a, lb = len_b](benchmark::State& state) {
+            BM_IntersectMergeKernel(state, kernel, la, lb);
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_IntersectGalloping" + suffix).c_str(),
+          [kernel, la = len_a, lb = len_b](benchmark::State& state) {
+            BM_IntersectGallopingKernel(state, kernel, la, lb);
+          });
+    }
+  }
+}
 
 void BM_Crc32c(benchmark::State& state) {
   std::vector<char> data(static_cast<size_t>(state.range(0)), 'x');
@@ -138,4 +200,11 @@ BENCHMARK(BM_DegreeOrderedEdgeIteratorWork);
 }  // namespace
 }  // namespace opt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  opt::RegisterIntersectKernelBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

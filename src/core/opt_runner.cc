@@ -327,6 +327,9 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
   if (options_.m_in == 0 || options_.m_ex == 0) {
     return Status::InvalidArgument("m_in and m_ex must be positive");
   }
+  if (options_.kernel.has_value()) {
+    OPT_RETURN_IF_ERROR(SetIntersectKernel(*options_.kernel));
+  }
   if (options_.m_in < store_->MaxRecordPages()) {
     return Status::ResourceExhausted(
         "internal area (" + std::to_string(options_.m_in) +
@@ -365,6 +368,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
     IterationStats iter;
     iter.v_lo = ctx.plan.v_lo;
     iter.v_hi = ctx.plan.v_hi;
+    const IntersectCounters intersect_start = SnapshotIntersectCounters();
 
     // ----- Phase A: fill the internal area (Algorithm 3 lines 5-8) -----
     Stopwatch load_watch;
@@ -547,6 +551,9 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
         static_cast<double>(ctx.external_cpu_micros.load()) * 1e-6;
     iter.external_pages = ctx.external_pages.load();
     iter.external_cache_hits = ctx.external_hits.load();
+    iter.intersect = IntersectCounters::Delta(SnapshotIntersectCounters(),
+                                              intersect_start);
+    run_stats.intersect.Accumulate(iter.intersect);
 
     run_stats.iterations++;
     run_stats.internal_pages_read +=

@@ -9,10 +9,12 @@
 #define OPT_CORE_OPT_RUNNER_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/iterator_model.h"
 #include "core/triangle_sink.h"
+#include "graph/intersect.h"
 #include "storage/graph_store.h"
 #include "util/status.h"
 
@@ -45,6 +47,12 @@ struct OptOptions {
   /// fill (the Δin saving of §3.3). False loads in ascending page
   /// order — an ablation knob that forfeits the saving.
   bool backward_external_order = true;
+  /// Intersection kernel for the run's inner loops (ablation knob).
+  /// Unset leaves the process-wide dispatch table as-is (auto = best
+  /// CPU-supported kernel); a set value installs that kernel at Run()
+  /// start. Selection is process-wide, so concurrent runners with
+  /// different explicit kernels will interleave.
+  std::optional<IntersectKernel> kernel;
 };
 
 /// Per-iteration instrumentation (Figure 4).
@@ -61,6 +69,9 @@ struct IterationStats {
   double overlap_seconds = 0;         // triangulation (phase C) wall
   double internal_cpu_seconds = 0;    // summed across threads
   double external_cpu_seconds = 0;    // summed across threads
+  /// Per-kernel intersection activity during this iteration (delta of
+  /// the process-wide counters; concurrent runners mix their counts).
+  IntersectCounters intersect;
 };
 
 struct OptRunStats {
@@ -74,6 +85,8 @@ struct OptRunStats {
   /// triangulation wall time — the Amdahl decomposition of Table 5.
   double serial_seconds = 0;
   double parallel_seconds = 0;
+  /// Summed per-kernel intersection counters across iterations.
+  IntersectCounters intersect;
   std::vector<IterationStats> per_iteration;
 
   /// Measured parallel fraction p for Amdahl's law (Table 5).

@@ -49,6 +49,7 @@ Result<MethodResult> RunOptVariant(Method method, GraphStore* store,
   options.m_ex = half;
   options.io_queue_depth = config.io_queue_depth;
   options.num_threads = config.num_threads;
+  options.kernel = config.kernel;
   switch (method) {
     case Method::kOptSerial:
       options.macro_overlap = false;
@@ -82,10 +83,8 @@ Result<MethodResult> RunOptVariant(Method method, GraphStore* store,
   return result;
 }
 
-}  // namespace
-
-Result<MethodResult> RunMethod(Method method, GraphStore* store, Env* env,
-                               const MethodConfig& config) {
+Result<MethodResult> RunMethodImpl(Method method, GraphStore* store, Env* env,
+                                   const MethodConfig& config) {
   MethodResult result;
   result.method = MethodName(method);
   Stopwatch watch;
@@ -163,6 +162,24 @@ Result<MethodResult> RunMethod(Method method, GraphStore* store, Env* env,
     }
   }
   return Status::InvalidArgument("unknown method");
+}
+
+}  // namespace
+
+Result<MethodResult> RunMethod(Method method, GraphStore* store, Env* env,
+                               const MethodConfig& config) {
+  if (config.kernel.has_value()) {
+    OPT_RETURN_IF_ERROR(SetIntersectKernel(*config.kernel));
+  }
+  const IntersectKernel kernel_used = ActiveIntersectKernel();
+  const IntersectCounters before = SnapshotIntersectCounters();
+  Result<MethodResult> result = RunMethodImpl(method, store, env, config);
+  if (result.ok()) {
+    result->kernel_used = kernel_used;
+    result->intersect =
+        IntersectCounters::Delta(SnapshotIntersectCounters(), before);
+  }
+  return result;
 }
 
 }  // namespace opt

@@ -4,8 +4,10 @@
 #define OPT_HARNESS_METHODS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
+#include "graph/intersect.h"
 #include "storage/env.h"
 #include "storage/graph_store.h"
 #include "util/status.h"
@@ -34,6 +36,10 @@ struct MethodConfig {
   uint32_t num_threads = 2;
   uint32_t io_queue_depth = 16;
   std::string temp_dir = "/tmp";
+  /// Intersection kernel ablation knob; unset keeps the process-wide
+  /// dispatch table (auto = best CPU-supported). Applies to every
+  /// method, since they all funnel through the Intersect entry points.
+  std::optional<IntersectKernel> kernel;
 };
 
 struct MethodResult {
@@ -45,6 +51,10 @@ struct MethodResult {
   uint32_t iterations = 0;
   /// Amdahl parallel fraction where the method reports one (else 0).
   double parallel_fraction = 0;
+  /// Kernel the dispatch table ran during this invocation.
+  IntersectKernel kernel_used = IntersectKernel::kScalar;
+  /// Per-kernel intersection counters, measured across this run.
+  IntersectCounters intersect;
 };
 
 /// Runs `method` on `store`, counting triangles.

@@ -55,4 +55,21 @@ bool CommandLine::GetBool(const std::string& name, bool def) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+Result<std::string> CommandLine::GetChoice(
+    const std::string& name, const std::vector<std::string>& choices,
+    const std::string& def) const {
+  auto it = flags_.find(name);
+  const std::string value = it == flags_.end() ? def : it->second;
+  for (const std::string& choice : choices) {
+    if (value == choice) return value;
+  }
+  std::string allowed;
+  for (const std::string& choice : choices) {
+    if (!allowed.empty()) allowed += "|";
+    allowed += choice;
+  }
+  return Status::InvalidArgument("--" + name + "=" + value +
+                                 " (expected one of " + allowed + ")");
+}
+
 }  // namespace opt

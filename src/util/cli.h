@@ -24,6 +24,12 @@ class CommandLine {
   int64_t GetInt(const std::string& name, int64_t def) const;
   double GetDouble(const std::string& name, double def) const;
   bool GetBool(const std::string& name, bool def) const;
+  /// Returns the flag value when it is one of `choices` (or `def` when
+  /// the flag is absent); InvalidArgument names the allowed values
+  /// otherwise. Used for enum-like knobs such as --kernel.
+  Result<std::string> GetChoice(const std::string& name,
+                                const std::vector<std::string>& choices,
+                                const std::string& def) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }

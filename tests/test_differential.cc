@@ -1,0 +1,237 @@
+// Differential tests for the whole triangulation stack: OPT's count and
+// sorted triangle listing must equal the in-memory baseline on seeded
+// R-MAT / Erdős–Rényi / Holme–Kim graphs across the full configuration
+// matrix of {m_in/m_ex splits, thread counts, thread morphing,
+// backward external order, intersection kernel}. A fault-injection
+// variant re-runs OPT end-to-end with randomized read-fault offsets and
+// asserts each run either surfaces a clean IOError or produces the
+// exact result — never a silently wrong count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/iterator_model.h"
+#include "core/opt_runner.h"
+#include "core/triangle_sink.h"
+#include "gen/erdos_renyi.h"
+#include "gen/holme_kim.h"
+#include "gen/rmat.h"
+#include "graph/intersect.h"
+#include "storage/env.h"
+#include "test_helpers.h"
+#include "util/random.h"
+
+namespace opt {
+namespace {
+
+CSRGraph MakeRmat(uint64_t seed) {
+  RmatOptions options;
+  options.scale = 8;
+  options.edge_factor = 6;
+  options.seed = seed;
+  return GenerateRmat(options);
+}
+
+CSRGraph MakeHolmeKim(uint64_t seed) {
+  HolmeKimOptions options;
+  options.num_vertices = 350;
+  options.edges_per_vertex = 4;
+  options.triad_probability = 0.6;
+  options.seed = seed;
+  return GenerateHolmeKim(options);
+}
+
+struct Split {
+  const char* name;
+  uint32_t m_in;
+  uint32_t m_ex;
+};
+
+/// An even paper-default split and a skewed minimal-internal split.
+std::vector<Split> MakeSplits(const GraphStore& store) {
+  const uint32_t even =
+      std::max(store.MaxRecordPages() * 2, store.num_pages() / 5);
+  return {{"even", even, even},
+          {"skewed", std::max(store.MaxRecordPages(), 2u),
+           std::max(2u, store.num_pages() / 3)}};
+}
+
+std::string ConfigLabel(const Split& split, uint32_t threads, bool morph,
+                        bool backward, IntersectKernel kernel) {
+  return std::string("split=") + split.name +
+         " threads=" + std::to_string(threads) +
+         " morph=" + (morph ? "on" : "off") +
+         " backward=" + (backward ? "on" : "off") +
+         " kernel=" + IntersectKernelName(kernel);
+}
+
+OptOptions MakeOptions(const Split& split, uint32_t threads, bool morph,
+                       bool backward, IntersectKernel kernel) {
+  OptOptions options;
+  options.m_in = split.m_in;
+  options.m_ex = split.m_ex;
+  options.num_threads = threads;
+  options.macro_overlap = threads > 1;  // threads=1 maps to OPT_serial
+  options.thread_morphing = morph;
+  options.backward_external_order = backward;
+  options.kernel = kernel;
+  return options;
+}
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    // options.kernel installs process-wide; restore auto-selection.
+    ASSERT_TRUE(SetIntersectKernel(IntersectKernel::kAuto).ok());
+  }
+};
+
+TEST_F(DifferentialTest, RmatFullConfigMatrixMatchesInMemoryBaseline) {
+  CSRGraph g = MakeRmat(42);
+  const auto oracle = testutil::OracleTriangles(g);
+  ASSERT_GT(oracle.size(), 0u);
+  auto store = testutil::MakeStore(g, Env::Default(), "diff_rmat", 256);
+  EdgeIteratorModel model;
+  for (const Split& split : MakeSplits(*store)) {
+    for (uint32_t threads : {1u, 2u, 4u}) {
+      for (bool morph : {false, true}) {
+        for (bool backward : {false, true}) {
+          for (IntersectKernel kernel :
+               {IntersectKernel::kScalar, IntersectKernel::kAuto}) {
+            const std::string label =
+                ConfigLabel(split, threads, morph, backward, kernel);
+            SCOPED_TRACE(label);
+            OptRunner runner(
+                store.get(), &model,
+                MakeOptions(split, threads, morph, backward, kernel));
+            VectorSink sink;
+            Status s = runner.Run(&sink, nullptr);
+            ASSERT_TRUE(s.ok()) << s.ToString();
+            ASSERT_EQ(sink.Sorted(), oracle);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DifferentialTest, ErdosRenyiTrimmedMatrixMatchesInMemoryBaseline) {
+  CSRGraph g = GenerateErdosRenyi(400, 1600, 7);
+  const auto oracle = testutil::OracleTriangles(g);
+  auto store = testutil::MakeStore(g, Env::Default(), "diff_er", 256);
+  EdgeIteratorModel model;
+  const auto splits = MakeSplits(*store);
+  // Trimmed matrix: both splits, extreme thread counts, kernels; morph
+  // and backward toggled together (the full cross runs on R-MAT above).
+  for (const Split& split : splits) {
+    for (uint32_t threads : {1u, 4u}) {
+      for (bool toggles : {false, true}) {
+        for (IntersectKernel kernel :
+             {IntersectKernel::kScalar, IntersectKernel::kAuto}) {
+          const std::string label =
+              ConfigLabel(split, threads, toggles, toggles, kernel);
+          SCOPED_TRACE(label);
+          OptRunner runner(
+              store.get(), &model,
+              MakeOptions(split, threads, toggles, toggles, kernel));
+          VectorSink sink;
+          Status s = runner.Run(&sink, nullptr);
+          ASSERT_TRUE(s.ok()) << s.ToString();
+          ASSERT_EQ(sink.Sorted(), oracle);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DifferentialTest, HolmeKimTrimmedMatrixMatchesInMemoryBaseline) {
+  CSRGraph g = MakeHolmeKim(9);
+  const auto oracle = testutil::OracleTriangles(g);
+  ASSERT_GT(oracle.size(), 0u);  // triad closure guarantees triangles
+  auto store = testutil::MakeStore(g, Env::Default(), "diff_hk", 256);
+  EdgeIteratorModel model;
+  for (const Split& split : MakeSplits(*store)) {
+    for (uint32_t threads : {1u, 2u}) {
+      for (IntersectKernel kernel :
+           {IntersectKernel::kScalar, IntersectKernel::kAuto}) {
+        const std::string label =
+            ConfigLabel(split, threads, true, true, kernel);
+        SCOPED_TRACE(label);
+        OptRunner runner(store.get(), &model,
+                         MakeOptions(split, threads, true, true, kernel));
+        VectorSink sink;
+        Status s = runner.Run(&sink, nullptr);
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        ASSERT_EQ(sink.Sorted(), oracle);
+      }
+    }
+  }
+}
+
+TEST_F(DifferentialTest, VertexIteratorModelAgreesUnderForcedKernels) {
+  // The vertex-iterator instantiation shares the same intersection
+  // kernels through a different access pattern.
+  CSRGraph g = MakeRmat(11);
+  const auto oracle = testutil::OracleTriangles(g);
+  auto store = testutil::MakeStore(g, Env::Default(), "diff_vi", 256);
+  VertexIteratorModel model;
+  const auto splits = MakeSplits(*store);
+  for (IntersectKernel kernel :
+       {IntersectKernel::kScalar, IntersectKernel::kAuto}) {
+    SCOPED_TRACE(IntersectKernelName(kernel));
+    OptRunner runner(store.get(), &model,
+                     MakeOptions(splits[0], 3, true, true, kernel));
+    VectorSink sink;
+    Status s = runner.Run(&sink, nullptr);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_EQ(sink.Sorted(), oracle);
+  }
+}
+
+TEST_F(DifferentialTest, RandomizedFaultOffsetsNeverYieldWrongCounts) {
+  // End-to-end fault injection: arm a read failure at a random offset
+  // for each trial while also varying threads, morphing, and kernel.
+  // Every run must either complete with the exact count (the fault
+  // landed past the last read) or fail with a clean IOError.
+  CSRGraph g = MakeRmat(5);
+  FaultInjectionEnv fenv(Env::Default());
+  auto store = testutil::MakeStore(g, &fenv, "diff_fault", 256);
+  const uint64_t oracle = testutil::OracleCount(g);
+  EdgeIteratorModel model;
+  const auto splits = MakeSplits(*store);
+
+  Random64 rng(0xFA17);
+  int completed = 0;
+  int faulted = 0;
+  for (int trial = 0; trial < 28; ++trial) {
+    const uint32_t threads = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    const bool morph = rng.Uniform(2) == 0;
+    const IntersectKernel kernel = rng.Uniform(2) == 0
+                                       ? IntersectKernel::kScalar
+                                       : IntersectKernel::kAuto;
+    const Split& split = splits[rng.Uniform(splits.size())];
+    // Offsets span "fails immediately" through "fails after the run".
+    const int64_t offset = static_cast<int64_t>(rng.Uniform(3000));
+    SCOPED_TRACE(ConfigLabel(split, threads, morph, true, kernel) +
+                 " fail_after=" + std::to_string(offset));
+    fenv.FailReadsAfter(static_cast<int64_t>(fenv.read_count()) + offset);
+    OptRunner runner(store.get(), &model,
+                     MakeOptions(split, threads, morph, true, kernel));
+    CountingSink sink;
+    Status s = runner.Run(&sink, nullptr);
+    if (s.ok()) {
+      ASSERT_EQ(sink.count(), oracle);
+      ++completed;
+    } else {
+      ASSERT_TRUE(s.IsIOError()) << s.ToString();
+      ++faulted;
+    }
+  }
+  // The offset range is tuned so the sweep exercises both outcomes.
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(faulted, 0);
+}
+
+}  // namespace
+}  // namespace opt

@@ -3,11 +3,13 @@
 //
 //   triangle_count --store /path/base [--method OPT|OPT_serial|MGT|
 //       CC-Seq|CC-DS|GraphChi-Tri|ideal] [--buffer_percent 15]
-//       [--threads N] [--list FILE]
+//       [--threads N] [--list FILE] [--kernel scalar|sse|avx2|auto]
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "core/iterator_model.h"
+#include "graph/intersect.h"
 #include "core/opt_runner.h"
 #include "core/triangle_sink.h"
 #include "harness/datasets.h"
@@ -36,7 +38,23 @@ int main(int argc, char** argv) {
   const std::string method_name = cl->GetString("method", "OPT");
   const std::string list_path = cl->GetString("list", "");
 
+  std::optional<IntersectKernel> kernel;
+  if (cl->Has("kernel")) {
+    auto choice =
+        cl->GetChoice("kernel", {"scalar", "sse", "avx2", "auto"}, "auto");
+    if (!choice.ok()) {
+      std::fprintf(stderr, "%s\n", choice.status().ToString().c_str());
+      return 2;
+    }
+    kernel = *ParseIntersectKernel(*choice);
+    if (Status s = SetIntersectKernel(*kernel); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
   MethodConfig config;
+  config.kernel = kernel;
   config.memory_pages = PagesForBufferPercent(
       **store, cl->GetDouble("buffer_percent", 15.0));
   config.num_threads = static_cast<uint32_t>(cl->GetInt("threads", 2));
@@ -49,6 +67,7 @@ int main(int argc, char** argv) {
                             (*store)->MaxRecordPages());
     options.m_ex = std::max(1u, config.memory_pages / 2);
     options.num_threads = config.num_threads;
+    options.kernel = kernel;
     EdgeIteratorModel model;
     OptRunner runner(store->get(), &model, options);
     ListingSink listing(Env::Default(), list_path);
@@ -79,6 +98,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("method:    %s\n", result->method.c_str());
+  std::printf("kernel:    %s (%llu intersect calls, %llu elements)\n",
+              IntersectKernelName(result->kernel_used),
+              static_cast<unsigned long long>(result->intersect.TotalCalls()),
+              static_cast<unsigned long long>(
+                  result->intersect.TotalElements()));
   std::printf("triangles: %llu\n",
               static_cast<unsigned long long>(result->triangles));
   std::printf("elapsed:   %.3f s\n", result->seconds);
