@@ -195,7 +195,8 @@ bench_build/CMakeFiles/bench_fig3a_relative_overhead.dir/bench_fig3a_relative_ov
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/x86_64-linux-gnu/sys/stat.h \
  /usr/include/x86_64-linux-gnu/bits/stat.h \
  /usr/include/x86_64-linux-gnu/bits/struct_stat.h \
@@ -211,17 +212,16 @@ bench_build/CMakeFiles/bench_fig3a_relative_overhead.dir/bench_fig3a_relative_ov
  /usr/include/x86_64-linux-gnu/bits/statx-generic.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx_timestamp.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
- /root/repo/src/harness/datasets.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /root/repo/src/graph/intersect.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/graph/csr_graph.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/util/status.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/storage/env.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/harness/datasets.h /root/repo/src/storage/env.h \
  /usr/include/c++/12/atomic /root/repo/src/util/slice.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/storage/graph_store.h /root/repo/src/storage/page.h \
@@ -256,5 +256,5 @@ bench_build/CMakeFiles/bench_fig3a_relative_overhead.dir/bench_fig3a_relative_ov
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/optional \
- /root/repo/src/core/opt_runner.h /root/repo/src/util/stopwatch.h
+ /usr/include/c++/12/condition_variable /root/repo/src/core/opt_runner.h \
+ /root/repo/src/util/stopwatch.h

@@ -240,5 +240,6 @@ examples/CMakeFiles/community_triangles.dir/community_triangles.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/optional \
- /root/repo/src/core/opt_runner.h /root/repo/src/graph/builder.h \
- /root/repo/src/util/cli.h /root/repo/src/util/random.h
+ /root/repo/src/core/opt_runner.h /root/repo/src/graph/intersect.h \
+ /root/repo/src/graph/builder.h /root/repo/src/util/cli.h \
+ /root/repo/src/util/random.h

@@ -239,8 +239,8 @@ examples/CMakeFiles/out_of_core_pipeline.dir/out_of_core_pipeline.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/core/opt_runner.h /root/repo/src/gen/rmat.h \
- /root/repo/src/storage/store_builder.h /root/repo/src/util/cli.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/core/opt_runner.h /root/repo/src/graph/intersect.h \
+ /root/repo/src/gen/rmat.h /root/repo/src/storage/store_builder.h \
+ /root/repo/src/util/cli.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

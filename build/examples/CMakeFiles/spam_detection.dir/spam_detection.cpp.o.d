@@ -240,8 +240,8 @@ examples/CMakeFiles/spam_detection.dir/spam_detection.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/optional \
- /root/repo/src/core/opt_runner.h /root/repo/src/gen/rmat.h \
- /root/repo/src/graph/builder.h /root/repo/src/graph/reorder.h \
- /root/repo/src/util/cli.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/core/opt_runner.h /root/repo/src/graph/intersect.h \
+ /root/repo/src/gen/rmat.h /root/repo/src/graph/builder.h \
+ /root/repo/src/graph/reorder.h /root/repo/src/util/cli.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/random.h

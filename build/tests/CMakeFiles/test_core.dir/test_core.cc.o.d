@@ -315,7 +315,8 @@ tests/CMakeFiles/test_core.dir/test_core.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/core/triangle.h /root/repo/src/util/blocking_queue.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/condition_variable \
- /root/repo/src/core/opt_runner.h /root/repo/src/gen/erdos_renyi.h \
- /root/repo/src/gen/holme_kim.h /root/repo/src/gen/rmat.h \
- /root/repo/src/graph/builder.h /root/repo/tests/test_helpers.h \
- /root/repo/src/baselines/inmemory.h /root/repo/src/util/stopwatch.h
+ /root/repo/src/core/opt_runner.h /root/repo/src/graph/intersect.h \
+ /root/repo/src/gen/erdos_renyi.h /root/repo/src/gen/holme_kim.h \
+ /root/repo/src/gen/rmat.h /root/repo/src/graph/builder.h \
+ /root/repo/tests/test_helpers.h /root/repo/src/baselines/inmemory.h \
+ /root/repo/src/util/stopwatch.h

@@ -299,12 +299,13 @@ tests/CMakeFiles/test_harness.dir/test_harness.cc.o: \
  /root/repo/src/util/slice.h /usr/include/c++/12/cstring \
  /root/repo/src/storage/graph_store.h /root/repo/src/storage/page.h \
  /root/repo/src/storage/page_file.h /root/repo/src/harness/methods.h \
- /root/repo/tests/test_helpers.h /root/repo/src/baselines/inmemory.h \
- /root/repo/src/core/triangle_sink.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/graph/intersect.h /root/repo/tests/test_helpers.h \
+ /root/repo/src/baselines/inmemory.h /root/repo/src/core/triangle_sink.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

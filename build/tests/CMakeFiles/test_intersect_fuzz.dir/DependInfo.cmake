@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_intersect_fuzz.cc" "tests/CMakeFiles/test_intersect_fuzz.dir/test_intersect_fuzz.cc.o" "gcc" "tests/CMakeFiles/test_intersect_fuzz.dir/test_intersect_fuzz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/opt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/distsim/CMakeFiles/opt_distsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/opt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/opt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/opt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/opt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/opt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/opt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

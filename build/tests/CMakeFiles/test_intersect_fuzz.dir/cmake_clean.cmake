@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intersect_fuzz.dir/test_intersect_fuzz.cc.o"
+  "CMakeFiles/test_intersect_fuzz.dir/test_intersect_fuzz.cc.o.d"
+  "test_intersect_fuzz"
+  "test_intersect_fuzz.pdb"
+  "test_intersect_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intersect_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

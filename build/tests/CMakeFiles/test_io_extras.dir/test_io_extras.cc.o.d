@@ -316,5 +316,6 @@ tests/CMakeFiles/test_io_extras.dir/test_io_extras.cc.o: \
  /root/repo/src/core/triangle.h /root/repo/src/util/blocking_queue.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/condition_variable \
  /root/repo/src/core/listing_reader.h /root/repo/src/core/opt_runner.h \
- /root/repo/src/gen/erdos_renyi.h /root/repo/src/graph/builder.h \
- /root/repo/tests/test_helpers.h /root/repo/src/baselines/inmemory.h
+ /root/repo/src/graph/intersect.h /root/repo/src/gen/erdos_renyi.h \
+ /root/repo/src/graph/builder.h /root/repo/tests/test_helpers.h \
+ /root/repo/src/baselines/inmemory.h

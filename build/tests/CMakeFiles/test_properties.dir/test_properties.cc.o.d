@@ -319,7 +319,7 @@ tests/CMakeFiles/test_properties.dir/test_properties.cc.o: \
  /root/repo/src/storage/buffer_pool.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/util/aligned_buffer.h /root/repo/src/core/opt_runner.h \
- /root/repo/src/distsim/distributed.h \
+ /root/repo/src/graph/intersect.h /root/repo/src/distsim/distributed.h \
  /root/repo/src/distsim/network_model.h /root/repo/src/gen/erdos_renyi.h \
  /root/repo/src/graph/builder.h /root/repo/src/gen/holme_kim.h \
  /root/repo/src/gen/rmat.h /root/repo/src/graph/reorder.h \

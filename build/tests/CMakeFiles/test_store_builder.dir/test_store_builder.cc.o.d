@@ -316,9 +316,10 @@ tests/CMakeFiles/test_store_builder.dir/test_store_builder.cc.o: \
  /root/repo/src/util/aligned_buffer.h \
  /root/repo/src/storage/graph_store.h /root/repo/src/storage/page.h \
  /root/repo/src/storage/page_file.h /root/repo/src/core/opt_runner.h \
- /root/repo/src/gen/rmat.h /root/repo/src/graph/builder.h \
- /root/repo/src/graph/reorder.h /root/repo/src/storage/external_sort.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/graph/intersect.h /root/repo/src/gen/rmat.h \
+ /root/repo/src/graph/builder.h /root/repo/src/graph/reorder.h \
+ /root/repo/src/storage/external_sort.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h \

@@ -19,3 +19,5 @@ include("/root/repo/build/tests/test_io_extras[1]_include.cmake")
 include("/root/repo/build/tests/test_store_builder[1]_include.cmake")
 include("/root/repo/build/tests/test_extensions[1]_include.cmake")
 include("/root/repo/build/tests/test_iterator_models[1]_include.cmake")
+include("/root/repo/build/tests/test_intersect_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
