@@ -1,0 +1,172 @@
+// Service-layer throughput: closed-loop clients issuing COUNT queries
+// through the QueryScheduler (in process — no socket overhead, so the
+// numbers isolate scheduling + shared-pool behavior) while the worker
+// count sweeps {1, 2, 4, 8}.
+//
+// Reported per worker count: queries/sec, mean latency, shared-pool hit
+// rate, and how many queries were answered without a fresh run
+// (coalesced / cached). One JSON line per configuration on stdout
+// (prefix "JSON ") for trend tracking; see EXPERIMENTS.md.
+//
+//   bench_service_throughput [--clients N] [--queries_per_client N]
+//       [--pages N] [--no_cache] + the common flags (bench_common.h)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/erdos_renyi.h"
+#include "service/graph_registry.h"
+#include "service/query_scheduler.h"
+#include "storage/buffer_pool.h"
+#include "storage/graph_store.h"
+#include "util/table_printer.h"
+
+using namespace opt;
+using namespace opt::bench;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  double total_latency = 0;  // summed per-query wall time
+  SchedulerStats stats;
+  PoolStatsSnapshot pool;
+};
+
+RunResult RunWave(Env* env, const std::vector<std::string>& store_paths,
+                  uint32_t workers, int clients, int queries_per_client,
+                  uint32_t pages, bool enable_cache) {
+  GraphRegistry registry(env);
+  SchedulerOptions options;
+  options.workers = workers;
+  options.max_queue = static_cast<uint32_t>(clients * queries_per_client);
+  options.default_memory_pages = pages;
+  options.enable_result_cache = enable_cache;
+  QueryScheduler scheduler(&registry, options);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < store_paths.size(); ++i) {
+    names.push_back("g" + std::to_string(i));
+    Status s = scheduler.LoadGraph(names.back(), store_paths[i]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "load: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const PoolStatsSnapshot pool_before =
+      registry.pool()->stats().Snapshot();
+
+  RunResult result;
+  std::atomic<uint64_t> errors{0};
+  std::vector<double> latencies(clients, 0.0);
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int q = 0; q < queries_per_client; ++q) {
+        QuerySpec spec;
+        // Clients pair up (0&1, 2&3, ...): both members issue identical
+        // query streams, so half the load is duplicates that can
+        // coalesce or hit the cache while the rest are distinct runs.
+        spec.graph = names[(c / 2 + q) % names.size()];
+        spec.memory_pages = pages + (c / 2) * queries_per_client + q;
+        const auto q0 = std::chrono::steady_clock::now();
+        const QueryResult answer = scheduler.Run(spec);
+        const auto q1 = std::chrono::steady_clock::now();
+        latencies[c] +=
+            std::chrono::duration<double>(q1 - q0).count();
+        if (!answer.status.ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.queries =
+      static_cast<uint64_t>(clients) * queries_per_client;
+  result.errors = errors.load();
+  for (double latency : latencies) result.total_latency += latency;
+  result.stats = scheduler.stats();
+  result.pool = PoolStatsSnapshot::Delta(
+      registry.pool()->stats().Snapshot(), pool_before);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx = MakeContext(argc, argv);
+  auto cl = CommandLine::Parse(argc, argv);
+  const int clients = static_cast<int>(cl->GetInt("clients", 8));
+  const int queries_per_client =
+      static_cast<int>(cl->GetInt("queries_per_client", 8));
+  const uint32_t pages =
+      static_cast<uint32_t>(cl->GetInt("pages", 128));
+  const bool enable_cache = !cl->GetBool("no_cache", false);
+
+  Banner("service_throughput",
+         "Closed-loop COUNT clients against the query service; worker "
+         "sweep with a shared buffer pool across two graphs.");
+
+  // Two mid-sized graphs so queries contend for the shared pool.
+  const uint64_t scale = 1ull << ctx.scale_shift;
+  std::vector<std::string> store_paths;
+  for (int i = 0; i < 2; ++i) {
+    CSRGraph g = GenerateErdosRenyi(
+        static_cast<VertexId>(4000 / scale),
+        static_cast<uint64_t>(60000 / scale), 97 + i);
+    const std::string base =
+        ctx.work_dir + "/svc_bench_g" + std::to_string(i);
+    GraphStoreOptions options;
+    options.page_size = kPageSize;
+    if (Status s = GraphStore::Create(g, ctx.get_env(), base, options);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    store_paths.push_back(base);
+  }
+
+  TablePrinter table({"workers", "qps", "mean_lat_ms", "pool_hit_rate",
+                      "executed", "coalesced", "cache_hits", "errors"});
+  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+    const RunResult r =
+        RunWave(ctx.get_env(), store_paths, workers, clients,
+                queries_per_client, pages, enable_cache);
+    const double qps = r.seconds > 0 ? r.queries / r.seconds : 0.0;
+    const double mean_latency_ms =
+        r.queries > 0 ? r.total_latency / r.queries * 1e3 : 0.0;
+    const double hit_rate =
+        r.pool.lookups > 0
+            ? static_cast<double>(r.pool.hits) / r.pool.lookups
+            : 0.0;
+    table.AddRow({std::to_string(workers), TablePrinter::Fmt(qps, 1),
+                  TablePrinter::Fmt(mean_latency_ms, 2),
+                  TablePrinter::Fmt(hit_rate, 3),
+                  std::to_string(r.stats.executed),
+                  std::to_string(r.stats.coalesced),
+                  std::to_string(r.stats.cache_hits),
+                  std::to_string(r.errors)});
+    std::printf(
+        "JSON {\"experiment\":\"service_throughput\",\"workers\":%u,"
+        "\"clients\":%d,\"queries\":%llu,\"qps\":%.2f,"
+        "\"mean_latency_ms\":%.3f,\"pool_hit_rate\":%.4f,"
+        "\"executed\":%llu,\"coalesced\":%llu,\"cache_hits\":%llu,"
+        "\"errors\":%llu}\n",
+        workers, clients,
+        static_cast<unsigned long long>(r.queries), qps, mean_latency_ms,
+        hit_rate, static_cast<unsigned long long>(r.stats.executed),
+        static_cast<unsigned long long>(r.stats.coalesced),
+        static_cast<unsigned long long>(r.stats.cache_hits),
+        static_cast<unsigned long long>(r.errors));
+    if (r.errors != 0) return 1;
+  }
+  table.Print();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <deque>
 #include <map>
+#include <optional>
 #include <thread>
 
 #include "core/page_range_view.h"
@@ -34,6 +35,7 @@ struct RunContext {
   TriangleSink* sink = nullptr;
 
   BufferPool* pool = nullptr;
+  uint32_t owner = 0;  // page-key namespace within the pool
   AsyncIoEngine* engine = nullptr;
   CompletionQueue completions;
 
@@ -69,6 +71,8 @@ struct RunContext {
   std::atomic<uint64_t> external_pages{0};
   std::atomic<uint64_t> external_hits{0};
 
+  PageKey Key(uint32_t pid) const { return MakePageKey(owner, pid); }
+
   void RecordError(const Status& status) {
     std::lock_guard<std::mutex> lock(error_mutex);
     if (first_error.ok()) first_error = status;
@@ -76,6 +80,16 @@ struct RunContext {
   }
 
   bool aborted() const { return abort.load(std::memory_order_acquire); }
+
+  /// Polls the external cancellation flag (deadline watchdogs); turns it
+  /// into the run-wide abort. Returns the combined abort state.
+  bool CheckCancel() {
+    if (!aborted() && options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      RecordError(Status::Aborted("query cancelled"));
+    }
+    return aborted();
+  }
 
   bool InternalDone() const {
     return internal_pages_done.load(std::memory_order_acquire) >=
@@ -106,7 +120,7 @@ void CollectCandidatesFromPage(RunContext* ctx, const char* data) {
 void ProcessInternalPage(RunContext* ctx, uint32_t page_index,
                          ModelScratch* scratch) {
   Stopwatch watch;
-  if (!ctx->aborted()) {
+  if (!ctx->CheckCancel()) {
     PageView page(ctx->internal_page_data[page_index],
                   ctx->store->page_size());
     const uint32_t slots = page.num_slots();
@@ -141,20 +155,28 @@ void SubmitChunk(RunContext* ctx, Chunk chunk);
 /// The L_now/L_later regulator of Algorithm 4: submits queued chunks
 /// while the in-flight external page budget (m_ex) allows. Completions
 /// return budget and pump again, which realizes Algorithm 9's chained
-/// asynchronous reads.
+/// asynchronous reads. On abort the remaining queue is dropped instead
+/// of read — cancellation should not pay for I/O it will ignore.
 void PumpExternal(RunContext* ctx) {
   std::vector<Chunk> to_submit;
+  uint32_t dropped = 0;
   {
     std::lock_guard<std::mutex> lock(ctx->later_mutex);
-    while (!ctx->later.empty() &&
-           ctx->ext_used + ctx->later.front().page_count <=
-               ctx->ext_capacity) {
-      ctx->ext_used += ctx->later.front().page_count;
-      to_submit.push_back(std::move(ctx->later.front()));
-      ctx->later.pop_front();
+    if (ctx->aborted()) {
+      dropped = static_cast<uint32_t>(ctx->later.size());
+      ctx->later.clear();
+    } else {
+      while (!ctx->later.empty() &&
+             ctx->ext_used + ctx->later.front().page_count <=
+                 ctx->ext_capacity) {
+        ctx->ext_used += ctx->later.front().page_count;
+        to_submit.push_back(std::move(ctx->later.front()));
+        ctx->later.pop_front();
+      }
     }
   }
   for (auto& chunk : to_submit) SubmitChunk(ctx, std::move(chunk));
+  for (uint32_t i = 0; i < dropped; ++i) ctx->group_ex.Done();
 }
 
 /// Algorithm 9: ExternalTriangle for one loaded chunk, then chain the
@@ -162,7 +184,19 @@ void PumpExternal(RunContext* ctx) {
 void ProcessChunk(RunContext* ctx, Chunk chunk,
                   std::vector<Frame*> frames) {
   Stopwatch watch;
-  if (!ctx->aborted()) {
+  // Frames fetched as in-flight were loaded by a concurrent query
+  // sharing the pool; their validity is published by that query's I/O
+  // workers, never by our completion drain, so this wait always makes
+  // progress.
+  Status frames_ready;
+  for (Frame* f : frames) {
+    frames_ready = ctx->pool->WaitValid(f);
+    if (!frames_ready.ok()) {
+      ctx->RecordError(frames_ready);
+      break;
+    }
+  }
+  if (frames_ready.ok() && !ctx->CheckCancel()) {
     std::vector<const char*> data;
     data.reserve(frames.size());
     for (Frame* f : frames) data.push_back(f->data);
@@ -200,7 +234,9 @@ void ProcessChunk(RunContext* ctx, Chunk chunk,
 }
 
 /// Issues the asynchronous reads for one chunk; pages already cached in
-/// the buffer pool are reused without I/O (the Δ-I/O savings of §3.3).
+/// the buffer pool — by this run's earlier iterations or by concurrent
+/// queries on a shared pool — are reused without I/O (the Δ-I/O savings
+/// of §3.3).
 void SubmitChunk(RunContext* ctx, Chunk chunk) {
   struct ChunkState {
     RunContext* ctx;
@@ -215,17 +251,13 @@ void SubmitChunk(RunContext* ctx, Chunk chunk) {
   std::vector<uint32_t> missing;
   for (uint32_t i = 0; i < chunk.page_count; ++i) {
     const uint32_t pid = chunk.first_pid + i;
-    if (Frame* cached = ctx->pool->LookupAndPin(pid)) {
-      state->frames[i] = cached;
-      ctx->external_hits.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    auto frame = ctx->pool->AllocateForRead(pid);
-    if (!frame.ok()) {
-      ctx->RecordError(frame.status());
-      for (Frame* f : state->frames) {
-        if (f != nullptr) ctx->pool->Unpin(f);
-      }
+    auto fetch = ctx->pool->Fetch(ctx->Key(pid));
+    if (!fetch.ok()) {
+      ctx->RecordError(fetch.status());
+      // Roll back: owned misses must be published as failed before the
+      // pin drops, or concurrent waiters would hang on them forever.
+      for (uint32_t j : missing) ctx->pool->MarkFailed(state->frames[j]);
+      for (uint32_t j = 0; j < i; ++j) ctx->pool->Unpin(state->frames[j]);
       {
         std::lock_guard<std::mutex> lock(ctx->later_mutex);
         ctx->ext_used -= chunk.page_count;
@@ -233,8 +265,12 @@ void SubmitChunk(RunContext* ctx, Chunk chunk) {
       ctx->group_ex.Done();
       return;
     }
-    state->frames[i] = frame.value();
-    missing.push_back(i);
+    state->frames[i] = fetch->frame;
+    if (fetch->outcome == BufferPool::FetchOutcome::kMiss) {
+      missing.push_back(i);
+    } else {
+      ctx->external_hits.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   ctx->external_pages.fetch_add(missing.size(), std::memory_order_relaxed);
   state->chunk = std::move(chunk);
@@ -258,18 +294,14 @@ void SubmitChunk(RunContext* ctx, Chunk chunk) {
     request.page_count = 1;
     request.frames = {frame};
     request.completion_queue = &ctx->completions;
-    request.callback = [state, pid, frame](const Status& status) {
+    // The I/O worker validates and publishes the frame (MarkValid /
+    // MarkFailed) before this callback is queued.
+    request.pool = ctx->pool;
+    request.validate = ctx->options.validate_pages;
+    request.page_size = ctx->store->page_size();
+    request.callback = [state](const Status& status) {
       RunContext* ctx = state->ctx;
-      if (!status.ok()) {
-        ctx->RecordError(status);
-      } else {
-        if (ctx->options.validate_pages) {
-          const Status v =
-              PageView(frame->data, ctx->store->page_size()).Validate(pid);
-          if (!v.ok()) ctx->RecordError(v);
-        }
-        ctx->pool->MarkValid(frame);
-      }
+      if (!status.ok()) ctx->RecordError(status);
       if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         ProcessChunk(ctx, std::move(state->chunk),
                      std::move(state->frames));
@@ -317,6 +349,24 @@ void FlexRole(RunContext* ctx) {
   }
 }
 
+/// Scoped shared-pool capacity claim: guarantees this run can keep its
+/// m_in + ext_capacity (+ slack) frames pinned without starving the
+/// other queries on the pool. Released capacity stays behind as cache.
+struct FrameReservation {
+  BufferPool* pool;
+  uint32_t n;
+  FrameReservation(BufferPool* pool, uint32_t n) : pool(pool), n(n) {
+    pool->ReserveFrames(n);
+  }
+  ~FrameReservation() { pool->ReleaseFrames(n); }
+  void GrowTo(uint32_t total) {
+    if (total > n) {
+      pool->ReserveFrames(total - n);
+      n = total;
+    }
+  }
+};
+
 }  // namespace
 
 OptRunner::OptRunner(GraphStore* store, const IteratorModel* model,
@@ -336,6 +386,14 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
         " pages) smaller than the largest adjacency list (" +
         std::to_string(store_->MaxRecordPages()) + " pages)");
   }
+  if (options_.shared_pool != nullptr &&
+      options_.shared_pool->page_size() != store_->page_size()) {
+    return Status::InvalidArgument(
+        "shared pool page size (" +
+        std::to_string(options_.shared_pool->page_size()) +
+        ") does not match the store's (" +
+        std::to_string(store_->page_size()) + ")");
+  }
   if (store_->num_vertices() == 0) {
     if (stats != nullptr) *stats = OptRunStats();
     return sink->Finish();
@@ -343,26 +401,35 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
 
   Stopwatch total_watch;
   // Declaration order is load-bearing: the context (and its completion
-  // queue) must outlive the engine, whose destructor joins the I/O
-  // workers — a worker's completion push may otherwise race the queue's
-  // destruction at the end of Run().
+  // queue) and the pool must outlive the engine, whose destructor joins
+  // the I/O workers — a worker's completion push or frame publication
+  // may otherwise race their destruction at the end of Run().
   RunContext ctx;
   // m_in + m_ex frames as in the paper; grows per iteration only if a
-  // merged chunk around spanning adjacency lists exceeds m_ex.
-  BufferPool pool(store_->page_size(), options_.m_in + options_.m_ex + 2);
+  // merged chunk around spanning adjacency lists exceeds m_ex. A shared
+  // pool instead *reserves* that capacity so concurrent queries compose.
+  std::optional<BufferPool> private_pool;
+  BufferPool* pool = options_.shared_pool;
+  if (pool == nullptr) {
+    private_pool.emplace(store_->page_size(),
+                         options_.m_in + options_.m_ex + 2);
+    pool = &*private_pool;
+  }
+  FrameReservation reservation(pool, options_.m_in + options_.m_ex + 2);
   AsyncIoEngine engine(options_.io_queue_depth);
 
   ctx.store = store_;
   ctx.model = model_;
   ctx.options = options_;
   ctx.sink = sink;
-  ctx.pool = &pool;
+  ctx.pool = pool;
+  ctx.owner = options_.shared_pool != nullptr ? options_.pool_owner : 0;
   ctx.engine = &engine;
 
   OptRunStats run_stats;
   const VertexId n = store_->num_vertices();
   VertexId v_start = 0;
-  while (v_start < n) {
+  while (v_start < n && !ctx.CheckCancel()) {
     OPT_ASSIGN_OR_RETURN(ctx.plan,
                          store_->PlanIteration(v_start, options_.m_in));
     IterationStats iter;
@@ -386,48 +453,60 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
 
     for (uint32_t i = 0; i < pages; ++i) {
       const uint32_t pid = ctx.plan.pid_lo + i;
-      if (Frame* cached = pool.LookupAndPin(pid)) {
-        // Buffered by the previous iteration's external loads — the
-        // paper's Δin I/O saving.
-        ctx.internal_frames[i] = cached;
-        iter.internal_cache_hits++;
-        CollectCandidatesFromPage(&ctx, cached->data);
+      auto fetch = pool->Fetch(ctx.Key(pid));
+      if (!fetch.ok()) {
+        ctx.RecordError(fetch.status());
+        break;
+      }
+      Frame* f = fetch->frame;
+      ctx.internal_frames[i] = f;
+      if (fetch->outcome == BufferPool::FetchOutcome::kMiss) {
+        ctx.group_in.Add();
+        ReadRequest request;
+        request.file = store_->file();
+        request.first_pid = pid;
+        request.page_count = 1;
+        request.frames = {f};
+        request.completion_queue = &ctx.completions;
+        // Validation and MarkValid/MarkFailed happen on the I/O worker.
+        request.pool = pool;
+        request.validate = options_.validate_pages;
+        request.page_size = store_->page_size();
+        RunContext* pctx = &ctx;
+        request.callback = [pctx, f](const Status& status) {
+          if (!status.ok()) {
+            pctx->RecordError(status);
+          } else if (!pctx->aborted()) {
+            CollectCandidatesFromPage(pctx, f->data);
+          }
+          pctx->group_in.Done();
+        };
+        engine.Submit(std::move(request));
         continue;
       }
-      auto frame = pool.AllocateForRead(pid);
-      if (!frame.ok()) return frame.status();
-      ctx.internal_frames[i] = frame.value();
-      ctx.group_in.Add();
-      ReadRequest request;
-      request.file = store_->file();
-      request.first_pid = pid;
-      request.page_count = 1;
-      request.frames = {frame.value()};
-      request.completion_queue = &ctx.completions;
-      Frame* f = frame.value();
-      RunContext* pctx = &ctx;
-      request.callback = [pctx, pid, f](const Status& status) {
-        if (!status.ok()) {
-          pctx->RecordError(status);
-        } else {
-          if (pctx->options.validate_pages) {
-            const Status v =
-                PageView(f->data, pctx->store->page_size()).Validate(pid);
-            if (!v.ok()) pctx->RecordError(v);
-          }
-          pctx->pool->MarkValid(f);
-          if (!pctx->aborted()) CollectCandidatesFromPage(pctx, f->data);
+      // Buffered by a previous iteration's external loads or by a
+      // concurrent query — the paper's Δin I/O saving either way.
+      iter.internal_cache_hits++;
+      if (fetch->outcome == BufferPool::FetchOutcome::kInFlight) {
+        const Status w = pool->WaitValid(f);
+        if (!w.ok()) {
+          ctx.RecordError(w);
+          break;
         }
-        pctx->group_in.Done();
-      };
-      engine.Submit(std::move(request));
+      }
+      CollectCandidatesFromPage(&ctx, f->data);
     }
     // The main thread drains completion callbacks while remaining reads
     // are in flight (micro-level overlap of load and candidate parsing).
     while (!ctx.group_in.Finished()) {
       if (auto task = ctx.completions.PopFor(200)) (*task)();
     }
-    if (ctx.aborted()) break;
+    if (ctx.aborted()) {
+      for (Frame* f : ctx.internal_frames) {
+        if (f != nullptr) pool->Unpin(f);
+      }
+      break;
+    }
     iter.internal_pages = pages;
     iter.load_seconds = load_watch.ElapsedSeconds();
 
@@ -438,7 +517,11 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
     }
     Status view_status = ctx.internal_view.Build(
         *store_, ctx.plan.pid_lo, ctx.internal_page_data);
-    if (!view_status.ok()) return view_status;
+    if (!view_status.ok()) {
+      ctx.RecordError(view_status);
+      for (Frame* f : ctx.internal_frames) pool->Unpin(f);
+      break;
+    }
 
     std::sort(ctx.candidates.begin(), ctx.candidates.end());
     ctx.candidates.erase(
@@ -493,7 +576,8 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
     iter.chunks = chunks.size();
 
     // The in-flight budget (m_ex) regulates L_now vs L_later; an
-    // oversized merged chunk raises it (and the pool grows to match).
+    // oversized merged chunk raises it (and the reserved pool capacity
+    // grows to match).
     uint32_t largest_chunk = 0;
     for (const auto& chunk : chunks) {
       largest_chunk = std::max(largest_chunk, chunk.page_count);
@@ -505,7 +589,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
       ctx.ext_used = 0;
       for (auto& chunk : chunks) ctx.later.push_back(std::move(chunk));
     }
-    pool.EnsureFrames(options_.m_in + ctx.ext_capacity + 2);
+    reservation.GrowTo(options_.m_in + ctx.ext_capacity + 2);
     ctx.group_ex.Add(static_cast<uint32_t>(chunks.size()));
     run_stats.serial_seconds +=
         iter.load_seconds + plan_watch.ElapsedSeconds();
@@ -543,7 +627,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
     run_stats.parallel_seconds += iter.overlap_seconds;
 
     // ----- Phase D: unpin the internal area (Algorithm 3 lines 12-13) --
-    for (Frame* f : ctx.internal_frames) pool.Unpin(f);
+    for (Frame* f : ctx.internal_frames) pool->Unpin(f);
 
     iter.internal_cpu_seconds =
         static_cast<double>(ctx.internal_cpu_micros.load()) * 1e-6;

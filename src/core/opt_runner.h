@@ -8,6 +8,7 @@
 #ifndef OPT_CORE_OPT_RUNNER_H_
 #define OPT_CORE_OPT_RUNNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "core/iterator_model.h"
 #include "core/triangle_sink.h"
 #include "graph/intersect.h"
+#include "storage/buffer_pool.h"
 #include "storage/graph_store.h"
 #include "util/status.h"
 
@@ -53,6 +55,20 @@ struct OptOptions {
   /// start. Selection is process-wide, so concurrent runners with
   /// different explicit kernels will interleave.
   std::optional<IntersectKernel> kernel;
+  /// Externally owned pool (service mode). Pages survive across runs,
+  /// so repeated queries hit instead of re-reading — the Δ I/O saving
+  /// amortized across a workload — and concurrent queries share frames.
+  /// The pool's page size must match the store's. Null (the default)
+  /// gives the run a private pool, as the batch tools always did.
+  BufferPool* shared_pool = nullptr;
+  /// Page-key namespace tag within `shared_pool` (one per registered
+  /// graph; see GraphRegistry). Ignored for private pools.
+  uint32_t pool_owner = 0;
+  /// Cooperative cancellation (deadlines, client disconnects): checked
+  /// at page/chunk granularity; once true the run finishes the in-flight
+  /// I/O it owes the shared pool, skips remaining triangulation, and
+  /// returns Status::Aborted.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Per-iteration instrumentation (Figure 4).

@@ -1,0 +1,62 @@
+// OptClient: blocking client for the opt_server wire protocol. One
+// connection per client; not thread safe — concurrent callers use one
+// client each (connections are cheap, the server is thread-per-conn).
+#ifndef OPT_SERVICE_CLIENT_H_
+#define OPT_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "service/wire.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct ClientQueryOptions {
+  uint32_t memory_pages = 0;    // 0 = server default
+  uint32_t num_threads = 0;     // 0 = server default
+  uint64_t deadline_millis = 0; // 0 = none
+};
+
+class OptClient {
+ public:
+  OptClient() = default;
+  ~OptClient();
+
+  OptClient(const OptClient&) = delete;
+  OptClient& operator=(const OptClient&) = delete;
+  OptClient(OptClient&& other) noexcept;
+  OptClient& operator=(OptClient&& other) noexcept;
+
+  Status ConnectTcp(const std::string& host, uint16_t port);
+  Status ConnectUnix(const std::string& path);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// COUNT: server-side errors come back as their original Status code.
+  Result<CountResult> Count(const std::string& graph,
+                            const ClientQueryOptions& options = {});
+
+  /// LIST: `on_batch` is invoked for each streamed batch on the calling
+  /// thread; returns the trailer (total count + seconds) on success.
+  Result<ListEnd> List(
+      const std::string& graph,
+      const std::function<void(const ListBatch&)>& on_batch,
+      const ClientQueryOptions& options = {});
+
+  /// STATS: newline-separated key=value text.
+  Result<std::string> Stats();
+
+  Status LoadGraph(const std::string& name, const std::string& base_path);
+
+ private:
+  Status SendRequest(MessageType type, std::string_view payload);
+  Status ReadReply(WireMessage* message);
+
+  int fd_ = -1;
+};
+
+}  // namespace opt
+
+#endif  // OPT_SERVICE_CLIENT_H_

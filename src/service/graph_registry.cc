@@ -1,0 +1,88 @@
+#include "service/graph_registry.h"
+
+#include <utility>
+
+namespace opt {
+
+GraphRegistry::GraphRegistry(Env* env, const RegistryOptions& options)
+    : env_(env), options_(options) {}
+
+Status GraphRegistry::LoadGraph(const std::string& name,
+                                const std::string& base_path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must be non-empty");
+  }
+  auto store = GraphStore::Open(env_, base_path);
+  if (!store.ok()) return store.status();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<BufferPool>(
+        (*store)->page_size(),
+        std::max(options_.min_pool_frames, 1u));
+  } else if (pool_->page_size() != (*store)->page_size()) {
+    return Status::NotSupported(
+        "graph '" + name + "' has page size " +
+        std::to_string((*store)->page_size()) +
+        " but the shared pool was sized for " +
+        std::to_string(pool_->page_size()));
+  }
+
+  Entry entry;
+  entry.store = std::shared_ptr<GraphStore>(std::move(store.value()));
+  entry.base_path = base_path;
+  entry.owner = next_owner_++;
+  entry.epoch = next_epoch_++;
+
+  auto it = graphs_.find(name);
+  if (it != graphs_.end()) {
+    // Reload: stale pages of the old incarnation must never satisfy a
+    // lookup again (new owner tag guarantees it); reclaim the unpinned
+    // ones eagerly.
+    pool_->DropOwner(it->second.owner);
+    it->second = std::move(entry);
+  } else {
+    graphs_.emplace(name, std::move(entry));
+  }
+  return Status::OK();
+}
+
+Result<GraphRegistry::GraphHandle> GraphRegistry::Acquire(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("graph '" + name + "' is not registered");
+  }
+  GraphHandle handle;
+  handle.name = name;
+  handle.store = it->second.store;
+  handle.owner = it->second.owner;
+  handle.epoch = it->second.epoch;
+  return handle;
+}
+
+std::vector<GraphRegistry::GraphInfo> GraphRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GraphInfo> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, entry] : graphs_) {
+    GraphInfo info;
+    info.name = name;
+    info.base_path = entry.base_path;
+    info.num_vertices = entry.store->num_vertices();
+    info.num_directed_edges = entry.store->num_directed_edges();
+    info.num_pages = entry.store->num_pages();
+    info.page_size = entry.store->page_size();
+    info.epoch = entry.epoch;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+size_t GraphRegistry::num_graphs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.size();
+}
+
+}  // namespace opt

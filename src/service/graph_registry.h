@@ -1,0 +1,92 @@
+// Multi-graph registry for the query service: opens and pins GraphStores
+// by name and owns the one BufferPool every query shares, so hot
+// adjacency pages survive across queries (the paper's Δ I/O saving
+// amortized over a workload instead of over one run's iterations).
+// Each (re)load gets a fresh owner tag — the page-key namespace in the
+// shared pool — and a monotonically increasing epoch that result-cache
+// keys embed, so stale pages and stale cached answers can never be
+// served after a reload.
+#ifndef OPT_SERVICE_GRAPH_REGISTRY_H_
+#define OPT_SERVICE_GRAPH_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct RegistryOptions {
+  /// Initial shared-pool size; queries reserve more as they run.
+  uint32_t min_pool_frames = 64;
+};
+
+class GraphRegistry {
+ public:
+  /// A pinned view of one registered graph: holding the shared_ptr keeps
+  /// the store alive across a reload of the same name.
+  struct GraphHandle {
+    std::string name;
+    std::shared_ptr<GraphStore> store;
+    uint32_t owner = 0;   // page-key namespace in the shared pool
+    uint64_t epoch = 0;   // bumps on every (re)load of this name
+  };
+
+  struct GraphInfo {
+    std::string name;
+    std::string base_path;
+    uint64_t num_vertices = 0;
+    uint64_t num_directed_edges = 0;
+    uint32_t num_pages = 0;
+    uint32_t page_size = 0;
+    uint64_t epoch = 0;
+  };
+
+  explicit GraphRegistry(Env* env, const RegistryOptions& options = {});
+
+  /// Opens the store at `base_path` and registers (or replaces) `name`.
+  /// Queries already running on a replaced store finish on it; its
+  /// unpinned pages are dropped from the shared pool immediately and the
+  /// rest age out. All stores must share one page size (the pool's frame
+  /// size, fixed by the first load).
+  Status LoadGraph(const std::string& name, const std::string& base_path);
+
+  Result<GraphHandle> Acquire(const std::string& name) const;
+
+  std::vector<GraphInfo> List() const;
+
+  /// Null until the first successful LoadGraph (the pool's page size
+  /// comes from the first store).
+  BufferPool* pool() { return pool_.get(); }
+
+  Env* env() const { return env_; }
+  size_t num_graphs() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<GraphStore> store;
+    std::string base_path;
+    uint32_t owner = 0;
+    uint64_t epoch = 0;
+  };
+
+  Env* const env_;
+  const RegistryOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> graphs_;
+  std::unique_ptr<BufferPool> pool_;
+  uint32_t next_owner_ = 1;
+  uint64_t next_epoch_ = 1;
+};
+
+}  // namespace opt
+
+#endif  // OPT_SERVICE_GRAPH_REGISTRY_H_

@@ -1,0 +1,311 @@
+#include "service/query_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/iterator_model.h"
+#include "core/opt_runner.h"
+
+namespace opt {
+
+namespace {
+
+std::shared_future<QueryResult> ImmediateResult(QueryResult result) {
+  std::promise<QueryResult> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future().share();
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(GraphRegistry* registry,
+                               const SchedulerOptions& options)
+    : registry_(registry), options_(options) {
+  const uint32_t workers = std::max(options_.workers, 1u);
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+QueryScheduler::~QueryScheduler() {
+  std::deque<std::shared_ptr<Task>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    orphaned.swap(queue_);
+    inflight_.clear();
+    // Running queries finish on their own; cancelling them keeps
+    // shutdown prompt.
+    for (auto& task : running_) {
+      task->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+  work_cv_.notify_all();
+  QueryResult aborted;
+  aborted.status = Status::Aborted("scheduler shutting down");
+  for (auto& task : orphaned) {
+    for (auto& waiter : task->waiters) waiter->set_value(aborted);
+  }
+  for (auto& w : workers_) w.join();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::string QueryScheduler::CacheKey(const QuerySpec& spec, uint64_t epoch,
+                                     const SchedulerOptions& defaults) {
+  const uint32_t pages = spec.memory_pages != 0
+                             ? spec.memory_pages
+                             : defaults.default_memory_pages;
+  const uint32_t threads =
+      spec.num_threads != 0 ? spec.num_threads : defaults.default_threads;
+  // Thread count does not change the answer, only the run; it stays out
+  // of the key so differently-parallel duplicates still share work.
+  (void)threads;
+  return spec.graph + '\0' + std::to_string(epoch) + '\0' +
+         std::to_string(static_cast<int>(spec.kind)) + '\0' +
+         std::to_string(pages);
+}
+
+std::shared_future<QueryResult> QueryScheduler::Submit(
+    const QuerySpec& spec) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+  }
+  if (spec.kind == QueryKind::kList && spec.list_sink == nullptr) {
+    QueryResult result;
+    result.status =
+        Status::InvalidArgument("LIST query submitted without a sink");
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.failed;
+    return ImmediateResult(std::move(result));
+  }
+
+  auto handle = registry_->Acquire(spec.graph);
+  if (!handle.ok()) {
+    QueryResult result;
+    result.status = handle.status();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.failed;
+    return ImmediateResult(std::move(result));
+  }
+
+  const bool coalescable = spec.kind == QueryKind::kCount;
+  const std::string key = CacheKey(spec, handle->epoch, options_);
+
+  if (coalescable && options_.enable_result_cache) {
+    if (auto cached = cache_.Lookup(key)) {
+      QueryResult result;
+      result.triangles = cached->triangles;
+      result.source = ResultSource::kCache;
+      result.epoch = cached->epoch;
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cache_hits;
+      ++stats_.completed;
+      return ImmediateResult(std::move(result));
+    }
+  }
+
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  auto future = promise->get_future().share();
+  const auto now = Clock::now();
+  const bool has_deadline = spec.deadline_millis != 0;
+  const auto deadline =
+      now + std::chrono::milliseconds(spec.deadline_millis);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    promise->set_value(
+        {Status::Aborted("scheduler shutting down"), 0, 0});
+    return future;
+  }
+  if (coalescable) {
+    auto it = inflight_.find(key);
+    if (it != inflight_.end() &&
+        !it->second->cancel.load(std::memory_order_relaxed)) {
+      Task* task = it->second.get();
+      task->waiters.push_back(std::move(promise));
+      // The shared run must satisfy the most patient waiter.
+      if (!has_deadline) {
+        task->has_deadline = false;
+      } else if (task->has_deadline) {
+        task->deadline = std::max(task->deadline, deadline);
+      }
+      ++stats_.coalesced;
+      return future;
+    }
+  }
+  if (queue_.size() >= options_.max_queue) {
+    ++stats_.rejected;
+    promise->set_value({Status::ResourceExhausted(
+                            "admission queue full (" +
+                            std::to_string(queue_.size()) + " waiting)"),
+                        0, 0});
+    return future;
+  }
+  auto task = std::make_shared<Task>();
+  task->spec = spec;
+  task->coalesce_key = coalescable ? key : std::string();
+  task->deadline = deadline;
+  task->has_deadline = has_deadline;
+  task->waiters.push_back(std::move(promise));
+  queue_.push_back(task);
+  if (coalescable) inflight_[key] = task;
+  ++stats_.admitted;
+  work_cv_.notify_one();
+  return future;
+}
+
+QueryResult QueryScheduler::Run(const QuerySpec& spec) {
+  return Submit(spec).get();
+}
+
+Status QueryScheduler::LoadGraph(const std::string& name,
+                                 const std::string& base_path) {
+  OPT_RETURN_IF_ERROR(registry_->LoadGraph(name, base_path));
+  cache_.InvalidateGraph(name);
+  return Status::OK();
+}
+
+SchedulerStats QueryScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void QueryScheduler::Finish(const std::shared_ptr<Task>& task,
+                            const QueryResult& result) {
+  std::vector<std::shared_ptr<std::promise<QueryResult>>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!task->coalesce_key.empty()) {
+      auto it = inflight_.find(task->coalesce_key);
+      if (it != inflight_.end() && it->second == task) inflight_.erase(it);
+    }
+    running_.erase(std::remove(running_.begin(), running_.end(), task),
+                   running_.end());
+    waiters.swap(task->waiters);
+    // Per query, not per task: every coalesced waiter got an answer.
+    if (result.status.ok()) {
+      stats_.completed += waiters.size();
+    } else {
+      stats_.failed += waiters.size();
+      if (result.status.code() == StatusCode::kAborted &&
+          task->cancel.load(std::memory_order_relaxed)) {
+        ++stats_.deadline_expired;
+      }
+    }
+  }
+  QueryResult coalesced_result = result;
+  bool first = true;
+  for (auto& waiter : waiters) {
+    if (!first) coalesced_result.source = ResultSource::kCoalesced;
+    waiter->set_value(coalesced_result);
+    first = false;
+  }
+}
+
+QueryResult QueryScheduler::Execute(Task* task) {
+  QueryResult result;
+  auto handle = registry_->Acquire(task->spec.graph);
+  if (!handle.ok()) {
+    result.status = handle.status();
+    return result;
+  }
+  GraphStore* store = handle->store.get();
+  result.epoch = handle->epoch;
+
+  const uint32_t pages = task->spec.memory_pages != 0
+                             ? task->spec.memory_pages
+                             : options_.default_memory_pages;
+  OptOptions opt;
+  opt.m_in = std::max(pages / 2, store->MaxRecordPages());
+  opt.m_ex = std::max(1u, pages - pages / 2);
+  opt.num_threads = task->spec.num_threads != 0
+                        ? task->spec.num_threads
+                        : options_.default_threads;
+  opt.io_queue_depth = options_.io_queue_depth;
+  opt.shared_pool = registry_->pool();
+  opt.pool_owner = handle->owner;
+  opt.cancel = &task->cancel;
+
+  EdgeIteratorModel model;
+  OptRunner runner(store, &model, opt);
+  CountingSink counter;
+  OptRunStats run_stats;
+  Status status;
+  if (task->spec.kind == QueryKind::kList) {
+    TeeSink tee({&counter, task->spec.list_sink});
+    status = runner.Run(&tee, &run_stats);
+  } else {
+    status = runner.Run(&counter, &run_stats);
+  }
+  result.status = status;
+  result.triangles = counter.count();
+  result.seconds = run_stats.elapsed_seconds;
+  result.iterations = run_stats.iterations;
+  result.pool_hits =
+      run_stats.internal_cache_hits + run_stats.external_cache_hits;
+  result.pages_read =
+      run_stats.internal_pages_read + run_stats.external_pages_read;
+
+  if (status.ok() && task->spec.kind == QueryKind::kCount &&
+      options_.enable_result_cache) {
+    CachedCount cached;
+    cached.triangles = result.triangles;
+    cached.seconds = result.seconds;
+    cached.epoch = handle->epoch;
+    cache_.Insert(CacheKey(task->spec, handle->epoch, options_),
+                  task->spec.graph, cached);
+  }
+  return result;
+}
+
+void QueryScheduler::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      if (task->has_deadline && Clock::now() > task->deadline) {
+        // Expired while waiting for admission.
+        task->cancel.store(true, std::memory_order_relaxed);
+      }
+      running_.push_back(task);
+      if (!task->cancel.load(std::memory_order_relaxed)) {
+        ++stats_.executed;
+      }
+    }
+    QueryResult result;
+    if (task->cancel.load(std::memory_order_relaxed)) {
+      result.status =
+          Status::Aborted("deadline exceeded before execution");
+    } else {
+      result = Execute(task.get());
+    }
+    Finish(task, result);
+  }
+}
+
+void QueryScheduler::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    const auto now = Clock::now();
+    for (auto& task : running_) {
+      if (task->has_deadline && now > task->deadline) {
+        task->cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+    for (auto& task : queue_) {
+      if (task->has_deadline && now > task->deadline) {
+        task->cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+    work_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace opt

@@ -1,0 +1,167 @@
+// Admission-controlled scheduler for concurrent triangle queries on top
+// of the batch OPT engine. Responsibilities:
+//
+//  * bounded admission queue — past `max_queue` waiting queries, new
+//    submissions are rejected immediately with ResourceExhausted
+//    (back-pressure instead of unbounded latency);
+//  * a fixed pool of worker threads, each running one OptRunner at a
+//    time against the registry's shared BufferPool;
+//  * per-query deadlines and cancellation — a watchdog flags expired
+//    queries, which abort cooperatively at page/chunk granularity;
+//  * duplicate-request coalescing — identical COUNT queries (same
+//    graph, epoch, and parameters) queued or running attach to the one
+//    in-flight run and all receive its result;
+//  * a result cache for completed COUNT queries, invalidated on graph
+//    reload (epoch-keyed, so stale entries are unreachable regardless).
+#ifndef OPT_SERVICE_QUERY_SCHEDULER_H_
+#define OPT_SERVICE_QUERY_SCHEDULER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/triangle_sink.h"
+#include "service/graph_registry.h"
+#include "service/result_cache.h"
+#include "util/status.h"
+
+namespace opt {
+
+enum class QueryKind : uint8_t {
+  kCount = 0,  // total triangle count
+  kList = 1,   // stream every triangle into the caller's sink
+};
+
+/// How a query's answer was produced.
+enum class ResultSource : uint8_t {
+  kExecuted = 0,   // a fresh OPT run
+  kCoalesced = 1,  // piggybacked on an identical in-flight run
+  kCache = 2,      // served from the result cache
+};
+
+struct QuerySpec {
+  std::string graph;
+  QueryKind kind = QueryKind::kCount;
+  /// Total buffer budget in pages (the paper's m, split m_in/m_ex);
+  /// 0 uses the scheduler default.
+  uint32_t memory_pages = 0;
+  /// 0 uses the scheduler default.
+  uint32_t num_threads = 0;
+  /// Wall-clock budget from submission; 0 means none. Expired queries
+  /// fail with Aborted, whether still queued or already running.
+  uint64_t deadline_millis = 0;
+  /// kList only: receives the triangle stream during execution; must be
+  /// thread safe and outlive the query. List queries never coalesce and
+  /// are never cached.
+  TriangleSink* list_sink = nullptr;
+};
+
+struct QueryResult {
+  Status status;
+  uint64_t triangles = 0;
+  double seconds = 0;  // execution wall time (0 for cache hits)
+  ResultSource source = ResultSource::kExecuted;
+  /// Per-query shared-pool savings: pages this run found cached (its own
+  /// earlier iterations or other queries' residue) vs. pages it read.
+  uint64_t pool_hits = 0;
+  uint64_t pages_read = 0;
+  uint32_t iterations = 0;
+  uint64_t epoch = 0;  // graph epoch the answer was computed against
+};
+
+struct SchedulerOptions {
+  uint32_t workers = 4;
+  /// Admission bound: maximum queries waiting (excludes running ones).
+  uint32_t max_queue = 64;
+  uint32_t default_memory_pages = 64;
+  uint32_t default_threads = 2;
+  uint32_t io_queue_depth = 8;
+  bool enable_result_cache = true;
+};
+
+struct SchedulerStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;    // admission-queue overflow
+  uint64_t executed = 0;    // fresh OPT runs
+  uint64_t completed = 0;   // queries answered OK (any source)
+  uint64_t failed = 0;      // queries answered with an error
+  uint64_t coalesced = 0;   // waiters attached to an in-flight run
+  uint64_t cache_hits = 0;
+  uint64_t deadline_expired = 0;
+};
+
+class QueryScheduler {
+ public:
+  QueryScheduler(GraphRegistry* registry, const SchedulerOptions& options);
+  /// Fails all queued queries with Aborted and joins the workers.
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Never blocks on execution: rejections, unknown graphs, and cache
+  /// hits resolve the future immediately; otherwise the query is queued
+  /// (or coalesced) and the future resolves on completion.
+  std::shared_future<QueryResult> Submit(const QuerySpec& spec);
+
+  /// Submit + wait.
+  QueryResult Run(const QuerySpec& spec);
+
+  /// Registers/reloads a graph and invalidates its cached results.
+  Status LoadGraph(const std::string& name, const std::string& base_path);
+
+  SchedulerStats stats() const;
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+  GraphRegistry* registry() { return registry_; }
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Task {
+    QuerySpec spec;
+    std::string coalesce_key;  // empty → never coalesced
+    Clock::time_point deadline{};  // meaningful iff has_deadline
+    bool has_deadline = false;
+    std::atomic<bool> cancel{false};
+    std::vector<std::shared_ptr<std::promise<QueryResult>>> waiters;
+  };
+
+  void WorkerLoop();
+  void WatchdogLoop();
+  QueryResult Execute(Task* task);
+  /// Resolves a finished task: detaches it from the coalescing table and
+  /// fulfills every waiter.
+  void Finish(const std::shared_ptr<Task>& task, const QueryResult& result);
+  static std::string CacheKey(const QuerySpec& spec, uint64_t epoch,
+                              const SchedulerOptions& defaults);
+
+  GraphRegistry* const registry_;
+  const SchedulerOptions options_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Task>> queue_;
+  std::vector<std::shared_ptr<Task>> running_;
+  std::unordered_map<std::string, std::shared_ptr<Task>> inflight_;
+  SchedulerStats stats_;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_SERVICE_QUERY_SCHEDULER_H_

@@ -1,0 +1,65 @@
+#include "service/result_cache.h"
+
+namespace opt {
+
+ResultCache::ResultCache(size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+std::optional<CachedCount> ResultCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second.value;
+}
+
+void ResultCache::Insert(const std::string& key, const std::string& graph,
+                         const CachedCount& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.insertions;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.value = value;
+    it->second.graph = graph;
+    return;
+  }
+  while (entries_.size() >= max_entries_) {
+    const std::string& oldest = insertion_order_.front();
+    entries_.erase(oldest);
+    insertion_order_.pop_front();
+  }
+  insertion_order_.push_back(key);
+  Entry entry;
+  entry.value = value;
+  entry.graph = graph;
+  entry.order_pos = std::prev(insertion_order_.end());
+  entries_.emplace(key, std::move(entry));
+}
+
+void ResultCache::InvalidateGraph(const std::string& graph) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.graph == graph) {
+      insertion_order_.erase(it->second.order_pos);
+      it = entries_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace opt

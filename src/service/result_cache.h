@@ -1,0 +1,63 @@
+// Completed-query result cache keyed by (graph, query kind, params,
+// graph epoch). The epoch in the key makes entries from a reloaded
+// graph unreachable even before InvalidateGraph() sweeps them out; the
+// explicit sweep exists so reloads also reclaim the memory.
+#ifndef OPT_SERVICE_RESULT_CACHE_H_
+#define OPT_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace opt {
+
+struct CachedCount {
+  uint64_t triangles = 0;
+  double seconds = 0;  // cost of the run that produced the entry
+  uint64_t epoch = 0;  // graph epoch the entry was computed against
+};
+
+class ResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  explicit ResultCache(size_t max_entries = 4096);
+
+  std::optional<CachedCount> Lookup(const std::string& key);
+
+  /// `graph` tags the entry for InvalidateGraph. Oldest entries are
+  /// evicted past `max_entries`.
+  void Insert(const std::string& key, const std::string& graph,
+              const CachedCount& value);
+
+  /// Drops every entry computed against `graph` (any epoch).
+  void InvalidateGraph(const std::string& graph);
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    CachedCount value;
+    std::string graph;
+    std::list<std::string>::iterator order_pos;
+  };
+
+  const size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> insertion_order_;  // front = oldest key
+  Stats stats_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,332 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "service/graph_registry.h"
+#include "storage/buffer_pool.h"
+
+namespace opt {
+
+namespace {
+
+/// Streams LIST output over the wire in batches. Emits are serialized
+/// with a mutex (the engine emits from several threads); a failed write
+/// latches the error and turns the rest of the stream into a no-op so
+/// the engine can finish without blocking on a dead peer.
+class WireListSink : public TriangleSink {
+ public:
+  explicit WireListSink(int fd, size_t batch_records = 512)
+      : fd_(fd), batch_records_(batch_records) {}
+
+  void Emit(VertexId u, VertexId v,
+            std::span<const VertexId> ws) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!write_status_.ok()) return;
+    ListBatch::Record record;
+    record.u = u;
+    record.v = v;
+    record.ws.assign(ws.begin(), ws.end());
+    batch_.records.push_back(std::move(record));
+    if (batch_.records.size() >= batch_records_) FlushLocked();
+  }
+
+  Status Finish() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (write_status_.ok() && !batch_.records.empty()) FlushLocked();
+    return write_status_;
+  }
+
+  Status write_status() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return write_status_;
+  }
+
+ private:
+  void FlushLocked() {
+    write_status_ =
+        WriteMessage(fd_, MessageType::kListBatch, EncodeListBatch(batch_));
+    batch_.records.clear();
+  }
+
+  const int fd_;
+  const size_t batch_records_;
+  std::mutex mutex_;
+  ListBatch batch_;
+  Status write_status_;
+};
+
+Status SendError(int fd, const Status& status) {
+  return WriteMessage(fd, MessageType::kError, EncodeError(status));
+}
+
+QuerySpec SpecFromRequest(const QueryRequest& request, QueryKind kind) {
+  QuerySpec spec;
+  spec.graph = request.graph;
+  spec.kind = kind;
+  spec.memory_pages = request.memory_pages;
+  spec.num_threads = request.num_threads;
+  spec.deadline_millis = request.deadline_millis;
+  return spec;
+}
+
+CountResult CountResultFrom(const QueryResult& result) {
+  CountResult wire;
+  wire.triangles = result.triangles;
+  wire.seconds = result.seconds;
+  wire.source = static_cast<uint8_t>(result.source);
+  wire.pool_hits = result.pool_hits;
+  wire.pages_read = result.pages_read;
+  wire.iterations = result.iterations;
+  return wire;
+}
+
+}  // namespace
+
+OptServer::OptServer(QueryScheduler* scheduler, bool allow_load_graph)
+    : scheduler_(scheduler), allow_load_graph_(allow_load_graph) {}
+
+OptServer::~OptServer() { Stop(); }
+
+Status OptServer::ListenTcp(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  bound_port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Status OptServer::ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::IOError(std::string("bind ") + path + ": " +
+                        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  unix_path_ = path;
+  return Status::OK();
+}
+
+Status OptServer::Start() {
+  if (listen_fd_ < 0) {
+    return Status::InvalidArgument("Start() before a successful Listen*()");
+  }
+  if (accept_thread_.joinable()) {
+    return Status::InvalidArgument("server already started");
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void OptServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() unblocks accept(); close() alone does not on Linux.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+    ::close(connection->fd);
+  }
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+void OptServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop(), or fatal
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    connection->thread = std::thread([this, fd] { HandleConnection(fd); });
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void OptServer::HandleConnection(int fd) {
+  for (;;) {
+    WireMessage message;
+    Status status = ReadMessage(fd, &message);
+    if (!status.ok()) return;  // EOF or broken pipe: drop the connection
+    switch (message.type) {
+      case MessageType::kCountRequest:
+        status = HandleCount(fd, message);
+        break;
+      case MessageType::kListRequest:
+        status = HandleList(fd, message);
+        break;
+      case MessageType::kStatsRequest:
+        status = HandleStats(fd);
+        break;
+      case MessageType::kLoadGraphRequest:
+        status = HandleLoadGraph(fd, message);
+        break;
+      default:
+        status = SendError(
+            fd, Status::InvalidArgument(
+                    "unexpected message type " +
+                    std::to_string(static_cast<int>(message.type))));
+        break;
+    }
+    if (!status.ok()) return;
+  }
+}
+
+Status OptServer::HandleCount(int fd, const WireMessage& message) {
+  QueryRequest request;
+  Status status = DecodeQueryRequest(message.payload, &request);
+  if (!status.ok()) return SendError(fd, status);
+  const QueryResult result =
+      scheduler_->Run(SpecFromRequest(request, QueryKind::kCount));
+  if (!result.status.ok()) return SendError(fd, result.status);
+  return WriteMessage(fd, MessageType::kCountResult,
+                      EncodeCountResult(CountResultFrom(result)));
+}
+
+Status OptServer::HandleList(int fd, const WireMessage& message) {
+  QueryRequest request;
+  Status status = DecodeQueryRequest(message.payload, &request);
+  if (!status.ok()) return SendError(fd, status);
+  WireListSink sink(fd);
+  QuerySpec spec = SpecFromRequest(request, QueryKind::kList);
+  spec.list_sink = &sink;
+  const QueryResult result = scheduler_->Run(spec);
+  OPT_RETURN_IF_ERROR(sink.Finish());
+  if (!result.status.ok()) return SendError(fd, result.status);
+  ListEnd end;
+  end.triangles = result.triangles;
+  end.seconds = result.seconds;
+  return WriteMessage(fd, MessageType::kListEnd, EncodeListEnd(end));
+}
+
+std::string OptServer::RenderStats() const {
+  std::ostringstream out;
+  const SchedulerStats stats = scheduler_->stats();
+  out << "scheduler.submitted=" << stats.submitted << '\n'
+      << "scheduler.admitted=" << stats.admitted << '\n'
+      << "scheduler.rejected=" << stats.rejected << '\n'
+      << "scheduler.executed=" << stats.executed << '\n'
+      << "scheduler.completed=" << stats.completed << '\n'
+      << "scheduler.failed=" << stats.failed << '\n'
+      << "scheduler.coalesced=" << stats.coalesced << '\n'
+      << "scheduler.cache_hits=" << stats.cache_hits << '\n'
+      << "scheduler.deadline_expired=" << stats.deadline_expired << '\n';
+  const ResultCache::Stats cache = scheduler_->cache_stats();
+  out << "cache.hits=" << cache.hits << '\n'
+      << "cache.misses=" << cache.misses << '\n'
+      << "cache.insertions=" << cache.insertions << '\n'
+      << "cache.invalidations=" << cache.invalidations << '\n';
+  GraphRegistry* registry = scheduler_->registry();
+  if (const BufferPool* pool = registry->pool()) {
+    const PoolStatsSnapshot snapshot = pool->stats().Snapshot();
+    out << "pool.frames=" << pool->num_frames() << '\n'
+        << "pool.lookups=" << snapshot.lookups << '\n'
+        << "pool.hits=" << snapshot.hits << '\n'
+        << "pool.evictions=" << snapshot.evictions << '\n'
+        << "pool.allocations=" << snapshot.allocations << '\n';
+  }
+  for (const GraphRegistry::GraphInfo& info : registry->List()) {
+    out << "graph." << info.name << ".vertices=" << info.num_vertices
+        << '\n'
+        << "graph." << info.name << ".directed_edges="
+        << info.num_directed_edges << '\n'
+        << "graph." << info.name << ".pages=" << info.num_pages << '\n'
+        << "graph." << info.name << ".epoch=" << info.epoch << '\n';
+  }
+  return out.str();
+}
+
+Status OptServer::HandleStats(int fd) {
+  std::string payload;
+  PutString(&payload, RenderStats());
+  return WriteMessage(fd, MessageType::kStatsResult, payload);
+}
+
+Status OptServer::HandleLoadGraph(int fd, const WireMessage& message) {
+  if (!allow_load_graph_) {
+    return SendError(
+        fd, Status::NotSupported("LOADGRAPH disabled on this server"));
+  }
+  LoadGraphRequest request;
+  Status status = DecodeLoadGraphRequest(message.payload, &request);
+  if (!status.ok()) return SendError(fd, status);
+  status = scheduler_->LoadGraph(request.name, request.base_path);
+  if (!status.ok()) return SendError(fd, status);
+  return WriteMessage(fd, MessageType::kLoadGraphResult, std::string());
+}
+
+}  // namespace opt

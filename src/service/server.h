@@ -1,0 +1,80 @@
+// OptServer: socket front end over QueryScheduler + GraphRegistry.
+//
+// Accepts connections on a TCP port or Unix-domain socket and speaks
+// the framed protocol in service/wire.h. Connections are handled one
+// thread each; queries on a connection are serviced sequentially
+// (pipelining across connections is what the scheduler parallelizes).
+// LIST results stream back as kListBatch frames while the query runs,
+// so arbitrarily large outputs never buffer server-side.
+#ifndef OPT_SERVICE_SERVER_H_
+#define OPT_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/query_scheduler.h"
+#include "service/wire.h"
+#include "util/status.h"
+
+namespace opt {
+
+class OptServer {
+ public:
+  /// Both pointers must outlive the server. Graph loading over the wire
+  /// can be disabled for deployments that pre-pin their graphs.
+  OptServer(QueryScheduler* scheduler, bool allow_load_graph = true);
+  ~OptServer();
+
+  OptServer(const OptServer&) = delete;
+  OptServer& operator=(const OptServer&) = delete;
+
+  /// Binds a TCP listener on 127.0.0.1:`port`. Port 0 picks a free
+  /// port; `bound_port()` reports the actual one.
+  Status ListenTcp(uint16_t port);
+
+  /// Binds a Unix-domain stream socket at `path` (unlinked first).
+  Status ListenUnix(const std::string& path);
+
+  /// Starts the accept loop. Call after a successful Listen*.
+  Status Start();
+
+  /// Stops accepting, closes live connections, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  uint16_t bound_port() const { return bound_port_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  Status HandleCount(int fd, const WireMessage& message);
+  Status HandleList(int fd, const WireMessage& message);
+  Status HandleStats(int fd);
+  Status HandleLoadGraph(int fd, const WireMessage& message);
+  std::string RenderStats() const;
+
+  QueryScheduler* const scheduler_;
+  const bool allow_load_graph_;
+
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::string unix_path_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_SERVICE_SERVER_H_

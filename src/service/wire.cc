@@ -1,0 +1,267 @@
+#include "service/wire.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace opt {
+
+namespace {
+
+Status ReadFull(int fd, char* buffer, size_t length, bool* clean_eof) {
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::read(fd, buffer + done, length - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (clean_eof != nullptr && done == 0) {
+        *clean_eof = true;
+        return Status::NotFound("connection closed");
+      }
+      return Status::IOError("connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("read: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const char* buffer, size_t length) {
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::write(fd, buffer + done, length - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("write: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void PutU32(std::string* dst, uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutU64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutDouble(std::string* dst, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(dst, bits);
+}
+
+void PutString(std::string* dst, std::string_view value) {
+  PutU32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+Status PayloadReader::GetU8(uint8_t* value) {
+  if (data_.size() - pos_ < 1) {
+    return Status::Corruption("payload truncated reading u8");
+  }
+  *value = static_cast<uint8_t>(data_[pos_]);
+  pos_ += 1;
+  return Status::OK();
+}
+
+Status PayloadReader::GetU32(uint32_t* value) {
+  if (data_.size() - pos_ < 4) {
+    return Status::Corruption("payload truncated reading u32");
+  }
+  *value = DecodeFixed32(data_.data() + pos_);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status PayloadReader::GetU64(uint64_t* value) {
+  if (data_.size() - pos_ < 8) {
+    return Status::Corruption("payload truncated reading u64");
+  }
+  *value = DecodeFixed64(data_.data() + pos_);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status PayloadReader::GetDouble(double* value) {
+  uint64_t bits;
+  OPT_RETURN_IF_ERROR(GetU64(&bits));
+  std::memcpy(value, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status PayloadReader::GetString(std::string* value) {
+  uint32_t length;
+  OPT_RETURN_IF_ERROR(GetU32(&length));
+  if (data_.size() - pos_ < length) {
+    return Status::Corruption("payload truncated reading string");
+  }
+  value->assign(data_.data() + pos_, length);
+  pos_ += length;
+  return Status::OK();
+}
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  std::string payload;
+  PutString(&payload, request.graph);
+  PutU32(&payload, request.memory_pages);
+  PutU32(&payload, request.num_threads);
+  PutU64(&payload, request.deadline_millis);
+  return payload;
+}
+
+Status DecodeQueryRequest(std::string_view payload, QueryRequest* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetString(&out->graph));
+  OPT_RETURN_IF_ERROR(reader.GetU32(&out->memory_pages));
+  OPT_RETURN_IF_ERROR(reader.GetU32(&out->num_threads));
+  return reader.GetU64(&out->deadline_millis);
+}
+
+std::string EncodeCountResult(const CountResult& result) {
+  std::string payload;
+  PutU64(&payload, result.triangles);
+  PutDouble(&payload, result.seconds);
+  payload.push_back(static_cast<char>(result.source));
+  PutU64(&payload, result.pool_hits);
+  PutU64(&payload, result.pages_read);
+  PutU32(&payload, result.iterations);
+  return payload;
+}
+
+Status DecodeCountResult(std::string_view payload, CountResult* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->triangles));
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->seconds));
+  OPT_RETURN_IF_ERROR(reader.GetU8(&out->source));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->pool_hits));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->pages_read));
+  return reader.GetU32(&out->iterations);
+}
+
+std::string EncodeLoadGraphRequest(const LoadGraphRequest& request) {
+  std::string payload;
+  PutString(&payload, request.name);
+  PutString(&payload, request.base_path);
+  return payload;
+}
+
+Status DecodeLoadGraphRequest(std::string_view payload,
+                              LoadGraphRequest* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetString(&out->name));
+  return reader.GetString(&out->base_path);
+}
+
+std::string EncodeError(const Status& status) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(status.code()));
+  PutString(&payload, status.message());
+  return payload;
+}
+
+Status DecodeError(std::string_view payload, ErrorResult* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetU32(&out->code));
+  return reader.GetString(&out->message);
+}
+
+std::string EncodeListBatch(const ListBatch& batch) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(batch.records.size()));
+  for (const ListBatch::Record& record : batch.records) {
+    PutU32(&payload, record.u);
+    PutU32(&payload, record.v);
+    PutU32(&payload, static_cast<uint32_t>(record.ws.size()));
+    for (VertexId w : record.ws) PutU32(&payload, w);
+  }
+  return payload;
+}
+
+Status DecodeListBatch(std::string_view payload, ListBatch* out) {
+  PayloadReader reader(payload);
+  uint32_t count;
+  OPT_RETURN_IF_ERROR(reader.GetU32(&count));
+  out->records.clear();
+  out->records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ListBatch::Record record;
+    OPT_RETURN_IF_ERROR(reader.GetU32(&record.u));
+    OPT_RETURN_IF_ERROR(reader.GetU32(&record.v));
+    uint32_t k;
+    OPT_RETURN_IF_ERROR(reader.GetU32(&k));
+    record.ws.reserve(k);
+    for (uint32_t j = 0; j < k; ++j) {
+      VertexId w;
+      OPT_RETURN_IF_ERROR(reader.GetU32(&w));
+      record.ws.push_back(w);
+    }
+    out->records.push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+std::string EncodeListEnd(const ListEnd& end) {
+  std::string payload;
+  PutU64(&payload, end.triangles);
+  PutDouble(&payload, end.seconds);
+  return payload;
+}
+
+Status DecodeListEnd(std::string_view payload, ListEnd* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->triangles));
+  return reader.GetDouble(&out->seconds);
+}
+
+Status WriteMessage(int fd, MessageType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(5 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size() + 1));
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload.data(), payload.size());
+  return WriteFull(fd, frame.data(), frame.size());
+}
+
+Status ReadMessage(int fd, WireMessage* out, size_t max_payload) {
+  char header[4];
+  bool clean_eof = false;
+  Status status = ReadFull(fd, header, sizeof(header), &clean_eof);
+  if (!status.ok()) return status;  // NotFound when the peer closed cleanly
+  const uint32_t frame_length = DecodeFixed32(header);
+  if (frame_length == 0) {
+    return Status::Corruption("zero-length frame");
+  }
+  if (frame_length - 1 > max_payload) {
+    return Status::Corruption("frame length " +
+                              std::to_string(frame_length) +
+                              " exceeds limit");
+  }
+  char type_byte;
+  OPT_RETURN_IF_ERROR(ReadFull(fd, &type_byte, 1, nullptr));
+  out->type = static_cast<MessageType>(static_cast<uint8_t>(type_byte));
+  out->payload.resize(frame_length - 1);
+  if (!out->payload.empty()) {
+    OPT_RETURN_IF_ERROR(
+        ReadFull(fd, out->payload.data(), out->payload.size(), nullptr));
+  }
+  return Status::OK();
+}
+
+}  // namespace opt

@@ -1,0 +1,147 @@
+// Length-prefixed binary protocol for opt_server / opt_client, over TCP
+// or Unix-domain stream sockets.
+//
+// Frame layout (little-endian, via util/coding.h):
+//   [u32 frame_length] [u8 message_type] [payload: frame_length-1 bytes]
+//
+// Requests: COUNT, LIST, STATS, LOADGRAPH. Responses: one COUNT_RESULT /
+// STATS_RESULT / LOADGRAPH_RESULT / ERROR frame per request, except LIST,
+// which streams zero or more LIST_BATCH frames (nested representation:
+// u, v, k, w1..wk per record) terminated by LIST_END or ERROR. Errors
+// carry the Status code + message across the wire.
+#ifndef OPT_SERVICE_WIRE_H_
+#define OPT_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/triangle.h"
+#include "util/status.h"
+
+namespace opt {
+
+enum class MessageType : uint8_t {
+  // Requests.
+  kCountRequest = 1,
+  kListRequest = 2,
+  kStatsRequest = 3,
+  kLoadGraphRequest = 4,
+  // Responses.
+  kCountResult = 64,
+  kListBatch = 65,
+  kListEnd = 66,
+  kStatsResult = 67,
+  kLoadGraphResult = 68,
+  kError = 69,
+};
+
+struct WireMessage {
+  MessageType type = MessageType::kError;
+  std::string payload;
+};
+
+/// COUNT and LIST share one request shape.
+struct QueryRequest {
+  std::string graph;
+  uint32_t memory_pages = 0;    // 0 = server default
+  uint32_t num_threads = 0;     // 0 = server default
+  uint64_t deadline_millis = 0; // 0 = none
+};
+
+struct CountResult {
+  uint64_t triangles = 0;
+  double seconds = 0;
+  uint8_t source = 0;  // ResultSource
+  uint64_t pool_hits = 0;
+  uint64_t pages_read = 0;
+  uint32_t iterations = 0;
+};
+
+struct LoadGraphRequest {
+  std::string name;
+  std::string base_path;
+};
+
+struct ErrorResult {
+  uint32_t code = 0;  // StatusCode
+  std::string message;
+
+  Status ToStatus() const {
+    return Status(static_cast<StatusCode>(code), message);
+  }
+};
+
+/// One LIST_BATCH frame: nested-representation records.
+struct ListBatch {
+  struct Record {
+    VertexId u = 0;
+    VertexId v = 0;
+    std::vector<VertexId> ws;
+  };
+  std::vector<Record> records;
+};
+
+struct ListEnd {
+  uint64_t triangles = 0;
+  double seconds = 0;
+};
+
+// ---- payload primitives ----
+void PutU32(std::string* dst, uint32_t value);
+void PutU64(std::string* dst, uint64_t value);
+void PutDouble(std::string* dst, double value);
+void PutString(std::string* dst, std::string_view value);
+
+/// Cursor over a received payload; every Get fails with Corruption on
+/// truncation instead of reading past the end.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : data_(payload) {}
+
+  Status GetU8(uint8_t* value);
+  Status GetU32(uint32_t* value);
+  Status GetU64(uint64_t* value);
+  Status GetDouble(double* value);
+  Status GetString(std::string* value);
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- message encode/decode ----
+std::string EncodeQueryRequest(const QueryRequest& request);
+Status DecodeQueryRequest(std::string_view payload, QueryRequest* out);
+
+std::string EncodeCountResult(const CountResult& result);
+Status DecodeCountResult(std::string_view payload, CountResult* out);
+
+std::string EncodeLoadGraphRequest(const LoadGraphRequest& request);
+Status DecodeLoadGraphRequest(std::string_view payload,
+                              LoadGraphRequest* out);
+
+std::string EncodeError(const Status& status);
+Status DecodeError(std::string_view payload, ErrorResult* out);
+
+std::string EncodeListBatch(const ListBatch& batch);
+Status DecodeListBatch(std::string_view payload, ListBatch* out);
+
+std::string EncodeListEnd(const ListEnd& end);
+Status DecodeListEnd(std::string_view payload, ListEnd* out);
+
+// ---- framed socket I/O ----
+/// Writes [len][type][payload] with a retry loop (EINTR, short writes).
+Status WriteMessage(int fd, MessageType type, std::string_view payload);
+
+/// Reads one frame. NotFound signals clean EOF at a frame boundary
+/// (peer closed); IOError/Corruption anything else. `max_payload`
+/// bounds a hostile or corrupt length prefix.
+Status ReadMessage(int fd, WireMessage* out,
+                   size_t max_payload = 64u << 20);
+
+}  // namespace opt
+
+#endif  // OPT_SERVICE_WIRE_H_

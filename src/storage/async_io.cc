@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "storage/page.h"
+
 namespace opt {
 
 AsyncIoEngine::AsyncIoEngine(uint32_t num_workers) {
@@ -32,13 +34,36 @@ void AsyncIoEngine::WorkerLoop() {
     if (!item.has_value()) return;  // engine shutting down
     ReadRequest request = std::move(*item);
     Status status;
+    uint32_t done = 0;
     for (uint32_t i = 0; i < request.page_count && status.ok(); ++i) {
-      status = request.file->ReadPage(request.first_pid + i,
-                                      request.frames[i]->data);
+      const uint32_t pid = request.first_pid + i;
+      status = request.file->ReadPage(pid, request.frames[i]->data);
       if (status.ok()) {
         stats_.pages_read.fetch_add(1, std::memory_order_relaxed);
+        if (request.pool != nullptr) {
+          if (request.validate) {
+            const uint32_t page_size = request.page_size != 0
+                                           ? request.page_size
+                                           : request.file->page_size();
+            status = PageView(request.frames[i]->data, page_size)
+                         .Validate(pid);
+          }
+          if (status.ok()) {
+            request.pool->MarkValid(request.frames[i]);
+            done = i + 1;
+          }
+        } else {
+          done = i + 1;
+        }
       } else {
         stats_.read_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (request.pool != nullptr && !status.ok()) {
+      // Publish the failure so concurrent waiters on any unfinished
+      // frame of this request wake with an error instead of hanging.
+      for (uint32_t i = done; i < request.page_count; ++i) {
+        request.pool->MarkFailed(request.frames[i]);
       }
     }
     auto callback = std::move(request.callback);

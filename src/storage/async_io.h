@@ -70,6 +70,14 @@ struct ReadRequest {
   /// Runs on a completion-queue drainer after all pages are read.
   std::function<void(const Status&)> callback;
   CompletionQueue* completion_queue = nullptr;
+  /// When set, the I/O worker itself publishes every frame — validating
+  /// the page CRC if `validate` — via MarkValid/MarkFailed *before*
+  /// queueing the completion. Required when `frames` live in a pool
+  /// shared with concurrent queries: their WaitValid() must never depend
+  /// on this query draining its completion queue.
+  BufferPool* pool = nullptr;
+  bool validate = false;
+  uint32_t page_size = 0;  // for validation; defaults to file page size
 };
 
 struct AsyncIoStats {

@@ -13,8 +13,13 @@ BufferPool::~BufferPool() = default;
 
 void BufferPool::EnsureFrames(uint32_t min_frames) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (min_frames <= num_frames_) return;
-  const uint32_t add = min_frames - num_frames_;
+  EnsureFramesLocked(min_frames);
+}
+
+void BufferPool::EnsureFramesLocked(uint32_t min_frames) {
+  const uint32_t have = num_frames_.load(std::memory_order_relaxed);
+  if (min_frames <= have) return;
+  const uint32_t add = min_frames - have;
   // Frames are page-aligned so O_DIRECT file implementations can read
   // straight into them.
   arena_blocks_.emplace_back(static_cast<size_t>(page_size_) * add, 4096);
@@ -22,33 +27,54 @@ void BufferPool::EnsureFrames(uint32_t min_frames) {
   for (uint32_t i = 0; i < add; ++i) {
     frames_.emplace_back();
     frames_.back().data = block + static_cast<size_t>(i) * page_size_;
-    free_frames_.push_back(num_frames_ + i);
+    frames_.back().index = have + i;
+    free_frames_.push_back(have + i);
   }
-  num_frames_ = min_frames;
+  num_frames_.store(min_frames, std::memory_order_relaxed);
 }
 
-void BufferPool::TouchLru(uint32_t pid) {
-  auto it = lru_pos_.find(pid);
+void BufferPool::ReserveFrames(uint32_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reserved_frames_ += n;
+  EnsureFramesLocked(reserved_frames_);
+}
+
+void BufferPool::ReleaseFrames(uint32_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(reserved_frames_ >= n);
+  reserved_frames_ -= n;
+}
+
+void BufferPool::TouchLru(PageKey key) {
+  auto it = lru_pos_.find(key);
   if (it != lru_pos_.end()) lru_.erase(it->second);
-  lru_.push_back(pid);
-  lru_pos_[pid] = std::prev(lru_.end());
+  lru_.push_back(key);
+  lru_pos_[key] = std::prev(lru_.end());
 }
 
-Frame* BufferPool::LookupAndPin(uint32_t pid) {
+void BufferPool::DropPageLocked(PageKey key) {
+  auto pos = lru_pos_.find(key);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  page_table_.erase(key);
+}
+
+Frame* BufferPool::LookupAndPin(PageKey key) {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.lookups.fetch_add(1, std::memory_order_relaxed);
-  auto it = page_table_.find(pid);
+  auto it = page_table_.find(key);
   if (it == page_table_.end()) return nullptr;
   Frame& frame = frames_[it->second];
   if (!frame.valid) return nullptr;  // read still in flight elsewhere
   ++frame.pins;
-  TouchLru(pid);
+  TouchLru(key);
   stats_.hits.fetch_add(1, std::memory_order_relaxed);
   return &frame;
 }
 
-Result<Frame*> BufferPool::AllocateForRead(uint32_t pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+Result<Frame*> BufferPool::AllocateLocked(PageKey key) {
   stats_.allocations.fetch_add(1, std::memory_order_relaxed);
   uint32_t frame_index;
   if (!free_frames_.empty()) {
@@ -58,12 +84,12 @@ Result<Frame*> BufferPool::AllocateForRead(uint32_t pid) {
     // Evict the coldest unpinned page.
     bool found = false;
     for (auto lru_it = lru_.begin(); lru_it != lru_.end(); ++lru_it) {
-      const uint32_t victim_pid = *lru_it;
-      const uint32_t victim_index = page_table_.at(victim_pid);
+      const PageKey victim_key = *lru_it;
+      const uint32_t victim_index = page_table_.at(victim_key);
       if (frames_[victim_index].pins == 0) {
         lru_.erase(lru_it);
-        lru_pos_.erase(victim_pid);
-        page_table_.erase(victim_pid);
+        lru_pos_.erase(victim_key);
+        page_table_.erase(victim_key);
         frame_index = victim_index;
         found = true;
         stats_.evictions.fetch_add(1, std::memory_order_relaxed);
@@ -72,22 +98,77 @@ Result<Frame*> BufferPool::AllocateForRead(uint32_t pid) {
     }
     if (!found) {
       return Status::ResourceExhausted(
-          "buffer pool: all " + std::to_string(num_frames_) +
+          "buffer pool: all " +
+          std::to_string(num_frames_.load(std::memory_order_relaxed)) +
           " frames pinned");
     }
   }
   Frame& frame = frames_[frame_index];
-  frame.pid = pid;
+  frame.key = key;
   frame.pins = 1;
   frame.valid = false;
-  page_table_[pid] = frame_index;
-  TouchLru(pid);
+  frame.failed = false;
+  page_table_[key] = frame_index;
+  TouchLru(key);
   return &frame;
 }
 
-void BufferPool::MarkValid(Frame* frame) {
+Result<BufferPool::FetchResult> BufferPool::Fetch(PageKey key) {
   std::lock_guard<std::mutex> lock(mutex_);
-  frame->valid = true;
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  auto it = page_table_.find(key);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    ++frame.pins;
+    TouchLru(key);
+    // Both count as a saved read: an in-flight page's I/O is already
+    // charged to the reader that owns it.
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    return FetchResult{&frame, frame.valid ? FetchOutcome::kHit
+                                           : FetchOutcome::kInFlight};
+  }
+  OPT_ASSIGN_OR_RETURN(Frame * frame, AllocateLocked(key));
+  return FetchResult{frame, FetchOutcome::kMiss};
+}
+
+Result<Frame*> BufferPool::AllocateForRead(PageKey key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (page_table_.count(key) != 0) {
+    return Status::Internal("buffer pool: page already present; racy "
+                            "callers must use Fetch()");
+  }
+  return AllocateLocked(key);
+}
+
+void BufferPool::MarkValid(Frame* frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    frame->valid = true;
+  }
+  valid_cv_.notify_all();
+}
+
+void BufferPool::MarkFailed(Frame* frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    frame->failed = true;
+    auto it = page_table_.find(frame->key);
+    if (it != page_table_.end() && it->second == frame->index) {
+      DropPageLocked(frame->key);
+    }
+  }
+  valid_cv_.notify_all();
+}
+
+Status BufferPool::WaitValid(Frame* frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  assert(frame->pins > 0);
+  valid_cv_.wait(lock, [&] { return frame->valid || frame->failed; });
+  if (frame->failed) {
+    return Status::IOError("page " + std::to_string(PageKeyPid(frame->key)) +
+                           " failed to load in a concurrent query");
+  }
+  return Status::OK();
 }
 
 void BufferPool::Pin(Frame* frame) {
@@ -98,7 +179,18 @@ void BufferPool::Pin(Frame* frame) {
 void BufferPool::Unpin(Frame* frame) {
   std::lock_guard<std::mutex> lock(mutex_);
   assert(frame->pins > 0);
-  --frame->pins;
+  if (--frame->pins == 0) {
+    // Reclaim orphans: frames dropped from the table while pinned
+    // (MarkFailed, or a Clear/DropOwner racing pins) have no path back
+    // to the free list except here.
+    auto it = page_table_.find(frame->key);
+    if (it == page_table_.end() || it->second != frame->index) {
+      frame->valid = false;
+      frame->failed = false;
+      frame->key = kInvalidPageKey;
+      free_frames_.push_back(frame->index);
+    }
+  }
 }
 
 void BufferPool::Clear() {
@@ -112,6 +204,33 @@ void BufferPool::Clear() {
         lru_pos_.erase(pos);
       }
       frame.valid = false;
+      frame.failed = false;
+      frame.key = kInvalidPageKey;
+      free_frames_.push_back(it->second);
+      it = page_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferPool::DropOwner(uint32_t owner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = page_table_.begin(); it != page_table_.end();) {
+    if (PageKeyOwner(it->first) != owner) {
+      ++it;
+      continue;
+    }
+    Frame& frame = frames_[it->second];
+    if (frame.pins == 0) {
+      auto pos = lru_pos_.find(it->first);
+      if (pos != lru_pos_.end()) {
+        lru_.erase(pos->second);
+        lru_pos_.erase(pos);
+      }
+      frame.valid = false;
+      frame.failed = false;
+      frame.key = kInvalidPageKey;
       free_frames_.push_back(it->second);
       it = page_table_.erase(it);
     } else {

@@ -158,7 +158,7 @@ TEST(CcTest, SeqMatchesOracle) {
   CcOptions options;
   options.memory_pages =
       std::max(store->MaxRecordPages(), store->num_pages() / 4);
-  options.temp_dir = testing::TempDir();
+  options.temp_dir = testutil::ProcessTempDir();
   CountingSink sink;
   CcStats stats;
   ASSERT_TRUE(
@@ -173,7 +173,7 @@ TEST(CcTest, SeqExactTriangleSet) {
   auto store = testutil::MakeStore(g, Env::Default(), "cc_exact", 64);
   CcOptions options;
   options.memory_pages = std::max(2u, store->MaxRecordPages());
-  options.temp_dir = testing::TempDir();
+  options.temp_dir = testutil::ProcessTempDir();
   VectorSink sink;
   ASSERT_TRUE(
       RunChuCheng(store.get(), Env::Default(), &sink, options, nullptr).ok());
@@ -188,7 +188,7 @@ TEST(CcTest, DsMatchesOracle) {
   CcOptions options;
   options.memory_pages =
       std::max(store->MaxRecordPages() * 2, store->num_pages() / 4);
-  options.temp_dir = testing::TempDir();
+  options.temp_dir = testutil::ProcessTempDir();
   options.dominating_set_order = true;
   VectorSink sink;
   ASSERT_TRUE(
@@ -206,7 +206,7 @@ TEST(CcTest, DsHandlesHighDegreeFirstBatches) {
   CcOptions options;
   options.memory_pages = std::max(store->MaxRecordPages() * 2,
                                   store->num_pages() / 3);
-  options.temp_dir = testing::TempDir();
+  options.temp_dir = testutil::ProcessTempDir();
   options.dominating_set_order = true;
   CountingSink sink;
   ASSERT_TRUE(
@@ -220,7 +220,7 @@ TEST(GraphChiTriTest, MatchesOracle) {
   GraphChiTriOptions options;
   options.memory_pages =
       std::max(store->MaxRecordPages(), store->num_pages() / 4);
-  options.temp_dir = testing::TempDir();
+  options.temp_dir = testutil::ProcessTempDir();
   options.num_threads = 2;
   CountingSink sink;
   GraphChiTriStats stats;
@@ -242,7 +242,7 @@ TEST(GraphChiTriTest, SerialAndParallelAgree) {
   GraphChiTriOptions options;
   options.memory_pages =
       std::max(store->MaxRecordPages(), store->num_pages() / 3);
-  options.temp_dir = testing::TempDir();
+  options.temp_dir = testutil::ProcessTempDir();
   options.num_threads = 1;
   CountingSink serial;
   ASSERT_TRUE(RunGraphChiTri(store.get(), Env::Default(), &serial, options,
@@ -269,7 +269,7 @@ TEST(BaselineGuardTest, RejectUndersizedBuffers) {
             StatusCode::kResourceExhausted);
   CcOptions cc;
   cc.memory_pages = 1;
-  cc.temp_dir = testing::TempDir();
+  cc.temp_dir = testutil::ProcessTempDir();
   EXPECT_EQ(
       RunChuCheng(store.get(), Env::Default(), &sink, cc, nullptr).code(),
       StatusCode::kResourceExhausted);

@@ -74,7 +74,7 @@ TEST(PerVertexCountSinkTest, AttributesToAllThreeVertices) {
 }
 
 TEST(ListingSinkTest, WritesNestedRepresentation) {
-  const std::string path = testing::TempDir() + "/listing_sink.bin";
+  const std::string path = testutil::ProcessTempDir() + "/listing_sink.bin";
   {
     ListingSink sink(Env::Default(), path, /*flush_threshold=*/32);
     const VertexId ws[] = {2, 3};
@@ -499,7 +499,7 @@ TEST(OptRunnerTest, ThrottledEnvOverlapBeatsSyncAtDepth) {
 TEST(OptRunnerTest, ListingSinkIntegration) {
   CSRGraph g = GenerateErdosRenyi(200, 1500, 7);
   auto store = testutil::MakeStore(g, Env::Default(), "opt_listing");
-  const std::string out_path = testing::TempDir() + "/opt_listing_out.bin";
+  const std::string out_path = testutil::ProcessTempDir() + "/opt_listing_out.bin";
   OptOptions options;
   options.m_in = std::max(store->MaxRecordPages(), store->num_pages() / 4);
   options.m_ex = options.m_in;

@@ -11,6 +11,7 @@
 #include "graph/intersect.h"
 #include "graph/reorder.h"
 #include "graph/stats.h"
+#include "test_helpers.h"
 #include "util/random.h"
 
 namespace opt {
@@ -93,7 +94,7 @@ TEST(CSRGraphTest, HasEdge) {
 
 TEST(CSRGraphTest, SaveLoadRoundtrip) {
   CSRGraph g = PaperGraph();
-  const std::string path = testing::TempDir() + "/graph_roundtrip.bin";
+  const std::string path = testutil::ProcessTempDir() + "/graph_roundtrip.bin";
   ASSERT_TRUE(g.Save(path).ok());
   auto loaded = CSRGraph::Load(path);
   ASSERT_TRUE(loaded.ok());
@@ -108,7 +109,7 @@ TEST(CSRGraphTest, SaveLoadRoundtrip) {
 }
 
 TEST(CSRGraphTest, LoadRejectsGarbage) {
-  const std::string path = testing::TempDir() + "/garbage.bin";
+  const std::string path = testutil::ProcessTempDir() + "/garbage.bin";
   FILE* f = fopen(path.c_str(), "wb");
   fputs("this is not a graph file at all, not even close!!", f);
   fclose(f);
@@ -129,7 +130,7 @@ TEST(CSRGraphTest, ArboricityWorkMatchesDefinition) {
 }
 
 TEST(EdgeListFileTest, ParsesAndSkipsComments) {
-  const std::string path = testing::TempDir() + "/edges.txt";
+  const std::string path = testutil::ProcessTempDir() + "/edges.txt";
   FILE* f = fopen(path.c_str(), "wb");
   fputs("# comment line\n0 1\n1 2\n\n2 0\n", f);
   fclose(f);
@@ -140,7 +141,7 @@ TEST(EdgeListFileTest, ParsesAndSkipsComments) {
 }
 
 TEST(EdgeListFileTest, RejectsMalformedLine) {
-  const std::string path = testing::TempDir() + "/bad_edges.txt";
+  const std::string path = testutil::ProcessTempDir() + "/bad_edges.txt";
   FILE* f = fopen(path.c_str(), "wb");
   fputs("0 1\nnot numbers\n", f);
   fclose(f);

@@ -53,7 +53,7 @@ TEST(DatasetsTest, MaterializeRoundtrip) {
   auto specs = PaperDatasets(6);
   CSRGraph graph;
   auto store = MaterializeDataset(specs[0], Env::Default(),
-                                  testing::TempDir(), 512, &graph);
+                                  testutil::ProcessTempDir(), 512, &graph);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   EXPECT_EQ((*store)->num_vertices(), graph.num_vertices());
   EXPECT_EQ((*store)->num_directed_edges(), graph.num_directed_edges());
@@ -62,7 +62,7 @@ TEST(DatasetsTest, MaterializeRoundtrip) {
 TEST(DatasetsTest, BufferPercentMath) {
   auto specs = PaperDatasets(6);
   auto store = MaterializeDataset(specs[0], Env::Default(),
-                                  testing::TempDir(), 512);
+                                  testutil::ProcessTempDir(), 512);
   ASSERT_TRUE(store.ok());
   const uint32_t p15 = PagesForBufferPercent(**store, 15.0);
   const uint32_t p25 = PagesForBufferPercent(**store, 25.0);
@@ -76,7 +76,7 @@ TEST_P(MethodRunnerTest, AllMethodsAgreeOnTriangleCount) {
   auto specs = PaperDatasets(6);  // small: scale 8
   CSRGraph graph;
   auto store = MaterializeDataset(specs[0], Env::Default(),
-                                  testing::TempDir(), 256, &graph);
+                                  testutil::ProcessTempDir(), 256, &graph);
   ASSERT_TRUE(store.ok());
   const uint64_t oracle = testutil::OracleCount(graph);
 
@@ -84,7 +84,7 @@ TEST_P(MethodRunnerTest, AllMethodsAgreeOnTriangleCount) {
   config.memory_pages = std::max((*store)->MaxRecordPages() * 2,
                                  (*store)->num_pages() / 5);
   config.num_threads = 2;
-  config.temp_dir = testing::TempDir();
+  config.temp_dir = testutil::ProcessTempDir();
   auto result = RunMethod(GetParam(), store->get(), Env::Default(), config);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->triangles, oracle) << result->method;
@@ -109,12 +109,12 @@ TEST(MethodRunnerTest, MgtReadsMoreThanOpt) {
   // Eq. 7: MGT's I/O exceeds OPT_serial's.
   auto specs = PaperDatasets(6);
   auto store = MaterializeDataset(specs[1], Env::Default(),
-                                  testing::TempDir(), 256);
+                                  testutil::ProcessTempDir(), 256);
   ASSERT_TRUE(store.ok());
   MethodConfig config;
   config.memory_pages = std::max((*store)->MaxRecordPages() * 2,
                                  (*store)->num_pages() / 5);
-  config.temp_dir = testing::TempDir();
+  config.temp_dir = testutil::ProcessTempDir();
   auto opt = RunMethod(Method::kOptSerial, store->get(), Env::Default(),
                        config);
   auto mgt = RunMethod(Method::kMgt, store->get(), Env::Default(), config);

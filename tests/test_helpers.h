@@ -3,6 +3,8 @@
 #define OPT_TESTS_TEST_HELPERS_H_
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <memory>
 #include <string>
@@ -16,6 +18,20 @@
 namespace opt {
 namespace testutil {
 
+/// A per-process scratch directory under the gtest temp dir. ctest -j
+/// runs every test case in its own process, so paths derived only from
+/// a tag or a static counter collide across concurrently running cases;
+/// anything materialized on disk must live under a pid-unique root.
+inline const std::string& ProcessTempDir() {
+  static const std::string dir = [] {
+    std::string d =
+        testing::TempDir() + "/opt_p" + std::to_string(::getpid());
+    ::mkdir(d.c_str(), 0755);
+    return d;
+  }();
+  return dir;
+}
+
 /// Creates a GraphStore for `g` under a unique temp base path and opens
 /// it. Aborts the test on failure.
 inline std::unique_ptr<GraphStore> MakeStore(const CSRGraph& g, Env* env,
@@ -23,7 +39,7 @@ inline std::unique_ptr<GraphStore> MakeStore(const CSRGraph& g, Env* env,
                                              uint32_t page_size = 256) {
   static int counter = 0;
   const std::string base =
-      testing::TempDir() + "/store_" + tag + "_" + std::to_string(counter++);
+      ProcessTempDir() + "/store_" + tag + "_" + std::to_string(counter++);
   GraphStoreOptions options;
   options.page_size = page_size;
   Status s = GraphStore::Create(g, env, base, options);

@@ -60,7 +60,7 @@ TEST(BufferPoolTest, FramesArePageAligned) {
 
 TEST(DirectIoEnvTest, AlignedReadRoundtrip) {
   CSRGraph g = GraphBuilder::FromEdges({{0, 1}, {1, 2}, {0, 2}});
-  const std::string base = testing::TempDir() + "/direct_roundtrip";
+  const std::string base = testutil::ProcessTempDir() + "/direct_roundtrip";
   GraphStoreOptions options;
   options.page_size = 4096;
   ASSERT_TRUE(GraphStore::Create(g, Env::Default(), base, options).ok());
@@ -89,7 +89,7 @@ TEST(DirectIoEnvTest, AlignedReadRoundtrip) {
 
 TEST(DirectIoEnvTest, FullOptRunThroughDirectIo) {
   CSRGraph g = GenerateErdosRenyi(500, 6000, 21);
-  const std::string base = testing::TempDir() + "/direct_opt";
+  const std::string base = testutil::ProcessTempDir() + "/direct_opt";
   GraphStoreOptions gso;
   gso.page_size = 4096;
   ASSERT_TRUE(GraphStore::Create(g, Env::Default(), base, gso).ok());
@@ -121,7 +121,7 @@ TEST(DirectIoEnvTest, FullOptRunThroughDirectIo) {
 }
 
 TEST(ListingReaderTest, RoundtripThroughSinkAndReader) {
-  const std::string path = testing::TempDir() + "/listing_roundtrip.bin";
+  const std::string path = testutil::ProcessTempDir() + "/listing_roundtrip.bin";
   CSRGraph g = GenerateErdosRenyi(200, 2000, 31);
   auto expected = testutil::OracleTriangles(g);
   {
@@ -139,8 +139,8 @@ TEST(ListingReaderTest, RoundtripThroughSinkAndReader) {
 }
 
 TEST(ListingReaderTest, SynchronousSinkProducesSameListing) {
-  const std::string async_path = testing::TempDir() + "/listing_async.bin";
-  const std::string sync_path = testing::TempDir() + "/listing_sync.bin";
+  const std::string async_path = testutil::ProcessTempDir() + "/listing_async.bin";
+  const std::string sync_path = testutil::ProcessTempDir() + "/listing_sync.bin";
   CSRGraph g = GenerateErdosRenyi(150, 1200, 7);
   {
     ListingSink sink(Env::Default(), async_path, 64, /*asynchronous=*/true);
@@ -162,7 +162,7 @@ TEST(ListingReaderTest, SynchronousSinkProducesSameListing) {
 }
 
 TEST(ListingReaderTest, RejectsTruncatedFile) {
-  const std::string path = testing::TempDir() + "/listing_truncated.bin";
+  const std::string path = testutil::ProcessTempDir() + "/listing_truncated.bin";
   {
     auto file = Env::Default()->OpenWritable(path);
     ASSERT_TRUE(file.ok());
@@ -180,7 +180,7 @@ TEST(ListingReaderTest, RejectsTruncatedFile) {
 }
 
 TEST(ListingReaderTest, EmptyListing) {
-  const std::string path = testing::TempDir() + "/listing_empty.bin";
+  const std::string path = testutil::ProcessTempDir() + "/listing_empty.bin";
   {
     ListingSink sink(Env::Default(), path);
     ASSERT_TRUE(sink.Finish().ok());

@@ -117,7 +117,7 @@ TEST_P(CrossMethodTest, AllExactMethodsEmitTheSameTriangles) {
   {
     CcOptions options;
     options.memory_pages = buffer;
-    options.temp_dir = testing::TempDir();
+    options.temp_dir = testutil::ProcessTempDir();
     VectorSink sink;
     ASSERT_TRUE(
         RunChuCheng(store.get(), Env::Default(), &sink, options, nullptr)
@@ -128,7 +128,7 @@ TEST_P(CrossMethodTest, AllExactMethodsEmitTheSameTriangles) {
   {
     GraphChiTriOptions options;
     options.memory_pages = buffer;
-    options.temp_dir = testing::TempDir();
+    options.temp_dir = testutil::ProcessTempDir();
     options.num_threads = 2;
     VectorSink sink;
     ASSERT_TRUE(RunGraphChiTri(store.get(), Env::Default(), &sink, options,

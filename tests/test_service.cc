@@ -1,0 +1,632 @@
+// Service-layer tests: wire protocol round-trips, shared buffer pool
+// semantics, graph registry, scheduler (concurrency, coalescing,
+// deadlines, admission control, result cache), fault injection, and an
+// end-to-end socket exercise with concurrent clients.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "service/client.h"
+#include "service/graph_registry.h"
+#include "service/query_scheduler.h"
+#include "service/result_cache.h"
+#include "service/server.h"
+#include "service/wire.h"
+#include "storage/buffer_pool.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+#include "test_helpers.h"
+
+namespace opt {
+namespace {
+
+/// Creates an on-disk store for `g` and returns its base path (the
+/// registry opens stores by path, unlike testutil::MakeStore which
+/// returns an already-open store).
+std::string MaterializeStore(const CSRGraph& g, Env* env,
+                             const std::string& tag,
+                             uint32_t page_size = 256) {
+  static std::atomic<int> counter{0};
+  const std::string base = testutil::ProcessTempDir() + "/svc_" + tag + "_" +
+                           std::to_string(counter.fetch_add(1));
+  GraphStoreOptions options;
+  options.page_size = page_size;
+  Status s = GraphStore::Create(g, env, base, options);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return base;
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol
+
+TEST(Wire, QueryRequestRoundTrip) {
+  QueryRequest request;
+  request.graph = "web-graph";
+  request.memory_pages = 128;
+  request.num_threads = 4;
+  request.deadline_millis = 2500;
+  QueryRequest decoded;
+  ASSERT_TRUE(
+      DecodeQueryRequest(EncodeQueryRequest(request), &decoded).ok());
+  EXPECT_EQ(decoded.graph, request.graph);
+  EXPECT_EQ(decoded.memory_pages, request.memory_pages);
+  EXPECT_EQ(decoded.num_threads, request.num_threads);
+  EXPECT_EQ(decoded.deadline_millis, request.deadline_millis);
+}
+
+TEST(Wire, CountResultRoundTrip) {
+  CountResult result;
+  result.triangles = 123456789012345ull;
+  result.seconds = 0.625;
+  result.source = 2;
+  result.pool_hits = 77;
+  result.pages_read = 400;
+  result.iterations = 3;
+  CountResult decoded;
+  ASSERT_TRUE(
+      DecodeCountResult(EncodeCountResult(result), &decoded).ok());
+  EXPECT_EQ(decoded.triangles, result.triangles);
+  EXPECT_EQ(decoded.seconds, result.seconds);
+  EXPECT_EQ(decoded.source, result.source);
+  EXPECT_EQ(decoded.pool_hits, result.pool_hits);
+  EXPECT_EQ(decoded.pages_read, result.pages_read);
+  EXPECT_EQ(decoded.iterations, result.iterations);
+}
+
+TEST(Wire, ListBatchRoundTrip) {
+  ListBatch batch;
+  batch.records.push_back({1, 2, {3, 4, 5}});
+  batch.records.push_back({7, 9, {11}});
+  batch.records.push_back({20, 21, {}});
+  ListBatch decoded;
+  ASSERT_TRUE(DecodeListBatch(EncodeListBatch(batch), &decoded).ok());
+  ASSERT_EQ(decoded.records.size(), 3u);
+  EXPECT_EQ(decoded.records[0].u, 1u);
+  EXPECT_EQ(decoded.records[0].ws, (std::vector<VertexId>{3, 4, 5}));
+  EXPECT_EQ(decoded.records[1].v, 9u);
+  EXPECT_TRUE(decoded.records[2].ws.empty());
+}
+
+TEST(Wire, ErrorRoundTrip) {
+  const Status original = Status::ResourceExhausted("queue full");
+  ErrorResult decoded;
+  ASSERT_TRUE(DecodeError(EncodeError(original), &decoded).ok());
+  EXPECT_EQ(decoded.ToStatus(), original);
+}
+
+TEST(Wire, TruncatedPayloadsAreCorruption) {
+  const std::string payload = EncodeQueryRequest({"g", 1, 2, 3});
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    QueryRequest decoded;
+    const Status s =
+        DecodeQueryRequest(payload.substr(0, cut), &decoded);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "cut=" << cut;
+  }
+}
+
+TEST(Wire, PayloadReaderRejectsShortStrings) {
+  std::string payload;
+  PutU32(&payload, 100);  // claims 100 bytes, provides none
+  PayloadReader reader(payload);
+  std::string value;
+  EXPECT_EQ(reader.GetString(&value).code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------
+// Shared buffer pool
+
+TEST(SharedPool, PageKeysAreNamespacedByOwner) {
+  BufferPool pool(64, 8);
+  auto a = pool.Fetch(MakePageKey(1, 7));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->outcome, BufferPool::FetchOutcome::kMiss);
+  pool.MarkValid(a->frame);
+  // Same pid under a different owner is a distinct page.
+  auto b = pool.Fetch(MakePageKey(2, 7));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->outcome, BufferPool::FetchOutcome::kMiss);
+  pool.MarkValid(b->frame);
+  auto again = pool.Fetch(MakePageKey(1, 7));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->outcome, BufferPool::FetchOutcome::kHit);
+  pool.Unpin(a->frame);
+  pool.Unpin(b->frame);
+  pool.Unpin(again->frame);
+}
+
+TEST(SharedPool, WaitValidWakesOnMarkFailed) {
+  BufferPool pool(64, 4);
+  auto miss = pool.Fetch(MakePageKey(1, 0));
+  ASSERT_TRUE(miss.ok());
+  ASSERT_EQ(miss->outcome, BufferPool::FetchOutcome::kMiss);
+  auto waiter = pool.Fetch(MakePageKey(1, 0));
+  ASSERT_TRUE(waiter.ok());
+  ASSERT_EQ(waiter->outcome, BufferPool::FetchOutcome::kInFlight);
+  std::thread failer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    pool.MarkFailed(miss->frame);
+  });
+  const Status s = pool.WaitValid(waiter->frame);
+  EXPECT_FALSE(s.ok());
+  failer.join();
+  pool.Unpin(miss->frame);
+  pool.Unpin(waiter->frame);
+}
+
+TEST(SharedPool, DropOwnerEvictsOnlyThatOwner) {
+  BufferPool pool(64, 8);
+  for (uint32_t pid = 0; pid < 3; ++pid) {
+    auto r = pool.Fetch(MakePageKey(1, pid));
+    ASSERT_TRUE(r.ok());
+    pool.MarkValid(r->frame);
+    pool.Unpin(r->frame);
+    r = pool.Fetch(MakePageKey(2, pid));
+    ASSERT_TRUE(r.ok());
+    pool.MarkValid(r->frame);
+    pool.Unpin(r->frame);
+  }
+  pool.DropOwner(1);
+  auto gone = pool.Fetch(MakePageKey(1, 0));
+  ASSERT_TRUE(gone.ok());
+  EXPECT_EQ(gone->outcome, BufferPool::FetchOutcome::kMiss);
+  pool.MarkValid(gone->frame);
+  pool.Unpin(gone->frame);
+  auto kept = pool.Fetch(MakePageKey(2, 0));
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->outcome, BufferPool::FetchOutcome::kHit);
+  pool.Unpin(kept->frame);
+}
+
+TEST(SharedPool, StatsSnapshotAndReset) {
+  BufferPool pool(64, 4);
+  auto r = pool.Fetch(MakePageKey(1, 0));
+  ASSERT_TRUE(r.ok());
+  pool.MarkValid(r->frame);
+  pool.Unpin(r->frame);
+  auto hit = pool.Fetch(MakePageKey(1, 0));
+  ASSERT_TRUE(hit.ok());
+  pool.Unpin(hit->frame);
+  const PoolStatsSnapshot before = pool.stats().Snapshot();
+  EXPECT_EQ(before.lookups, 2u);
+  EXPECT_EQ(before.hits, 1u);
+  pool.stats().Reset();
+  const PoolStatsSnapshot after = pool.stats().Snapshot();
+  EXPECT_EQ(after.lookups, 0u);
+  EXPECT_EQ(after.hits, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Graph registry
+
+TEST(GraphRegistry, LoadAcquireList) {
+  CSRGraph g = GenerateErdosRenyi(100, 500, 11);
+  const std::string path = MaterializeStore(g, Env::Default(), "reg");
+  GraphRegistry registry(Env::Default());
+  EXPECT_EQ(registry.pool(), nullptr);
+  ASSERT_TRUE(registry.LoadGraph("g1", path).ok());
+  ASSERT_NE(registry.pool(), nullptr);
+  auto handle = registry.Acquire("g1");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->name, "g1");
+  EXPECT_EQ(handle->store->num_vertices(), 100u);
+  EXPECT_FALSE(registry.Acquire("nope").ok());
+  const auto infos = registry.List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "g1");
+  EXPECT_EQ(infos[0].num_vertices, 100u);
+}
+
+TEST(GraphRegistry, ReloadBumpsEpochAndKeepsOldHandleAlive) {
+  CSRGraph g = GenerateErdosRenyi(80, 400, 3);
+  const std::string path1 = MaterializeStore(g, Env::Default(), "re1");
+  const std::string path2 = MaterializeStore(g, Env::Default(), "re2");
+  GraphRegistry registry(Env::Default());
+  ASSERT_TRUE(registry.LoadGraph("g", path1).ok());
+  auto old_handle = registry.Acquire("g");
+  ASSERT_TRUE(old_handle.ok());
+  ASSERT_TRUE(registry.LoadGraph("g", path2).ok());
+  auto new_handle = registry.Acquire("g");
+  ASSERT_TRUE(new_handle.ok());
+  EXPECT_GT(new_handle->epoch, old_handle->epoch);
+  EXPECT_NE(new_handle->owner, old_handle->owner);
+  // The replaced store stays usable through the old pin.
+  EXPECT_EQ(old_handle->store->num_vertices(), 80u);
+}
+
+TEST(GraphRegistry, RejectsMismatchedPageSize) {
+  CSRGraph g = GenerateErdosRenyi(50, 200, 9);
+  const std::string p256 =
+      MaterializeStore(g, Env::Default(), "ps256", 256);
+  const std::string p512 =
+      MaterializeStore(g, Env::Default(), "ps512", 512);
+  GraphRegistry registry(Env::Default());
+  ASSERT_TRUE(registry.LoadGraph("a", p256).ok());
+  const Status s = registry.LoadGraph("b", p512);
+  EXPECT_EQ(s.code(), StatusCode::kNotSupported);
+}
+
+// ---------------------------------------------------------------------
+// Result cache
+
+TEST(ResultCache, InsertLookupInvalidate) {
+  ResultCache cache(8);
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  cache.Insert("k", "g1", {42, 0.5, 1});
+  auto hit = cache.Lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->triangles, 42u);
+  cache.InvalidateGraph("g1");
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ResultCache, EvictsOldestPastCapacity) {
+  ResultCache cache(2);
+  cache.Insert("a", "g", {1, 0, 1});
+  cache.Insert("b", "g", {2, 0, 1});
+  cache.Insert("c", "g", {3, 0, 1});
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+
+struct ServiceFixture {
+  CSRGraph g1 = GenerateErdosRenyi(300, 3000, 42);
+  CSRGraph g2 = GenerateErdosRenyi(250, 2500, 43);
+  uint64_t oracle1 = testutil::OracleCount(g1);
+  uint64_t oracle2 = testutil::OracleCount(g2);
+  GraphRegistry registry;
+  QueryScheduler scheduler;
+
+  explicit ServiceFixture(Env* env, SchedulerOptions options = {})
+      : registry(env), scheduler(&registry, options) {
+    Status s = scheduler.LoadGraph(
+        "g1", MaterializeStore(g1, env, "fix1"));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    s = scheduler.LoadGraph("g2", MaterializeStore(g2, env, "fix2"));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+};
+
+TEST(QueryScheduler, CountMatchesOracle) {
+  ServiceFixture fix(Env::Default());
+  QuerySpec spec;
+  spec.graph = "g1";
+  const QueryResult result = fix.scheduler.Run(spec);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.triangles, fix.oracle1);
+  EXPECT_EQ(result.source, ResultSource::kExecuted);
+}
+
+TEST(QueryScheduler, UnknownGraphFailsFast) {
+  ServiceFixture fix(Env::Default());
+  QuerySpec spec;
+  spec.graph = "missing";
+  const QueryResult result = fix.scheduler.Run(spec);
+  EXPECT_EQ(result.status.code(), StatusCode::kNotFound);
+}
+
+TEST(QueryScheduler, ListRequiresSink) {
+  ServiceFixture fix(Env::Default());
+  QuerySpec spec;
+  spec.graph = "g1";
+  spec.kind = QueryKind::kList;
+  const QueryResult result = fix.scheduler.Run(spec);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryScheduler, SecondIdenticalQueryHitsCache) {
+  ServiceFixture fix(Env::Default());
+  QuerySpec spec;
+  spec.graph = "g2";
+  const QueryResult first = fix.scheduler.Run(spec);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.source, ResultSource::kExecuted);
+  const QueryResult second = fix.scheduler.Run(spec);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.source, ResultSource::kCache);
+  EXPECT_EQ(second.triangles, fix.oracle2);
+  EXPECT_EQ(fix.scheduler.stats().cache_hits, 1u);
+}
+
+TEST(QueryScheduler, SecondQueryObservesSharedPoolHits) {
+  SchedulerOptions options;
+  options.enable_result_cache = false;  // force a real second run
+  ServiceFixture fix(Env::Default(), options);
+  QuerySpec spec;
+  spec.graph = "g1";
+  spec.memory_pages = 512;  // roomy: the whole graph stays resident
+  const QueryResult first = fix.scheduler.Run(spec);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.triangles, fix.oracle1);
+  const QueryResult second = fix.scheduler.Run(spec);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.triangles, fix.oracle1);
+  // The second run finds the first run's pages in the shared pool.
+  EXPECT_GT(second.pool_hits, 0u);
+  EXPECT_LT(second.pages_read, first.pages_read);
+}
+
+TEST(QueryScheduler, ConcurrentMixedQueriesAcrossTwoGraphs) {
+  SchedulerOptions options;
+  options.workers = 4;
+  options.max_queue = 256;
+  options.enable_result_cache = false;
+  ServiceFixture fix(Env::Default(), options);
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const bool use_g1 = (c + q) % 2 == 0;
+        QuerySpec spec;
+        spec.graph = use_g1 ? "g1" : "g2";
+        // Vary the budget so requests do not all coalesce.
+        spec.memory_pages = 64 + 32 * (q % 3);
+        CountingSink sink;
+        if (q % 3 == 0) {
+          spec.kind = QueryKind::kList;
+          spec.list_sink = &sink;
+        }
+        const QueryResult result = fix.scheduler.Run(spec);
+        const uint64_t expected = use_g1 ? fix.oracle1 : fix.oracle2;
+        if (!result.status.ok() || result.triangles != expected) {
+          ++failures;
+          continue;
+        }
+        if (spec.kind == QueryKind::kList && sink.count() != expected) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const SchedulerStats stats = fix.scheduler.stats();
+  EXPECT_EQ(stats.completed, uint64_t{kClients * kQueriesPerClient});
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(QueryScheduler, DuplicateCountsCoalesce) {
+  // One worker + high read latency: the first query occupies the worker
+  // while duplicates pile up; they must attach to the queued run, not
+  // execute again.
+  ThrottledEnv slow(Env::Default(), /*read_latency_micros=*/200);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.enable_result_cache = false;
+  ServiceFixture fix(&slow, options);
+  QuerySpec spec;
+  spec.graph = "g1";
+  std::vector<std::shared_future<QueryResult>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(fix.scheduler.Submit(spec));
+  int executed = 0, coalesced = 0;
+  for (auto& future : futures) {
+    const QueryResult result = future.get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.triangles, fix.oracle1);
+    if (result.source == ResultSource::kExecuted) ++executed;
+    if (result.source == ResultSource::kCoalesced) ++coalesced;
+  }
+  // At least the very first submission runs; later ones may attach to
+  // either in-flight run, but every coalesced waiter saves a full run.
+  EXPECT_GE(coalesced, 1);
+  EXPECT_GE(executed, 1);
+  EXPECT_EQ(executed + coalesced, 6);
+  EXPECT_GE(fix.scheduler.stats().coalesced, 1u);
+  EXPECT_LT(fix.scheduler.stats().executed, 6u);
+}
+
+TEST(QueryScheduler, DeadlineExpiresQueuedQuery) {
+  ThrottledEnv slow(Env::Default(), /*read_latency_micros=*/500);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.enable_result_cache = false;
+  ServiceFixture fix(&slow, options);
+  QuerySpec blocker;
+  blocker.graph = "g1";
+  auto blocker_future = fix.scheduler.Submit(blocker);
+  QuerySpec hopeless;
+  hopeless.graph = "g2";
+  hopeless.deadline_millis = 1;  // expires while queued behind blocker
+  const QueryResult expired = fix.scheduler.Run(hopeless);
+  EXPECT_EQ(expired.status.code(), StatusCode::kAborted);
+  const QueryResult blocked = blocker_future.get();
+  EXPECT_TRUE(blocked.status.ok()) << blocked.status.ToString();
+  EXPECT_GE(fix.scheduler.stats().deadline_expired, 1u);
+}
+
+TEST(QueryScheduler, AdmissionQueueRejectsOverflow) {
+  ThrottledEnv slow(Env::Default(), /*read_latency_micros=*/500);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.max_queue = 2;
+  options.enable_result_cache = false;
+  ServiceFixture fix(&slow, options);
+  std::vector<std::shared_future<QueryResult>> futures;
+  // Distinct memory_pages defeat coalescing, so each submission needs
+  // its own queue slot.
+  for (int i = 0; i < 8; ++i) {
+    QuerySpec spec;
+    spec.graph = "g1";
+    spec.memory_pages = 32 + i;
+    futures.push_back(fix.scheduler.Submit(spec));
+  }
+  int rejected = 0;
+  for (auto& future : futures) {
+    if (future.get().status.code() == StatusCode::kResourceExhausted) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(fix.scheduler.stats().rejected,
+            static_cast<uint64_t>(rejected));
+}
+
+TEST(QueryScheduler, ReloadInvalidatesCacheAndAnswersFresh) {
+  Env* env = Env::Default();
+  CSRGraph small = GenerateErdosRenyi(60, 200, 7);
+  CSRGraph big = GenerateErdosRenyi(200, 2400, 8);
+  const uint64_t oracle_small = testutil::OracleCount(small);
+  const uint64_t oracle_big = testutil::OracleCount(big);
+  GraphRegistry registry(env);
+  QueryScheduler scheduler(&registry, {});
+  ASSERT_TRUE(
+      scheduler.LoadGraph("g", MaterializeStore(small, env, "inv1")).ok());
+  QuerySpec spec;
+  spec.graph = "g";
+  const QueryResult first = scheduler.Run(spec);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.triangles, oracle_small);
+  ASSERT_TRUE(scheduler.Run(spec).source == ResultSource::kCache);
+  ASSERT_TRUE(
+      scheduler.LoadGraph("g", MaterializeStore(big, env, "inv2")).ok());
+  const QueryResult after = scheduler.Run(spec);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.triangles, oracle_big);
+  EXPECT_NE(after.source, ResultSource::kCache);
+  EXPECT_GT(after.epoch, first.epoch);
+}
+
+TEST(QueryScheduler, InjectedReadFaultsFailQueriesNotProcess) {
+  FaultInjectionEnv faulty(Env::Default());
+  SchedulerOptions options;
+  options.enable_result_cache = false;
+  ServiceFixture fix(&faulty, options);
+  QuerySpec spec;
+  spec.graph = "g1";
+  const QueryResult healthy = fix.scheduler.Run(spec);
+  ASSERT_TRUE(healthy.status.ok());
+  faulty.FailReadsAfter(0);
+  const QueryResult hurt = fix.scheduler.Run(spec);
+  EXPECT_FALSE(hurt.status.ok());
+  faulty.FailReadsAfter(-1);
+  const QueryResult recovered = fix.scheduler.Run(spec);
+  ASSERT_TRUE(recovered.status.ok()) << recovered.status.ToString();
+  EXPECT_EQ(recovered.triangles, fix.oracle1);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over sockets
+
+TEST(OptServer, EndToEndConcurrentClients) {
+  Env* env = Env::Default();
+  CSRGraph g1 = GenerateErdosRenyi(300, 3000, 21);
+  CSRGraph g2 = GenerateErdosRenyi(250, 2500, 22);
+  const uint64_t oracle1 = testutil::OracleCount(g1);
+  const uint64_t oracle2 = testutil::OracleCount(g2);
+  const std::string path1 = MaterializeStore(g1, env, "srv1");
+  const std::string path2 = MaterializeStore(g2, env, "srv2");
+
+  GraphRegistry registry(env);
+  SchedulerOptions options;
+  options.workers = 4;
+  options.max_queue = 256;
+  QueryScheduler scheduler(&registry, options);
+  ASSERT_TRUE(scheduler.LoadGraph("g1", path1).ok());
+
+  OptServer server(&scheduler);
+  ASSERT_TRUE(server.ListenTcp(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.bound_port();
+
+  // g2 arrives over the wire.
+  {
+    OptClient admin;
+    ASSERT_TRUE(admin.ConnectTcp("127.0.0.1", port).ok());
+    ASSERT_TRUE(admin.LoadGraph("g2", path2).ok());
+    auto missing = admin.Count("never-loaded");
+    EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  }
+
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      OptClient client;
+      if (!client.ConnectTcp("127.0.0.1", port).ok()) {
+        ++failures;
+        return;
+      }
+      for (int q = 0; q < 4; ++q) {
+        const bool use_g1 = (c + q) % 2 == 0;
+        const std::string graph = use_g1 ? "g1" : "g2";
+        const uint64_t expected = use_g1 ? oracle1 : oracle2;
+        if (q % 2 == 0) {
+          auto result = client.Count(graph);
+          if (!result.ok() || result->triangles != expected) {
+            ++failures;
+          }
+        } else {
+          uint64_t streamed = 0;
+          auto end = client.List(graph, [&](const ListBatch& batch) {
+            for (const auto& record : batch.records) {
+              streamed += record.ws.size();
+            }
+          });
+          if (!end.ok() || end->triangles != expected ||
+              streamed != expected) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  OptClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", port).ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("scheduler.completed="), std::string::npos);
+  EXPECT_NE(stats->find("pool.frames="), std::string::npos);
+  EXPECT_NE(stats->find("graph.g2.vertices=250"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(OptServer, UnixSocketCountAndDisabledLoadGraph) {
+  Env* env = Env::Default();
+  CSRGraph g = GenerateErdosRenyi(120, 900, 33);
+  const uint64_t oracle = testutil::OracleCount(g);
+  const std::string path = MaterializeStore(g, env, "unix");
+  GraphRegistry registry(env);
+  QueryScheduler scheduler(&registry, {});
+  ASSERT_TRUE(scheduler.LoadGraph("g", path).ok());
+  OptServer server(&scheduler, /*allow_load_graph=*/false);
+  const std::string socket_path =
+      testutil::ProcessTempDir() + "/opt_service_test.sock";
+  ASSERT_TRUE(server.ListenUnix(socket_path).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  OptClient client;
+  ASSERT_TRUE(client.ConnectUnix(socket_path).ok());
+  auto result = client.Count("g");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->triangles, oracle);
+  EXPECT_EQ(client.LoadGraph("x", path).code(),
+            StatusCode::kNotSupported);
+  // The connection survives an error reply.
+  auto again = client.Count("g");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->triangles, oracle);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace opt

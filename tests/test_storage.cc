@@ -1,6 +1,7 @@
 // Unit tests for the storage engine: page codec, page file, buffer pool,
 // async I/O engine, graph store, record scanner, fault injection.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstring>
@@ -89,7 +90,7 @@ TEST(PageCodecTest, CapacityShrinksAsSegmentsAdded) {
 
 TEST(PageFileTest, WriteThenRead) {
   Env* env = Env::Default();
-  const std::string path = testing::TempDir() + "/pagefile_test.pages";
+  const std::string path = testutil::ProcessTempDir() + "/pagefile_test.pages";
   auto writer = PageFileWriter::Create(env, path, 128);
   ASSERT_TRUE(writer.ok());
   std::vector<char> page(128);
@@ -112,7 +113,7 @@ TEST(PageFileTest, WriteThenRead) {
 
 TEST(PageFileTest, RejectsMisalignedFile) {
   Env* env = Env::Default();
-  const std::string path = testing::TempDir() + "/misaligned.pages";
+  const std::string path = testutil::ProcessTempDir() + "/misaligned.pages";
   auto file = env->OpenWritable(path);
   ASSERT_TRUE(file.ok());
   ASSERT_TRUE((*file)->Append(Slice("short")).ok());
@@ -177,7 +178,7 @@ class AsyncIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
     env_ = Env::Default();
-    path_ = testing::TempDir() + "/async_io_test.pages";
+    path_ = testutil::ProcessTempDir() + "/async_io_test.pages";
     auto writer = PageFileWriter::Create(env_, path_, 128);
     ASSERT_TRUE(writer.ok());
     std::vector<char> page(128);
@@ -215,9 +216,13 @@ TEST_F(AsyncIoTest, CompletionCallbackRunsOnDrainer) {
     req.completion_queue = &queue;
     Frame* f = *frame;
     req.callback = [&, pid, f](const Status& s) {
-      ASSERT_TRUE(s.ok()) << s.ToString();
-      EXPECT_EQ(static_cast<unsigned char>(f->data[0]), pid);
-      verified.fetch_add(1);
+      // EXPECT (not ASSERT): an early return here would skip Done() and
+      // hang the drain loop below instead of failing the test.
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      if (s.ok()) {
+        EXPECT_EQ(static_cast<unsigned char>(f->data[0]), pid);
+        verified.fetch_add(1);
+      }
       group.Done();
     };
     engine.Submit(std::move(req));
@@ -249,7 +254,7 @@ TEST_F(AsyncIoTest, CallbackCanChainSubmissions) {
     req.completion_queue = &queue;
     Frame* f = *frame;
     req.callback = [&, f](const Status& s) {
-      ASSERT_TRUE(s.ok());
+      EXPECT_TRUE(s.ok()) << s.ToString();
       pool.Unpin(f);
       completed.fetch_add(1);
       const uint32_t n = next.fetch_add(1);
@@ -300,7 +305,7 @@ TEST_F(AsyncIoTest, ReportsReadErrors) {
 }
 
 TEST(GraphStoreWriterTest, GapsBecomeEmptyRecords) {
-  const std::string base = testing::TempDir() + "/writer_gaps";
+  const std::string base = testutil::ProcessTempDir() + "/writer_gaps";
   GraphStoreOptions options;
   options.page_size = 256;
   auto writer = GraphStoreWriter::Create(Env::Default(), base, options);
@@ -324,7 +329,7 @@ TEST(GraphStoreWriterTest, GapsBecomeEmptyRecords) {
 }
 
 TEST(GraphStoreWriterTest, RejectsOutOfOrderRecords) {
-  const std::string base = testing::TempDir() + "/writer_order";
+  const std::string base = testutil::ProcessTempDir() + "/writer_order";
   auto writer = GraphStoreWriter::Create(Env::Default(), base, {});
   ASSERT_TRUE(writer.ok());
   const VertexId nbrs[] = {1};
@@ -337,7 +342,7 @@ TEST(GraphStoreWriterTest, RejectsOutOfOrderRecords) {
 }
 
 TEST(GraphStoreWriterTest, FinishIsIdempotentAndSealsWriter) {
-  const std::string base = testing::TempDir() + "/writer_finish";
+  const std::string base = testutil::ProcessTempDir() + "/writer_finish";
   auto writer = GraphStoreWriter::Create(Env::Default(), base, {});
   ASSERT_TRUE(writer.ok());
   ASSERT_TRUE((*writer)->Finish().ok());
@@ -352,7 +357,7 @@ TEST(GraphStoreWriterTest, RejectsTinyPageSize) {
   GraphStoreOptions options;
   options.page_size = 8;
   EXPECT_FALSE(GraphStoreWriter::Create(Env::Default(),
-                                        testing::TempDir() + "/writer_tiny",
+                                        testutil::ProcessTempDir() + "/writer_tiny",
                                         options)
                    .ok());
 }
@@ -428,7 +433,7 @@ TEST(GraphStoreTest, PlanFailsWhenRecordTooLarge) {
 
 TEST(GraphStoreTest, OpenRejectsMissingMeta) {
   auto result = GraphStore::Open(Env::Default(),
-                                 testing::TempDir() + "/nonexistent_store");
+                                 testutil::ProcessTempDir() + "/nonexistent_store");
   EXPECT_FALSE(result.ok());
 }
 

@@ -27,7 +27,7 @@ struct U64Record {
 };
 
 TEST(ExternalSorterTest, InMemoryOnlyPath) {
-  ExternalSorter<U64Record> sorter(Env::Default(), testing::TempDir(),
+  ExternalSorter<U64Record> sorter(Env::Default(), testutil::ProcessTempDir(),
                                    "sorter_mem", 1 << 20);
   for (uint64_t v : {5ull, 1ull, 9ull, 3ull}) {
     ASSERT_TRUE(sorter.Add({v}).ok());
@@ -45,7 +45,7 @@ TEST(ExternalSorterTest, InMemoryOnlyPath) {
 
 TEST(ExternalSorterTest, SpillsAndMergesManyRuns) {
   // A budget of 64 bytes = 8 records per run forces many spills.
-  ExternalSorter<U64Record> sorter(Env::Default(), testing::TempDir(),
+  ExternalSorter<U64Record> sorter(Env::Default(), testutil::ProcessTempDir(),
                                    "sorter_spill", 64);
   Random64 rng(7);
   std::vector<uint64_t> expected;
@@ -68,7 +68,7 @@ TEST(ExternalSorterTest, SpillsAndMergesManyRuns) {
 }
 
 TEST(ExternalSorterTest, EmptyInput) {
-  ExternalSorter<U64Record> sorter(Env::Default(), testing::TempDir(),
+  ExternalSorter<U64Record> sorter(Env::Default(), testutil::ProcessTempDir(),
                                    "sorter_empty", 1024);
   int calls = 0;
   ASSERT_TRUE(sorter
@@ -81,7 +81,7 @@ TEST(ExternalSorterTest, EmptyInput) {
 }
 
 TEST(ExternalSorterTest, ConsumerErrorPropagates) {
-  ExternalSorter<U64Record> sorter(Env::Default(), testing::TempDir(),
+  ExternalSorter<U64Record> sorter(Env::Default(), testutil::ProcessTempDir(),
                                    "sorter_err", 1024);
   ASSERT_TRUE(sorter.Add({1}).ok());
   Status s = sorter.Merge(
@@ -93,7 +93,7 @@ class StoreBuilderTest : public ::testing::Test {
  protected:
   std::string WriteEdgeFile(const std::vector<std::string>& lines,
                             const char* name) {
-    const std::string path = testing::TempDir() + "/" + name;
+    const std::string path = testutil::ProcessTempDir() + "/" + name;
     std::FILE* f = std::fopen(path.c_str(), "wb");
     for (const auto& line : lines) {
       std::fputs(line.c_str(), f);
@@ -124,8 +124,8 @@ TEST_F(StoreBuilderTest, MatchesInMemoryPath) {
   options.page_size = 256;
   options.degree_order = true;
   options.memory_budget_bytes = 1 << 12;  // force spills
-  options.temp_dir = testing::TempDir();
-  const std::string base = testing::TempDir() + "/builder_store";
+  options.temp_dir = testutil::ProcessTempDir();
+  const std::string base = testutil::ProcessTempDir() + "/builder_store";
   auto stats =
       BuildStoreFromEdgeList(Env::Default(), edge_path, base, options);
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
@@ -168,8 +168,8 @@ TEST_F(StoreBuilderTest, DedupAndSelfLoops) {
   StoreBuildOptions options;
   options.page_size = 256;
   options.degree_order = false;
-  options.temp_dir = testing::TempDir();
-  const std::string base = testing::TempDir() + "/builder_dedup_store";
+  options.temp_dir = testutil::ProcessTempDir();
+  const std::string base = testutil::ProcessTempDir() + "/builder_dedup_store";
   auto stats = BuildStoreFromEdgeList(Env::Default(), path, base, options);
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats->input_edges, 6u);
@@ -190,8 +190,8 @@ TEST_F(StoreBuilderTest, DedupAndSelfLoops) {
 TEST_F(StoreBuilderTest, EmptyInputProducesEmptyStore) {
   const std::string path = WriteEdgeFile({"# nothing"}, "builder_empty.txt");
   StoreBuildOptions options;
-  options.temp_dir = testing::TempDir();
-  const std::string base = testing::TempDir() + "/builder_empty_store";
+  options.temp_dir = testutil::ProcessTempDir();
+  const std::string base = testutil::ProcessTempDir() + "/builder_empty_store";
   auto stats = BuildStoreFromEdgeList(Env::Default(), path, base, options);
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->kept_edges, 0u);
@@ -204,9 +204,9 @@ TEST_F(StoreBuilderTest, RejectsMalformedLine) {
   const std::string path =
       WriteEdgeFile({"0 1", "broken line"}, "builder_bad.txt");
   StoreBuildOptions options;
-  options.temp_dir = testing::TempDir();
+  options.temp_dir = testutil::ProcessTempDir();
   auto stats = BuildStoreFromEdgeList(
-      Env::Default(), path, testing::TempDir() + "/builder_bad_store",
+      Env::Default(), path, testutil::ProcessTempDir() + "/builder_bad_store",
       options);
   EXPECT_TRUE(stats.status().IsCorruption());
 }

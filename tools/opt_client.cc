@@ -1,0 +1,126 @@
+// Command-line client for opt_server.
+//
+//   opt_client (--port N [--host 127.0.0.1] | --unix /path.sock) \
+//       --op count|list|stats|load [--graph NAME] \
+//       [--pages N] [--threads N] [--deadline_ms N] \
+//       [--path /graph/base]     (load: store base path) \
+//       [--out FILE]             (list: write triangles as text)
+#include <cstdio>
+#include <string>
+
+#include "service/client.h"
+#include "util/cli.h"
+
+using namespace opt;
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) {
+    std::fprintf(stderr, "%s\n", cl.status().ToString().c_str());
+    return 2;
+  }
+  const bool use_unix = cl->Has("unix");
+  if (!use_unix && !cl->Has("port")) {
+    std::fprintf(stderr,
+                 "usage: %s (--port N | --unix /path.sock) --op "
+                 "count|list|stats|load [--graph NAME] [--path BASE]\n",
+                 argv[0]);
+    return 2;
+  }
+  auto op = cl->GetChoice("op", {"count", "list", "stats", "load"}, "count");
+  if (!op.ok()) {
+    std::fprintf(stderr, "%s\n", op.status().ToString().c_str());
+    return 2;
+  }
+
+  OptClient client;
+  Status status =
+      use_unix
+          ? client.ConnectUnix(cl->GetString("unix"))
+          : client.ConnectTcp(cl->GetString("host", "127.0.0.1"),
+                              static_cast<uint16_t>(cl->GetInt("port", 0)));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  ClientQueryOptions options;
+  options.memory_pages = static_cast<uint32_t>(cl->GetInt("pages", 0));
+  options.num_threads = static_cast<uint32_t>(cl->GetInt("threads", 0));
+  options.deadline_millis =
+      static_cast<uint64_t>(cl->GetInt("deadline_ms", 0));
+  const std::string graph = cl->GetString("graph");
+
+  if (*op == "count") {
+    auto result = client.Count(graph, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    static const char* kSources[] = {"executed", "coalesced", "cache"};
+    const char* source =
+        result->source < 3 ? kSources[result->source] : "?";
+    std::printf("triangles: %llu\n",
+                static_cast<unsigned long long>(result->triangles));
+    std::printf("seconds: %.6f  source: %s  iterations: %u\n",
+                result->seconds, source, result->iterations);
+    std::printf("pool_hits: %llu  pages_read: %llu\n",
+                static_cast<unsigned long long>(result->pool_hits),
+                static_cast<unsigned long long>(result->pages_read));
+    return 0;
+  }
+
+  if (*op == "list") {
+    FILE* out = stdout;
+    const std::string out_path = cl->GetString("out");
+    if (!out_path.empty()) {
+      out = std::fopen(out_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+      }
+    }
+    auto result = client.List(
+        graph,
+        [out](const ListBatch& batch) {
+          for (const ListBatch::Record& record : batch.records) {
+            for (VertexId w : record.ws) {
+              std::fprintf(out, "%u %u %u\n", record.u, record.v, w);
+            }
+          }
+        },
+        options);
+    if (out != stdout) std::fclose(out);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "triangles: %llu  seconds: %.6f\n",
+                 static_cast<unsigned long long>(result->triangles),
+                 result->seconds);
+    return 0;
+  }
+
+  if (*op == "stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(stats->c_str(), stdout);
+    return 0;
+  }
+
+  // load
+  if (graph.empty() || !cl->Has("path")) {
+    std::fprintf(stderr, "--op load needs --graph NAME --path BASE\n");
+    return 2;
+  }
+  status = client.LoadGraph(graph, cl->GetString("path"));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s\n", graph.c_str());
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Triangle query server. Pins one or more GraphStores behind a shared
+// buffer pool and serves COUNT/LIST/STATS/LOADGRAPH over TCP or a
+// Unix-domain socket.
+//
+//   opt_server [--port N | --unix /path.sock]
+//       [--graph name=/path/base ...] [--workers N] [--max_queue N]
+//       [--pool_pages N] [--default_pages N] [--default_threads N]
+//       [--no_cache] [--no_load_graph]
+//
+// --port 0 binds an ephemeral port (printed on stdout, for scripts).
+// Runs until SIGINT/SIGTERM.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "service/graph_registry.h"
+#include "service/query_scheduler.h"
+#include "service/server.h"
+#include "util/cli.h"
+
+using namespace opt;
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) {
+    std::fprintf(stderr, "%s\n", cl.status().ToString().c_str());
+    return 2;
+  }
+  if (!cl->Has("port") && !cl->Has("unix")) {
+    std::fprintf(stderr,
+                 "usage: %s (--port N | --unix /path.sock) "
+                 "[--graph name=/path/base ...] [--workers N]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  RegistryOptions registry_options;
+  registry_options.min_pool_frames =
+      static_cast<uint32_t>(cl->GetInt("pool_pages", 256));
+  GraphRegistry registry(Env::Default(), registry_options);
+
+  SchedulerOptions scheduler_options;
+  scheduler_options.workers =
+      static_cast<uint32_t>(cl->GetInt("workers", 4));
+  scheduler_options.max_queue =
+      static_cast<uint32_t>(cl->GetInt("max_queue", 64));
+  scheduler_options.default_memory_pages =
+      static_cast<uint32_t>(cl->GetInt("default_pages", 64));
+  scheduler_options.default_threads =
+      static_cast<uint32_t>(cl->GetInt("default_threads", 2));
+  scheduler_options.enable_result_cache = !cl->GetBool("no_cache", false);
+  QueryScheduler scheduler(&registry, scheduler_options);
+
+  // --graph flags preload stores; more can arrive later via LOADGRAPH.
+  // The CLI parser keeps the last value per flag, so multiple graphs on
+  // one command line arrive as positionals of the form name=/path too.
+  std::vector<std::string> graph_specs;
+  if (cl->Has("graph")) graph_specs.push_back(cl->GetString("graph"));
+  for (const std::string& positional : cl->positional()) {
+    if (positional.find('=') != std::string::npos) {
+      graph_specs.push_back(positional);
+    }
+  }
+  for (const std::string& spec : graph_specs) {
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      std::fprintf(stderr, "bad --graph spec (want name=/path): %s\n",
+                   spec.c_str());
+      return 2;
+    }
+    const std::string name = spec.substr(0, eq);
+    const std::string path = spec.substr(eq + 1);
+    if (Status s = scheduler.LoadGraph(name, path); !s.ok()) {
+      std::fprintf(stderr, "load %s: %s\n", name.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded graph '%s' from %s\n", name.c_str(),
+                 path.c_str());
+  }
+
+  OptServer server(&scheduler, !cl->GetBool("no_load_graph", false));
+  Status status;
+  if (cl->Has("unix")) {
+    status = server.ListenUnix(cl->GetString("unix"));
+  } else {
+    status = server.ListenTcp(
+        static_cast<uint16_t>(cl->GetInt("port", 0)));
+  }
+  if (status.ok()) status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (cl->Has("unix")) {
+    std::printf("listening on %s\n", cl->GetString("unix").c_str());
+  } else {
+    std::printf("listening on 127.0.0.1:%u\n", server.bound_port());
+  }
+  std::fflush(stdout);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (!g_stop) sigsuspend(&empty);
+
+  std::fprintf(stderr, "shutting down\n");
+  server.Stop();
+  return 0;
+}
