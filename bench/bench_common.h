@@ -25,6 +25,7 @@
 #include "harness/methods.h"
 #include "storage/env.h"
 #include "util/cli.h"
+#include "util/logging.h"
 #include "util/table_printer.h"
 
 namespace opt {
@@ -47,6 +48,7 @@ struct BenchContext {
 };
 
 inline BenchContext MakeContext(int argc, char** argv) {
+  InitLogLevelFromEnv();
   BenchContext ctx;
   auto cl = CommandLine::Parse(argc, argv);
   if (!cl.ok()) {

@@ -3,10 +3,11 @@
 // numbers isolate scheduling + shared-pool behavior) while the worker
 // count sweeps {1, 2, 4, 8}.
 //
-// Reported per worker count: queries/sec, mean latency, shared-pool hit
-// rate, and how many queries were answered without a fresh run
-// (coalesced / cached). One JSON line per configuration on stdout
-// (prefix "JSON ") for trend tracking; see EXPERIMENTS.md.
+// Reported per worker count: queries/sec, mean and p50/p95/p99 latency
+// (per-client histograms merged after the wave), shared-pool hit rate,
+// and how many queries were answered without a fresh run (coalesced /
+// cached). One JSON line per configuration on stdout (prefix "JSON ")
+// for trend tracking; see EXPERIMENTS.md.
 //
 //   bench_service_throughput [--clients N] [--queries_per_client N]
 //       [--pages N] [--no_cache] + the common flags (bench_common.h)
@@ -23,6 +24,7 @@
 #include "service/query_scheduler.h"
 #include "storage/buffer_pool.h"
 #include "storage/graph_store.h"
+#include "util/histogram.h"
 #include "util/table_printer.h"
 
 using namespace opt;
@@ -35,6 +37,7 @@ struct RunResult {
   uint64_t queries = 0;
   uint64_t errors = 0;
   double total_latency = 0;  // summed per-query wall time
+  HistogramSnapshot latency_us;  // per-query wall time, microseconds
   SchedulerStats stats;
   PoolStatsSnapshot pool;
 };
@@ -64,6 +67,9 @@ RunResult RunWave(Env* env, const std::vector<std::string>& store_paths,
   RunResult result;
   std::atomic<uint64_t> errors{0};
   std::vector<double> latencies(clients, 0.0);
+  // One histogram per client thread, merged after the join — no
+  // cross-thread synchronization on the hot path.
+  std::vector<Histogram> client_hists(clients);
   std::vector<std::thread> threads;
   const auto t0 = std::chrono::steady_clock::now();
   for (int c = 0; c < clients; ++c) {
@@ -78,8 +84,10 @@ RunResult RunWave(Env* env, const std::vector<std::string>& store_paths,
         const auto q0 = std::chrono::steady_clock::now();
         const QueryResult answer = scheduler.Run(spec);
         const auto q1 = std::chrono::steady_clock::now();
-        latencies[c] +=
+        const double query_seconds =
             std::chrono::duration<double>(q1 - q0).count();
+        latencies[c] += query_seconds;
+        client_hists[c].Add(static_cast<uint64_t>(query_seconds * 1e6));
         if (!answer.status.ok()) errors.fetch_add(1);
       }
     });
@@ -92,6 +100,9 @@ RunResult RunWave(Env* env, const std::vector<std::string>& store_paths,
       static_cast<uint64_t>(clients) * queries_per_client;
   result.errors = errors.load();
   for (double latency : latencies) result.total_latency += latency;
+  for (const Histogram& hist : client_hists) {
+    result.latency_us.Merge(hist.Snapshot());
+  }
   result.stats = scheduler.stats();
   result.pool = PoolStatsSnapshot::Delta(
       registry.pool()->stats().Snapshot(), pool_before);
@@ -133,8 +144,9 @@ int main(int argc, char** argv) {
     store_paths.push_back(base);
   }
 
-  TablePrinter table({"workers", "qps", "mean_lat_ms", "pool_hit_rate",
-                      "executed", "coalesced", "cache_hits", "errors"});
+  TablePrinter table({"workers", "qps", "mean_lat_ms", "p50_ms", "p95_ms",
+                      "p99_ms", "pool_hit_rate", "executed", "coalesced",
+                      "cache_hits", "errors"});
   for (uint32_t workers : {1u, 2u, 4u, 8u}) {
     const RunResult r =
         RunWave(ctx.get_env(), store_paths, workers, clients,
@@ -142,12 +154,18 @@ int main(int argc, char** argv) {
     const double qps = r.seconds > 0 ? r.queries / r.seconds : 0.0;
     const double mean_latency_ms =
         r.queries > 0 ? r.total_latency / r.queries * 1e3 : 0.0;
+    const double p50_ms = r.latency_us.P50() / 1e3;
+    const double p95_ms = r.latency_us.P95() / 1e3;
+    const double p99_ms = r.latency_us.P99() / 1e3;
     const double hit_rate =
         r.pool.lookups > 0
             ? static_cast<double>(r.pool.hits) / r.pool.lookups
             : 0.0;
     table.AddRow({std::to_string(workers), TablePrinter::Fmt(qps, 1),
                   TablePrinter::Fmt(mean_latency_ms, 2),
+                  TablePrinter::Fmt(p50_ms, 2),
+                  TablePrinter::Fmt(p95_ms, 2),
+                  TablePrinter::Fmt(p99_ms, 2),
                   TablePrinter::Fmt(hit_rate, 3),
                   std::to_string(r.stats.executed),
                   std::to_string(r.stats.coalesced),
@@ -156,11 +174,14 @@ int main(int argc, char** argv) {
     std::printf(
         "JSON {\"experiment\":\"service_throughput\",\"workers\":%u,"
         "\"clients\":%d,\"queries\":%llu,\"qps\":%.2f,"
-        "\"mean_latency_ms\":%.3f,\"pool_hit_rate\":%.4f,"
+        "\"mean_latency_ms\":%.3f,\"p50_latency_ms\":%.3f,"
+        "\"p95_latency_ms\":%.3f,\"p99_latency_ms\":%.3f,"
+        "\"pool_hit_rate\":%.4f,"
         "\"executed\":%llu,\"coalesced\":%llu,\"cache_hits\":%llu,"
         "\"errors\":%llu}\n",
         workers, clients,
         static_cast<unsigned long long>(r.queries), qps, mean_latency_ms,
+        p50_ms, p95_ms, p99_ms,
         hit_rate, static_cast<unsigned long long>(r.stats.executed),
         static_cast<unsigned long long>(r.stats.coalesced),
         static_cast<unsigned long long>(r.stats.cache_hits),

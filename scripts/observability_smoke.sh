@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# End-to-end observability smoke test: starts opt_server with metrics
+# dumping and tracing enabled, runs COUNT + STATS through opt_client,
+# and asserts that (a) the STATS exposition carries the core registry
+# counters and latency percentiles, and (b) the shutdown trace file is
+# Chrome trace_event JSON containing OPT phase spans.
+#
+#   scripts/observability_smoke.sh [BUILD_DIR]    (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+for bin in tools/graph_gen tools/opt_server tools/opt_client; do
+  if [[ ! -x "$BUILD_DIR/$bin" ]]; then
+    echo "missing $BUILD_DIR/$bin — build the '$(basename "$bin")' target first" >&2
+    exit 2
+  fi
+done
+
+WORK_DIR="$(mktemp -d)"
+SOCK="$WORK_DIR/opt.sock"
+TRACE="$WORK_DIR/trace.json"
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+echo "== generating graph store"
+"$BUILD_DIR/tools/graph_gen" --model rmat --scale 12 --edge_factor 16 \
+  --seed 7 --store "$WORK_DIR/g" > /dev/null
+
+echo "== starting opt_server (metrics dump + tracing on)"
+# --default_pages 8 keeps the buffer budget below the graph size so the
+# run exercises the external triangulation and thread-morph paths (and
+# their trace spans), not just the in-memory fast path.
+OPT_LOG_LEVEL=info "$BUILD_DIR/tools/opt_server" --unix "$SOCK" \
+  --graph "smoke=$WORK_DIR/g" --workers 2 --default_pages 8 \
+  --metrics-dump-interval 1 --trace-out "$TRACE" \
+  > "$WORK_DIR/server.out" 2> "$WORK_DIR/server.err" &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+  [[ -S "$SOCK" ]] && break
+  sleep 0.1
+done
+[[ -S "$SOCK" ]] || { echo "server did not come up"; cat "$WORK_DIR/server.err"; exit 1; }
+
+echo "== COUNT"
+"$BUILD_DIR/tools/opt_client" --unix "$SOCK" --op count --graph smoke
+# A second identical COUNT exercises the result cache / coalescing path.
+"$BUILD_DIR/tools/opt_client" --unix "$SOCK" --op count --graph smoke > /dev/null
+
+echo "== STATS"
+STATS="$("$BUILD_DIR/tools/opt_client" --unix "$SOCK" --op stats)"
+echo "$STATS"
+
+missing=0
+for key in scheduler.submitted pool.fetch.hits pool.fetch.lookups \
+           opt.internal.cache_hits opt.external.cache_hits \
+           query.latency_us "pool hit rate"; do
+  if ! grep -qF "$key" <<< "$STATS"; then
+    echo "FAIL: STATS exposition missing '$key'" >&2
+    missing=1
+  fi
+done
+[[ "$missing" -eq 0 ]] || exit 1
+
+echo "== waiting for a metrics dump on stderr"
+for _ in $(seq 1 30); do
+  grep -q "metrics dump" "$WORK_DIR/server.err" && break
+  sleep 0.1
+done
+grep -q "metrics dump" "$WORK_DIR/server.err" || {
+  echo "FAIL: no periodic metrics dump in server log" >&2
+  cat "$WORK_DIR/server.err" >&2
+  exit 1
+}
+
+echo "== shutting down and checking trace"
+kill "$SERVER_PID"
+wait "$SERVER_PID" || true
+SERVER_PID=""
+
+[[ -s "$TRACE" ]] || { echo "FAIL: trace file missing/empty" >&2; exit 1; }
+python3 - "$TRACE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+names = {e["name"] for e in events}
+required = {"opt.run", "phaseA.load", "internal.main", "external.chunk",
+            "morph.to_external", "query.execute"}
+missing = required - names
+if missing:
+    sys.exit(f"FAIL: trace missing spans {sorted(missing)}; has {sorted(names)}")
+print(f"trace OK: {len(events)} events, spans include {sorted(required)}")
+EOF
+
+echo "observability smoke: PASS"

@@ -10,11 +10,44 @@
 #include "core/page_range_view.h"
 #include "storage/async_io.h"
 #include "storage/buffer_pool.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace opt {
 
 namespace {
+
+/// Registry counters fed once per Run() from OptRunStats. The cache-hit
+/// counters are the paper's Δin / Δex: pages the buffer pool saved the
+/// run from re-reading (§3.3's cost identity, exposed live via STATS).
+struct RunCounters {
+  Counter* runs = Metrics().GetCounter("opt.runs");
+  Counter* iterations = Metrics().GetCounter("opt.iterations");
+  Counter* internal_pages_read =
+      Metrics().GetCounter("opt.internal.pages_read");
+  Counter* internal_cache_hits =
+      Metrics().GetCounter("opt.internal.cache_hits");
+  Counter* external_pages_read =
+      Metrics().GetCounter("opt.external.pages_read");
+  Counter* external_cache_hits =
+      Metrics().GetCounter("opt.external.cache_hits");
+};
+
+RunCounters& GlobalRunCounters() {
+  static RunCounters counters;
+  return counters;
+}
+
+void PublishRunStats(const OptRunStats& stats) {
+  RunCounters& counters = GlobalRunCounters();
+  counters.runs->Increment();
+  counters.iterations->Increment(stats.iterations);
+  counters.internal_pages_read->Increment(stats.internal_pages_read);
+  counters.internal_cache_hits->Increment(stats.internal_cache_hits);
+  counters.external_pages_read->Increment(stats.external_pages_read);
+  counters.external_cache_hits->Increment(stats.external_cache_hits);
+}
 
 /// One external read unit: a run of consecutive pages covering every
 /// candidate assigned to it (Algorithm 4 groups candidates by page;
@@ -184,6 +217,13 @@ void PumpExternal(RunContext* ctx) {
 void ProcessChunk(RunContext* ctx, Chunk chunk,
                   std::vector<Frame*> frames) {
   Stopwatch watch;
+  TraceSpan chunk_span(
+      "opt", "external.chunk",
+      CurrentTraceRecorder() != nullptr
+          ? "\"first_pid\":" + std::to_string(chunk.first_pid) +
+                ",\"pages\":" + std::to_string(chunk.page_count) +
+                ",\"candidates\":" + std::to_string(chunk.candidates.size())
+          : std::string());
   // Frames fetched as in-flight were loaded by a concurrent query
   // sharing the pool; their validity is published by that query's I/O
   // workers, never by our completion drain, so this wait always makes
@@ -318,12 +358,21 @@ bool ExternalDone(RunContext* ctx) { return ctx->group_ex.Finished(); }
 /// morphing, steals internal pages while the queue is empty.
 void DrainExternal(RunContext* ctx, bool allow_morph,
                    ModelScratch* scratch) {
+  bool morph_traced = false;
   while (!ExternalDone(ctx)) {
     if (auto task = ctx->completions.TryPop()) {
       (*task)();
       continue;
     }
-    if (allow_morph && RunOneInternalUnit(ctx, scratch)) continue;
+    if (allow_morph && RunOneInternalUnit(ctx, scratch)) {
+      if (!morph_traced) {
+        // First steal only: one marker per morph transition, not one
+        // per stolen page.
+        TraceInstant("morph", "morph.steal_internal");
+        morph_traced = true;
+      }
+      continue;
+    }
     if (auto task = ctx->completions.PopFor(200)) (*task)();
   }
 }
@@ -331,6 +380,7 @@ void DrainExternal(RunContext* ctx, bool allow_morph,
 /// The callback-thread role for one iteration's overlapped phase:
 /// external triangulation first, then (if morphing) internal stealing.
 void CallbackRole(RunContext* ctx) {
+  TraceSpan role_span("opt", "external.callback_role");
   ModelScratch scratch;
   DrainExternal(ctx, ctx->options.thread_morphing, &scratch);
   if (ctx->options.thread_morphing) {
@@ -341,10 +391,12 @@ void CallbackRole(RunContext* ctx) {
 
 /// Extra workers prefer internal pages, then morph into callbacks.
 void FlexRole(RunContext* ctx) {
+  TraceSpan role_span("opt", "internal.flex_role");
   ModelScratch scratch;
   while (RunOneInternalUnit(ctx, &scratch)) {
   }
   if (ctx->options.thread_morphing) {
+    if (!ExternalDone(ctx)) TraceInstant("morph", "morph.to_external");
     DrainExternal(ctx, /*allow_morph=*/true, &scratch);
   }
 }
@@ -400,6 +452,11 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
   }
 
   Stopwatch total_watch;
+  TraceSpan run_span("opt", "opt.run",
+                     "\"vertices\":" +
+                         std::to_string(store_->num_vertices()) +
+                         ",\"m_in\":" + std::to_string(options_.m_in) +
+                         ",\"m_ex\":" + std::to_string(options_.m_ex));
   // Declaration order is load-bearing: the context (and its completion
   // queue) and the pool must outlive the engine, whose destructor joins
   // the I/O workers — a worker's completion push or frame publication
@@ -436,8 +493,13 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
     iter.v_lo = ctx.plan.v_lo;
     iter.v_hi = ctx.plan.v_hi;
     const IntersectCounters intersect_start = SnapshotIntersectCounters();
+    TraceSpan iter_span("opt", "iteration",
+                        "\"v_lo\":" + std::to_string(ctx.plan.v_lo) +
+                            ",\"v_hi\":" + std::to_string(ctx.plan.v_hi));
 
     // ----- Phase A: fill the internal area (Algorithm 3 lines 5-8) -----
+    std::optional<TraceSpan> phase_span;
+    phase_span.emplace("opt", "phaseA.load");
     Stopwatch load_watch;
     const uint32_t pages = ctx.plan.num_pages();
     ctx.internal_frames.assign(pages, nullptr);
@@ -511,6 +573,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
     iter.load_seconds = load_watch.ElapsedSeconds();
 
     // ----- Phase B: plan the external loads (Algorithm 4) -----
+    phase_span.emplace("opt", "phaseB.plan");
     Stopwatch plan_watch;
     for (uint32_t i = 0; i < pages; ++i) {
       ctx.internal_page_data[i] = ctx.internal_frames[i]->data;
@@ -595,6 +658,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
         iter.load_seconds + plan_watch.ElapsedSeconds();
 
     // ----- Phase C: overlapped triangulation (Algorithm 3 lines 9-11) --
+    phase_span.emplace("opt", "phaseC.overlap");
     Stopwatch overlap_watch;
     PumpExternal(&ctx);
 
@@ -607,9 +671,13 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
       // Main thread: internal triangulation, then morph into a callback
       // drainer (or plain wait when morphing is off).
       ModelScratch scratch;
-      while (RunOneInternalUnit(&ctx, &scratch)) {
+      {
+        TraceSpan internal_span("opt", "internal.main");
+        while (RunOneInternalUnit(&ctx, &scratch)) {
+        }
       }
       if (options_.thread_morphing) {
+        if (!ExternalDone(&ctx)) TraceInstant("morph", "morph.to_external");
         DrainExternal(&ctx, /*allow_morph=*/true, &scratch);
       }
       ctx.group_ex.Wait();
@@ -618,11 +686,15 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
       // OPT_serial: internal first, then external, one thread. The async
       // reads issued above progress meanwhile (micro-level overlap).
       ModelScratch scratch;
-      while (RunOneInternalUnit(&ctx, &scratch)) {
+      {
+        TraceSpan internal_span("opt", "internal.main");
+        while (RunOneInternalUnit(&ctx, &scratch)) {
+        }
       }
       DrainExternal(&ctx, /*allow_morph=*/false, &scratch);
       ctx.group_ex.Wait();
     }
+    phase_span.reset();
     iter.overlap_seconds = overlap_watch.ElapsedSeconds();
     run_stats.parallel_seconds += iter.overlap_seconds;
 
@@ -650,6 +722,11 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
     if (ctx.aborted()) break;
     v_start = ctx.plan.v_hi + 1;
   }
+
+  // Publish the run's page accounting into the live registry whether the
+  // run succeeded or aborted — partial I/O still happened and the Δin/Δex
+  // identity must account for it.
+  PublishRunStats(run_stats);
 
   {
     std::lock_guard<std::mutex> lock(ctx.error_mutex);

@@ -174,6 +174,17 @@ Result<std::string> OptClient::Stats() {
   return text;
 }
 
+Result<StatsResult> OptClient::StatsFull() {
+  OPT_RETURN_IF_ERROR(SendRequest(MessageType::kStatsRequest, {}));
+  WireMessage reply;
+  OPT_RETURN_IF_ERROR(ReadReply(&reply));
+  if (reply.type == MessageType::kError) return ErrorFromReply(reply);
+  if (reply.type != MessageType::kStatsResult) return UnexpectedReply(reply);
+  StatsResult stats;
+  OPT_RETURN_IF_ERROR(DecodeStatsResult(reply.payload, &stats));
+  return stats;
+}
+
 Status OptClient::LoadGraph(const std::string& name,
                             const std::string& base_path) {
   LoadGraphRequest request;

@@ -45,8 +45,14 @@ class OptClient {
       const std::function<void(const ListBatch&)>& on_batch,
       const ClientQueryOptions& options = {});
 
-  /// STATS: newline-separated key=value text.
+  /// STATS: newline-separated key=value text (legacy view; ignores the
+  /// structured registry fields newer servers append).
   Result<std::string> Stats();
+
+  /// STATS with the structured registry fields: histogram quantiles and
+  /// counters. Against a pre-registry server the vectors come back empty
+  /// and `text` is the whole answer.
+  Result<StatsResult> StatsFull();
 
   Status LoadGraph(const std::string& name, const std::string& base_path);
 

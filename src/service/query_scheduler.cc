@@ -5,6 +5,8 @@
 
 #include "core/iterator_model.h"
 #include "core/opt_runner.h"
+#include "util/logging.h"
+#include "util/trace.h"
 
 namespace opt {
 
@@ -16,11 +18,20 @@ std::shared_future<QueryResult> ImmediateResult(QueryResult result) {
   return promise.get_future().share();
 }
 
+const char* KindName(QueryKind kind) {
+  return kind == QueryKind::kList ? "LIST" : "COUNT";
+}
+
 }  // namespace
 
 QueryScheduler::QueryScheduler(GraphRegistry* registry,
                                const SchedulerOptions& options)
-    : registry_(registry), options_(options) {
+    : registry_(registry),
+      options_(options),
+      latency_hist_(Metrics().GetHistogram("query.latency_us")),
+      queue_wait_hist_(Metrics().GetHistogram("query.queue_wait_us")),
+      exec_hist_(Metrics().GetHistogram("query.exec_us")),
+      slow_query_counter_(Metrics().GetCounter("scheduler.slow_queries")) {
   const uint32_t workers = std::max(options_.workers, 1u);
   workers_.reserve(workers);
   for (uint32_t i = 0; i < workers; ++i) {
@@ -69,6 +80,7 @@ std::string QueryScheduler::CacheKey(const QuerySpec& spec, uint64_t epoch,
 
 std::shared_future<QueryResult> QueryScheduler::Submit(
     const QuerySpec& spec) {
+  const auto submit_start = Clock::now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.submitted;
@@ -100,6 +112,10 @@ std::shared_future<QueryResult> QueryScheduler::Submit(
       result.triangles = cached->triangles;
       result.source = ResultSource::kCache;
       result.epoch = cached->epoch;
+      latency_hist_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - submit_start)
+              .count()));
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.cache_hits;
       ++stats_.completed;
@@ -149,6 +165,7 @@ std::shared_future<QueryResult> QueryScheduler::Submit(
   task->coalesce_key = coalescable ? key : std::string();
   task->deadline = deadline;
   task->has_deadline = has_deadline;
+  task->submitted_at = now;
   task->waiters.push_back(std::move(promise));
   queue_.push_back(task);
   if (coalescable) inflight_[key] = task;
@@ -175,6 +192,33 @@ SchedulerStats QueryScheduler::stats() const {
 
 void QueryScheduler::Finish(const std::shared_ptr<Task>& task,
                             const QueryResult& result) {
+  const auto finished_at = Clock::now();
+  const auto micros_between = [](Clock::time_point from,
+                                 Clock::time_point to) {
+    return static_cast<uint64_t>(std::max<int64_t>(
+        0, std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+               .count()));
+  };
+  const uint64_t latency_us =
+      micros_between(task->submitted_at, finished_at);
+  const uint64_t queue_wait_us =
+      micros_between(task->submitted_at, task->exec_start);
+  const uint64_t exec_us = micros_between(task->exec_start, finished_at);
+  latency_hist_->Record(latency_us);
+  queue_wait_hist_->Record(queue_wait_us);
+  exec_hist_->Record(exec_us);
+
+  const bool slow = options_.slow_query_millis != 0 &&
+                    latency_us > options_.slow_query_millis * 1000;
+  if (slow) {
+    slow_query_counter_->Increment();
+    OPT_LOG(Warn) << "slow query: graph=" << task->spec.graph
+                  << " kind=" << KindName(task->spec.kind)
+                  << " queue_wait_ms=" << queue_wait_us / 1e3
+                  << " exec_ms=" << exec_us / 1e3
+                  << " status=" << result.status.ToString();
+  }
+
   std::vector<std::shared_ptr<std::promise<QueryResult>>> waiters;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -195,8 +239,10 @@ void QueryScheduler::Finish(const std::shared_ptr<Task>& task,
         ++stats_.deadline_expired;
       }
     }
+    if (slow) ++stats_.slow_queries;
   }
   QueryResult coalesced_result = result;
+  coalesced_result.queue_seconds = static_cast<double>(queue_wait_us) * 1e-6;
   bool first = true;
   for (auto& waiter : waiters) {
     if (!first) coalesced_result.source = ResultSource::kCoalesced;
@@ -206,6 +252,12 @@ void QueryScheduler::Finish(const std::shared_ptr<Task>& task,
 }
 
 QueryResult QueryScheduler::Execute(Task* task) {
+  TraceSpan query_span("service", "query.execute",
+                       CurrentTraceRecorder() != nullptr
+                           ? "\"graph\":\"" + JsonEscape(task->spec.graph) +
+                                 "\",\"kind\":\"" +
+                                 KindName(task->spec.kind) + "\""
+                           : std::string());
   QueryResult result;
   auto handle = registry_->Acquire(task->spec.graph);
   if (!handle.ok()) {
@@ -270,6 +322,7 @@ void QueryScheduler::WorkerLoop() {
       if (shutdown_) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      task->exec_start = Clock::now();
       if (task->has_deadline && Clock::now() > task->deadline) {
         // Expired while waiting for admission.
         task->cancel.store(true, std::memory_order_relaxed);

@@ -32,6 +32,7 @@
 #include "core/triangle_sink.h"
 #include "service/graph_registry.h"
 #include "service/result_cache.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace opt {
@@ -69,6 +70,9 @@ struct QueryResult {
   Status status;
   uint64_t triangles = 0;
   double seconds = 0;  // execution wall time (0 for cache hits)
+  /// Time spent waiting in the admission queue before a worker picked
+  /// the query up (0 for cache hits and rejections).
+  double queue_seconds = 0;
   ResultSource source = ResultSource::kExecuted;
   /// Per-query shared-pool savings: pages this run found cached (its own
   /// earlier iterations or other queries' residue) vs. pages it read.
@@ -86,6 +90,10 @@ struct SchedulerOptions {
   uint32_t default_threads = 2;
   uint32_t io_queue_depth = 8;
   bool enable_result_cache = true;
+  /// Queries whose end-to-end latency exceeds this many milliseconds are
+  /// logged at Warn level with their graph, kind, queue wait, and
+  /// execution time. 0 (the default) disables the slow-query log.
+  uint64_t slow_query_millis = 0;
 };
 
 struct SchedulerStats {
@@ -98,6 +106,7 @@ struct SchedulerStats {
   uint64_t coalesced = 0;   // waiters attached to an in-flight run
   uint64_t cache_hits = 0;
   uint64_t deadline_expired = 0;
+  uint64_t slow_queries = 0;  // tripped the slow-query log threshold
 };
 
 class QueryScheduler {
@@ -133,6 +142,8 @@ class QueryScheduler {
     std::string coalesce_key;  // empty → never coalesced
     Clock::time_point deadline{};  // meaningful iff has_deadline
     bool has_deadline = false;
+    Clock::time_point submitted_at{};
+    Clock::time_point exec_start{};  // set when a worker dequeues the task
     std::atomic<bool> cancel{false};
     std::vector<std::shared_ptr<std::promise<QueryResult>>> waiters;
   };
@@ -149,6 +160,13 @@ class QueryScheduler {
   GraphRegistry* const registry_;
   const SchedulerOptions options_;
   ResultCache cache_;
+
+  // Live-registry metrics (process-global; see util/metrics.h). The
+  // histograms back the per-query latency percentiles STATS exposes.
+  HistogramMetric* const latency_hist_;
+  HistogramMetric* const queue_wait_hist_;
+  HistogramMetric* const exec_hist_;
+  Counter* const slow_query_counter_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;

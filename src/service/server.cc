@@ -12,6 +12,8 @@
 
 #include "service/graph_registry.h"
 #include "storage/buffer_pool.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace opt {
 
@@ -250,6 +252,10 @@ Status OptServer::HandleCount(int fd, const WireMessage& message) {
   QueryRequest request;
   Status status = DecodeQueryRequest(message.payload, &request);
   if (!status.ok()) return SendError(fd, status);
+  TraceSpan query_span("service", "query.count",
+                       CurrentTraceRecorder() != nullptr
+                           ? "\"graph\":\"" + JsonEscape(request.graph) + "\""
+                           : std::string());
   const QueryResult result =
       scheduler_->Run(SpecFromRequest(request, QueryKind::kCount));
   if (!result.status.ok()) return SendError(fd, result.status);
@@ -261,6 +267,10 @@ Status OptServer::HandleList(int fd, const WireMessage& message) {
   QueryRequest request;
   Status status = DecodeQueryRequest(message.payload, &request);
   if (!status.ok()) return SendError(fd, status);
+  TraceSpan query_span("service", "query.list",
+                       CurrentTraceRecorder() != nullptr
+                           ? "\"graph\":\"" + JsonEscape(request.graph) + "\""
+                           : std::string());
   WireListSink sink(fd);
   QuerySpec spec = SpecFromRequest(request, QueryKind::kList);
   spec.list_sink = &sink;
@@ -284,7 +294,8 @@ std::string OptServer::RenderStats() const {
       << "scheduler.failed=" << stats.failed << '\n'
       << "scheduler.coalesced=" << stats.coalesced << '\n'
       << "scheduler.cache_hits=" << stats.cache_hits << '\n'
-      << "scheduler.deadline_expired=" << stats.deadline_expired << '\n';
+      << "scheduler.deadline_expired=" << stats.deadline_expired << '\n'
+      << "scheduler.slow_queries=" << stats.slow_queries << '\n';
   const ResultCache::Stats cache = scheduler_->cache_stats();
   out << "cache.hits=" << cache.hits << '\n'
       << "cache.misses=" << cache.misses << '\n'
@@ -310,10 +321,32 @@ std::string OptServer::RenderStats() const {
   return out.str();
 }
 
+StatsResult OptServer::BuildStats() const {
+  StatsResult stats;
+  stats.text = RenderStats();
+  MetricsRegistry& registry = Metrics();
+  for (const MetricsRegistry::HistogramEntry& entry :
+       registry.Histograms()) {
+    StatsHistogram histogram;
+    histogram.name = entry.name;
+    histogram.count = entry.snapshot.count;
+    histogram.min = entry.snapshot.min;
+    histogram.max = entry.snapshot.max;
+    histogram.mean = entry.snapshot.Mean();
+    histogram.p50 = entry.snapshot.P50();
+    histogram.p95 = entry.snapshot.P95();
+    histogram.p99 = entry.snapshot.P99();
+    stats.histograms.push_back(std::move(histogram));
+  }
+  for (const auto& [name, value] : registry.Counters()) {
+    stats.counters.push_back({name, value});
+  }
+  return stats;
+}
+
 Status OptServer::HandleStats(int fd) {
-  std::string payload;
-  PutString(&payload, RenderStats());
-  return WriteMessage(fd, MessageType::kStatsResult, payload);
+  return WriteMessage(fd, MessageType::kStatsResult,
+                      EncodeStatsResult(BuildStats()));
 }
 
 Status OptServer::HandleLoadGraph(int fd, const WireMessage& message) {

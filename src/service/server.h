@@ -61,6 +61,9 @@ class OptServer {
   Status HandleStats(int fd);
   Status HandleLoadGraph(int fd, const WireMessage& message);
   std::string RenderStats() const;
+  /// Legacy text plus the live metrics registry (histogram quantiles and
+  /// counters) for the extended STATS reply.
+  StatsResult BuildStats() const;
 
   QueryScheduler* const scheduler_;
   const bool allow_load_graph_;

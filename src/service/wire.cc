@@ -230,6 +230,63 @@ Status DecodeListEnd(std::string_view payload, ListEnd* out) {
   return reader.GetDouble(&out->seconds);
 }
 
+std::string EncodeStatsResult(const StatsResult& stats) {
+  std::string payload;
+  PutString(&payload, stats.text);
+  PutU32(&payload, static_cast<uint32_t>(stats.histograms.size()));
+  for (const StatsHistogram& histogram : stats.histograms) {
+    PutString(&payload, histogram.name);
+    PutU64(&payload, histogram.count);
+    PutU64(&payload, histogram.min);
+    PutU64(&payload, histogram.max);
+    PutDouble(&payload, histogram.mean);
+    PutDouble(&payload, histogram.p50);
+    PutDouble(&payload, histogram.p95);
+    PutDouble(&payload, histogram.p99);
+  }
+  PutU32(&payload, static_cast<uint32_t>(stats.counters.size()));
+  for (const StatsCounter& counter : stats.counters) {
+    PutString(&payload, counter.name);
+    PutU64(&payload, counter.value);
+  }
+  return payload;
+}
+
+Status DecodeStatsResult(std::string_view payload, StatsResult* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetString(&out->text));
+  out->histograms.clear();
+  out->counters.clear();
+  // A payload ending here came from a server predating the structured
+  // registry fields — the text is the whole answer.
+  if (reader.AtEnd()) return Status::OK();
+  uint32_t num_histograms;
+  OPT_RETURN_IF_ERROR(reader.GetU32(&num_histograms));
+  out->histograms.reserve(num_histograms);
+  for (uint32_t i = 0; i < num_histograms; ++i) {
+    StatsHistogram histogram;
+    OPT_RETURN_IF_ERROR(reader.GetString(&histogram.name));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&histogram.count));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&histogram.min));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&histogram.max));
+    OPT_RETURN_IF_ERROR(reader.GetDouble(&histogram.mean));
+    OPT_RETURN_IF_ERROR(reader.GetDouble(&histogram.p50));
+    OPT_RETURN_IF_ERROR(reader.GetDouble(&histogram.p95));
+    OPT_RETURN_IF_ERROR(reader.GetDouble(&histogram.p99));
+    out->histograms.push_back(std::move(histogram));
+  }
+  uint32_t num_counters;
+  OPT_RETURN_IF_ERROR(reader.GetU32(&num_counters));
+  out->counters.reserve(num_counters);
+  for (uint32_t i = 0; i < num_counters; ++i) {
+    StatsCounter counter;
+    OPT_RETURN_IF_ERROR(reader.GetString(&counter.name));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&counter.value));
+    out->counters.push_back(std::move(counter));
+  }
+  return Status::OK();
+}
+
 Status WriteMessage(int fd, MessageType type, std::string_view payload) {
   std::string frame;
   frame.reserve(5 + payload.size());

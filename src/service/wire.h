@@ -64,6 +64,35 @@ struct LoadGraphRequest {
   std::string base_path;
 };
 
+/// STATS reply. The legacy `text` field (newline-separated key=value
+/// lines) comes first in the payload, so clients predating the
+/// structured fields decode the string and ignore the trailing bytes;
+/// new clients reading an old server's frame get empty vectors. The
+/// structured fields carry the live metrics registry: per-query latency
+/// histogram quantiles and counters (Δin/Δex page savings, pool fetch
+/// outcomes, I/O totals).
+struct StatsHistogram {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+struct StatsCounter {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct StatsResult {
+  std::string text;
+  std::vector<StatsHistogram> histograms;
+  std::vector<StatsCounter> counters;
+};
+
 struct ErrorResult {
   uint32_t code = 0;  // StatusCode
   std::string message;
@@ -131,6 +160,10 @@ Status DecodeListBatch(std::string_view payload, ListBatch* out);
 
 std::string EncodeListEnd(const ListEnd& end);
 Status DecodeListEnd(std::string_view payload, ListEnd* out);
+
+std::string EncodeStatsResult(const StatsResult& stats);
+/// Tolerates payloads that end after `text` (pre-registry servers).
+Status DecodeStatsResult(std::string_view payload, StatsResult* out);
 
 // ---- framed socket I/O ----
 /// Writes [len][type][payload] with a retry loop (EINTR, short writes).

@@ -4,8 +4,30 @@
 #include <utility>
 
 #include "storage/page.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace opt {
+
+namespace {
+
+struct IoCounters {
+  Counter* requests = Metrics().GetCounter("io.requests");
+  Counter* pages_read = Metrics().GetCounter("io.pages_read");
+  Counter* read_errors = Metrics().GetCounter("io.read_errors");
+};
+
+IoCounters& GlobalIoCounters() {
+  static IoCounters counters;
+  return counters;
+}
+
+std::string ReadArgsJson(const ReadRequest& request) {
+  return "\"first_pid\":" + std::to_string(request.first_pid) +
+         ",\"pages\":" + std::to_string(request.page_count);
+}
+
+}  // namespace
 
 AsyncIoEngine::AsyncIoEngine(uint32_t num_workers) {
   if (num_workers == 0) num_workers = 1;
@@ -25,6 +47,10 @@ void AsyncIoEngine::Submit(ReadRequest request) {
   assert(request.frames.size() == request.page_count);
   assert(request.completion_queue != nullptr);
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  GlobalIoCounters().requests->Increment();
+  if (CurrentTraceRecorder() != nullptr) {
+    TraceInstant("io", "io.submit", ReadArgsJson(request));
+  }
   submissions_.Push(std::move(request));
 }
 
@@ -33,6 +59,12 @@ void AsyncIoEngine::WorkerLoop() {
     auto item = submissions_.Pop();
     if (!item.has_value()) return;  // engine shutting down
     ReadRequest request = std::move(*item);
+    // The span covers the device read + validation + frame publication:
+    // what "async-read complete" means to waiters.
+    TraceSpan read_span("io", "io.read",
+                        CurrentTraceRecorder() != nullptr
+                            ? ReadArgsJson(request)
+                            : std::string());
     Status status;
     uint32_t done = 0;
     for (uint32_t i = 0; i < request.page_count && status.ok(); ++i) {
@@ -40,6 +72,7 @@ void AsyncIoEngine::WorkerLoop() {
       status = request.file->ReadPage(pid, request.frames[i]->data);
       if (status.ok()) {
         stats_.pages_read.fetch_add(1, std::memory_order_relaxed);
+        GlobalIoCounters().pages_read->Increment();
         if (request.pool != nullptr) {
           if (request.validate) {
             const uint32_t page_size = request.page_size != 0
@@ -57,6 +90,7 @@ void AsyncIoEngine::WorkerLoop() {
         }
       } else {
         stats_.read_errors.fetch_add(1, std::memory_order_relaxed);
+        GlobalIoCounters().read_errors->Increment();
       }
     }
     if (request.pool != nullptr && !status.ok()) {

@@ -2,7 +2,28 @@
 
 #include <cassert>
 
+#include "util/metrics.h"
+
 namespace opt {
+
+namespace {
+
+/// Process-wide fetch-outcome counters, aggregated across every pool in
+/// the process (a server has exactly one shared pool; batch tools one
+/// private pool per run). Hit rate = hits / lookups.
+struct FetchCounters {
+  Counter* lookups = Metrics().GetCounter("pool.fetch.lookups");
+  Counter* hits = Metrics().GetCounter("pool.fetch.hits");
+  Counter* inflight = Metrics().GetCounter("pool.fetch.inflight");
+  Counter* misses = Metrics().GetCounter("pool.fetch.misses");
+};
+
+FetchCounters& GlobalFetchCounters() {
+  static FetchCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 BufferPool::BufferPool(uint32_t page_size, uint32_t num_frames)
     : page_size_(page_size), num_frames_(0) {
@@ -114,6 +135,8 @@ Result<Frame*> BufferPool::AllocateLocked(PageKey key) {
 }
 
 Result<BufferPool::FetchResult> BufferPool::Fetch(PageKey key) {
+  FetchCounters& counters = GlobalFetchCounters();
+  counters.lookups->Increment();
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.lookups.fetch_add(1, std::memory_order_relaxed);
   auto it = page_table_.find(key);
@@ -124,9 +147,14 @@ Result<BufferPool::FetchResult> BufferPool::Fetch(PageKey key) {
     // Both count as a saved read: an in-flight page's I/O is already
     // charged to the reader that owns it.
     stats_.hits.fetch_add(1, std::memory_order_relaxed);
-    return FetchResult{&frame, frame.valid ? FetchOutcome::kHit
-                                           : FetchOutcome::kInFlight};
+    if (frame.valid) {
+      counters.hits->Increment();
+      return FetchResult{&frame, FetchOutcome::kHit};
+    }
+    counters.inflight->Increment();
+    return FetchResult{&frame, FetchOutcome::kInFlight};
   }
+  counters.misses->Increment();
   OPT_ASSIGN_OR_RETURN(Frame * frame, AllocateLocked(key));
   return FetchResult{frame, FetchOutcome::kMiss};
 }

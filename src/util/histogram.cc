@@ -6,16 +6,6 @@
 
 namespace opt {
 
-Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
-
-void Histogram::Clear() {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
-  count_ = 0;
-  sum_ = 0;
-  min_ = ~0ULL;
-  max_ = 0;
-}
-
 namespace {
 int BucketOf(uint64_t value) {
   if (value <= 1) return 0;
@@ -25,6 +15,55 @@ int BucketOf(uint64_t value) {
 uint64_t BucketLow(int b) { return b == 0 ? 0 : (1ULL << b); }
 uint64_t BucketHigh(int b) { return b >= 63 ? ~0ULL : (1ULL << (b + 1)); }
 }  // namespace
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  for (int b = 0; b < kNumBuckets; ++b) buckets[b] += other.buckets[b];
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::Mean() const {
+  return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  double seen = 0.0;
+  double result = static_cast<double>(max);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double next = seen + static_cast<double>(buckets[b]);
+    if (next >= target) {
+      const double frac = (target - seen) / static_cast<double>(buckets[b]);
+      const double lo = static_cast<double>(BucketLow(b));
+      const double hi = static_cast<double>(BucketHigh(b));
+      result = lo + frac * (hi - lo);
+      break;
+    }
+    seen = next;
+  }
+  // The within-bucket interpolation can stray outside the observed range
+  // (a single sample sits somewhere in [2^b, 2^(b+1))); clamp so reported
+  // percentiles never contradict min/max.
+  return std::clamp(result, static_cast<double>(min),
+                    static_cast<double>(max));
+}
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
 
 void Histogram::Add(uint64_t value) {
   buckets_[BucketOf(value)]++;
@@ -46,26 +85,17 @@ double Histogram::Mean() const {
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
 }
 
-double Histogram::Quantile(double q) const {
-  if (count_ == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  const double target = q * static_cast<double>(count_);
-  double seen = 0.0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    if (buckets_[b] == 0) continue;
-    const double next = seen + static_cast<double>(buckets_[b]);
-    if (next >= target) {
-      const double frac =
-          buckets_[b] == 0 ? 0.0 : (target - seen) / buckets_[b];
-      const double lo = static_cast<double>(BucketLow(b));
-      const double hi = static_cast<double>(BucketHigh(b));
-      return lo + frac * (hi - lo);
-    }
-    seen = next;
-  }
-  return static_cast<double>(max_);
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  std::copy(buckets_.begin(), buckets_.end(), s.buckets.begin());
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max_;
+  return s;
 }
+
+double Histogram::Quantile(double q) const { return Snapshot().Quantile(q); }
 
 std::string Histogram::ToString() const {
   std::string out;

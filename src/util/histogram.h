@@ -1,13 +1,41 @@
 // Power-of-two bucketed histogram for degree distributions and latency
-// profiles reported by the harness.
+// profiles reported by the harness and the metrics registry.
 #ifndef OPT_UTIL_HISTOGRAM_H_
 #define OPT_UTIL_HISTOGRAM_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace opt {
+
+/// Plain-value copy of a histogram's state: safe to ship across threads,
+/// merge with other snapshots, and query for percentiles long after the
+/// source histogram has moved on. This is the unit the metrics registry
+/// exposes and the service layer serializes over the wire.
+struct HistogramSnapshot {
+  /// Bucket b covers [2^b, 2^(b+1)), except bucket 0 which covers {0, 1}
+  /// and bucket 63 which absorbs everything >= 2^63 (the overflow bucket).
+  static constexpr int kNumBuckets = 64;
+
+  std::array<uint64_t, kNumBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when count == 0
+  uint64_t max = 0;
+
+  void Merge(const HistogramSnapshot& other);
+
+  double Mean() const;
+  /// Approximate p-quantile (q in [0,1]) assuming uniform density within
+  /// a bucket; clamped to [min, max] so single-sample and overflow-bucket
+  /// snapshots report sane values.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+};
 
 class Histogram {
  public:
@@ -18,19 +46,22 @@ class Histogram {
   void Clear();
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   double Mean() const;
-  /// Approximate p-quantile (q in [0,1]) assuming uniform density within a
-  /// bucket.
+  /// Approximate p-quantile (q in [0,1]); see HistogramSnapshot.
   double Quantile(double q) const;
+
+  /// Value-copy of the current state for merging and percentile queries.
+  HistogramSnapshot Snapshot() const;
 
   /// Multi-line ASCII rendering: one row per non-empty bucket with a bar.
   std::string ToString() const;
 
   /// Number of power-of-two buckets (bucket b covers [2^b, 2^(b+1)) except
   /// bucket 0 which covers {0, 1}).
-  static constexpr int kNumBuckets = 64;
+  static constexpr int kNumBuckets = HistogramSnapshot::kNumBuckets;
   const std::vector<uint64_t>& buckets() const { return buckets_; }
 
  private:

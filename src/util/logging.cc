@@ -1,16 +1,19 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <utility>
 
 namespace opt {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mutex;
+LogSink g_log_sink;  // guarded by g_log_mutex; empty = stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,6 +38,31 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void InitLogLevelFromEnv() {
+  const char* value = std::getenv("OPT_LOG_LEVEL");
+  if (value == nullptr || *value == '\0') return;
+  std::string lowered;
+  for (const char* p = value; *p != '\0'; ++p) {
+    lowered += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lowered == "debug" || lowered == "0") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (lowered == "info" || lowered == "1") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (lowered == "warn" || lowered == "warning" || lowered == "2") {
+    SetLogLevel(LogLevel::kWarn);
+  } else if (lowered == "error" || lowered == "3") {
+    SetLogLevel(LogLevel::kError);
+  } else {
+    std::fprintf(stderr, "ignoring unknown OPT_LOG_LEVEL '%s'\n", value);
+  }
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log_sink = std::move(sink);
+}
+
 namespace internal {
 
 void LogMessage(LogLevel level, const char* file, int line,
@@ -47,10 +75,18 @@ void LogMessage(LogLevel level, const char* file, int line,
     if (*p == '/') base = p + 1;
   }
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s %lld.%03lld %s:%d] %s\n", LevelName(level),
-               static_cast<long long>(ms / 1000),
-               static_cast<long long>(ms % 1000), base, line,
-               message.c_str());
+  if (g_log_sink) {
+    char prefix[96];
+    std::snprintf(prefix, sizeof(prefix), "[%s %lld.%03lld %s:%d] ",
+                  LevelName(level), static_cast<long long>(ms / 1000),
+                  static_cast<long long>(ms % 1000), base, line);
+    g_log_sink(level, prefix + message);
+  } else {
+    std::fprintf(stderr, "[%s %lld.%03lld %s:%d] %s\n", LevelName(level),
+                 static_cast<long long>(ms / 1000),
+                 static_cast<long long>(ms % 1000), base, line,
+                 message.c_str());
+  }
   if (level == LogLevel::kError && message.rfind("CHECK failed", 0) == 0) {
     std::abort();
   }

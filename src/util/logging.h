@@ -2,6 +2,7 @@
 #ifndef OPT_UTIL_LOGGING_H_
 #define OPT_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +13,18 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global minimum level; messages below it are dropped. Default kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Applies the OPT_LOG_LEVEL environment variable (debug|info|warn|error,
+/// case-insensitive, or the numeric 0-3) to the global level. Unset or
+/// unparsable values leave the level untouched. Every tool entry point
+/// calls this before doing work.
+void InitLogLevelFromEnv();
+
+/// Redirects formatted log lines (level filter still applies) to `sink`
+/// instead of stderr; nullptr restores stderr. For tests asserting on
+/// log output (e.g. the scheduler's slow-query log).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

@@ -1,0 +1,109 @@
+#include "util/metrics.h"
+
+#include <cstdio>
+
+namespace opt {
+
+namespace {
+
+template <typename Map>
+typename Map::mapped_type::element_type* GetOrCreate(std::mutex& mutex,
+                                                     Map& map,
+                                                     const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = map[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<typename Map::mapped_type::element_type>();
+  }
+  return slot.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return GetOrCreate(mutex_, counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return GetOrCreate(mutex_, gauges_, name);
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetOrCreate(mutex_, histograms_, name);
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::HistogramEntry> MetricsRegistry::Histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramEntry> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back({name, histogram->Snapshot()});
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExposeText() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : Counters()) {
+    std::snprintf(line, sizeof(line), "%s=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : Gauges()) {
+    std::snprintf(line, sizeof(line), "%s=%lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const HistogramEntry& entry : Histograms()) {
+    const HistogramSnapshot& s = entry.snapshot;
+    std::snprintf(line, sizeof(line),
+                  "%s.count=%llu\n%s.min=%llu\n%s.max=%llu\n"
+                  "%s.mean=%.2f\n%s.p50=%.2f\n%s.p95=%.2f\n%s.p99=%.2f\n",
+                  entry.name.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  entry.name.c_str(), static_cast<unsigned long long>(s.min),
+                  entry.name.c_str(), static_cast<unsigned long long>(s.max),
+                  entry.name.c_str(), s.Mean(), entry.name.c_str(), s.P50(),
+                  entry.name.c_str(), s.P95(), entry.name.c_str(), s.P99());
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& Metrics() {
+  // Leaked so metric pointers cached in function-local statics anywhere
+  // in the process stay valid through static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace opt

@@ -1,0 +1,119 @@
+// Process-wide metrics registry: named counters, gauges, and histograms
+// shared by every subsystem (buffer pool, async I/O, OPT runner, query
+// scheduler, server). The registry is the measurement substrate behind
+// the STATS wire op, `opt_server --metrics-dump-interval`, and the bench
+// binaries' percentile output.
+//
+// Usage pattern — look the metric up once, then update lock-free:
+//
+//   static Counter* hits = Metrics().GetCounter("pool.fetch.hits");
+//   hits->Increment();
+//
+// Lookup takes the registry mutex; the returned pointers are stable for
+// the life of the process (the registry is a leaked singleton so metric
+// updates from static destructors can never dangle). Counters and gauges
+// update with relaxed atomics; histograms take a short per-histogram
+// mutex in Record() — cheap relative to the I/O-bound paths they time.
+//
+// Exposition: ExposeText() renders everything as the same `name=value`
+// line format the server's STATS text uses, expanding histograms into
+// .count/.min/.max/.mean/.p50/.p95/.p99 lines (see DESIGN.md §7 for the
+// metric-name taxonomy).
+#ifndef OPT_UTIL_METRICS_H_
+#define OPT_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace opt {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Thread-safe wrapper around Histogram for concurrent recording.
+class HistogramMetric {
+ public:
+  void Record(uint64_t value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.Add(value);
+  }
+  HistogramSnapshot Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_.Snapshot();
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.Clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Histogram histogram_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the existing metric of that name, or registers a new one.
+  /// A name must keep one kind for the process lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  HistogramMetric* GetHistogram(const std::string& name);
+
+  struct HistogramEntry {
+    std::string name;
+    HistogramSnapshot snapshot;
+  };
+  /// Name-sorted value snapshots of everything registered.
+  std::vector<std::pair<std::string, uint64_t>> Counters() const;
+  std::vector<std::pair<std::string, int64_t>> Gauges() const;
+  std::vector<HistogramEntry> Histograms() const;
+
+  /// `name=value` lines for counters and gauges; histograms expand into
+  /// name.count / .min / .max / .mean / .p50 / .p95 / .p99 lines.
+  std::string ExposeText() const;
+
+  /// Zeroes every counter and histogram (gauges keep their last value).
+  /// For tests and bench runs that need a clean slate; the registered
+  /// metric objects stay valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// The process-wide registry (leaked singleton — see file comment).
+MetricsRegistry& Metrics();
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_METRICS_H_

@@ -1,0 +1,185 @@
+#include "util/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace opt {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+
+/// Small dense thread ids so Perfetto rows read "thread 1..N" instead of
+/// hashed pthread handles.
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+TraceRecorder::TraceRecorder(size_t max_events)
+    : max_events_(max_events), start_(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  event.tid = ThisThreadId();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordComplete(std::string name, const char* category,
+                                   uint64_t ts_micros, uint64_t dur_micros,
+                                   std::string args_json) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'X';
+  event.ts_micros = ts_micros;
+  event.dur_micros = dur_micros;
+  event.args_json = std::move(args_json);
+  Record(std::move(event));
+}
+
+void TraceRecorder::RecordInstant(std::string name, const char* category,
+                                  std::string args_json) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'i';
+  event.ts_micros = NowMicros();
+  event.args_json = std::move(args_json);
+  Record(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+size_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(event.name) + "\",\"cat\":\"" +
+           JsonEscape(event.category) + "\",\"ph\":\"";
+    out += event.phase;
+    out += '"';
+    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%u,\"ts\":%llu",
+                  event.tid,
+                  static_cast<unsigned long long>(event.ts_micros));
+    out += buf;
+    if (event.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%llu",
+                    static_cast<unsigned long long>(event.dur_micros));
+      out += buf;
+    }
+    if (event.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    out += ",\"args\":{" + event.args_json + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open trace output " + path);
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace output " + path);
+  }
+  return Status::OK();
+}
+
+void StartTracing(TraceRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+void StopTracing() { g_recorder.store(nullptr, std::memory_order_release); }
+
+TraceRecorder* CurrentTraceRecorder() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+TraceSpan::TraceSpan(const char* category, std::string name,
+                     std::string args_json)
+    : recorder_(CurrentTraceRecorder()),
+      category_(category),
+      name_(std::move(name)),
+      args_json_(std::move(args_json)) {
+  if (recorder_ != nullptr) start_micros_ = recorder_->NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  const uint64_t end = recorder_->NowMicros();
+  recorder_->RecordComplete(std::move(name_), category_, start_micros_,
+                            end - start_micros_, std::move(args_json_));
+}
+
+void TraceInstant(const char* category, std::string name,
+                  std::string args_json) {
+  TraceRecorder* recorder = CurrentTraceRecorder();
+  if (recorder == nullptr) return;
+  recorder->RecordInstant(std::move(name), category, std::move(args_json));
+}
+
+}  // namespace opt

@@ -1,0 +1,110 @@
+// Thread-safe span recorder emitting Chrome trace_event JSON, so a full
+// OPT run — phase-A internal load, internal/external triangulation,
+// thread-morph events, async-read submit/complete, per-query service
+// handling — can be opened in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Model: one process-global recorder slot. Tracing is off (and spans are
+// near-free: one relaxed atomic load) until StartTracing() installs a
+// recorder; instrumentation sites use the RAII TraceSpan / TraceInstant
+// helpers and never check the flag themselves. StopTracing() detaches
+// the recorder; the caller then serializes with ToJson()/WriteJson().
+//
+// Lifetime rule: stop tracing only after all traced work has finished —
+// a TraceSpan captures the recorder pointer at construction (so a span
+// straddling StopTracing writes into a recorder the caller still owns,
+// but a span straddling the recorder's *destruction* would dangle).
+// opt_server obeys this by stopping the scheduler before writing the
+// trace file.
+#ifndef OPT_UTIL_TRACE_H_
+#define OPT_UTIL_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace opt {
+
+struct TraceEvent {
+  std::string name;
+  const char* category = "";
+  char phase = 'X';       // 'X' complete span, 'i' instant event
+  uint64_t ts_micros = 0;  // since recorder construction
+  uint64_t dur_micros = 0; // complete spans only
+  uint32_t tid = 0;        // small per-thread id (stable within a process)
+  std::string args_json;   // pre-rendered JSON object body, e.g. "\"k\":1"
+};
+
+class TraceRecorder {
+ public:
+  /// Events beyond `max_events` are counted in dropped() instead of
+  /// stored, bounding memory under pathological span rates.
+  explicit TraceRecorder(size_t max_events = 1u << 20);
+
+  void RecordComplete(std::string name, const char* category,
+                      uint64_t ts_micros, uint64_t dur_micros,
+                      std::string args_json);
+  void RecordInstant(std::string name, const char* category,
+                     std::string args_json);
+
+  /// Microseconds since this recorder was constructed (the trace clock).
+  uint64_t NowMicros() const;
+
+  std::vector<TraceEvent> Events() const;
+  size_t dropped() const;
+
+  /// {"traceEvents":[...]} — the Chrome trace_event JSON object format.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  void Record(TraceEvent event);
+
+  const size_t max_events_;
+  const std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  size_t dropped_ = 0;
+};
+
+/// Installs `recorder` (not owned) as the process-wide trace sink.
+void StartTracing(TraceRecorder* recorder);
+/// Detaches the current recorder (does not destroy it).
+void StopTracing();
+/// The active recorder, or nullptr when tracing is off.
+TraceRecorder* CurrentTraceRecorder();
+
+/// Escapes a string for embedding inside JSON quotes.
+std::string JsonEscape(const std::string& text);
+
+/// RAII complete-span: records [construction, destruction) on the
+/// calling thread if tracing was on at construction.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, std::string name,
+            std::string args_json = std::string());
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* category_;
+  std::string name_;
+  std::string args_json_;
+  uint64_t start_micros_ = 0;
+};
+
+/// One-off instant event (thread morphs, async-read submits).
+void TraceInstant(const char* category, std::string name,
+                  std::string args_json = std::string());
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_TRACE_H_

@@ -1,0 +1,455 @@
+// Observability-layer tests: metrics registry semantics, trace recorder
+// JSON output (syntactic validity + span nesting per thread), and the
+// scheduler's slow-query log.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/builder.h"
+#include "service/graph_registry.h"
+#include "service/query_scheduler.h"
+#include "storage/env.h"
+#include "storage/graph_store.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace opt {
+namespace {
+
+// ---------------------------------------------------------------------
+// Metrics registry
+
+TEST(MetricsRegistry, LookupsReturnStablePointersPerName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("reg.test.counter");
+  Counter* b = registry.GetCounter("reg.test.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("reg.test.other"));
+  EXPECT_EQ(registry.GetGauge("reg.test.gauge"),
+            registry.GetGauge("reg.test.gauge"));
+  EXPECT_EQ(registry.GetHistogram("reg.test.hist"),
+            registry.GetHistogram("reg.test.hist"));
+}
+
+TEST(MetricsRegistry, CountersAccumulateAcrossThreads) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("mt.counter");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < 1000; ++i) counter->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(), 4000u);
+}
+
+TEST(MetricsRegistry, ExposeTextCoversEveryKindSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Increment(3);
+  registry.GetGauge("a.gauge")->Set(-7);
+  registry.GetHistogram("c.hist")->Record(10);
+  registry.GetHistogram("c.hist")->Record(1000);
+  const std::string text = registry.ExposeText();
+  EXPECT_NE(text.find("b.counter=3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("a.gauge=-7\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("c.hist.count=2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("c.hist.min=10\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("c.hist.max=1000\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("c.hist.p50="), std::string::npos) << text;
+  EXPECT_NE(text.find("c.hist.p99="), std::string::npos) << text;
+}
+
+TEST(MetricsRegistry, ResetAllZeroesCountersAndHistogramsOnly) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("r.counter");
+  Gauge* gauge = registry.GetGauge("r.gauge");
+  HistogramMetric* hist = registry.GetHistogram("r.hist");
+  counter->Increment(5);
+  gauge->Set(11);
+  hist->Record(99);
+  registry.ResetAll();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 11);  // gauges describe current state
+  EXPECT_EQ(hist->Snapshot().count, 0u);
+}
+
+TEST(MetricsRegistry, GlobalRegistryIsProcessWide) {
+  Counter* a = Metrics().GetCounter("global.smoke");
+  Counter* b = Metrics().GetCounter("global.smoke");
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Trace recorder
+
+/// Minimal JSON syntax checker (objects, arrays, strings, numbers,
+/// true/false/null) — enough to prove the trace file parses.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(Trace, DisabledTracingRecordsNothing) {
+  ASSERT_EQ(CurrentTraceRecorder(), nullptr);
+  { TraceSpan span("test", "invisible"); }
+  TraceInstant("test", "also-invisible");
+  // Nothing to assert against — the point is no crash with no recorder.
+}
+
+TEST(Trace, SpansNestAndSerializeToValidJson) {
+  TraceRecorder recorder;
+  StartTracing(&recorder);
+  {
+    TraceSpan outer("test", "outer", "\"depth\":0");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      TraceSpan inner("test", "inner", "\"depth\":1");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    TraceInstant("test", "tick", "\"n\":1");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  StopTracing();
+
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  const TraceEvent* tick = nullptr;
+  for (const TraceEvent& event : events) {
+    if (event.name == "outer") outer = &event;
+    if (event.name == "inner") inner = &event;
+    if (event.name == "tick") tick = &event;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(tick, nullptr);
+  EXPECT_EQ(outer->phase, 'X');
+  EXPECT_EQ(inner->phase, 'X');
+  EXPECT_EQ(tick->phase, 'i');
+  EXPECT_EQ(outer->tid, inner->tid);  // one thread did all the work
+  // inner is properly contained in outer.
+  EXPECT_GE(inner->ts_micros, outer->ts_micros);
+  EXPECT_LE(inner->ts_micros + inner->dur_micros,
+            outer->ts_micros + outer->dur_micros);
+  EXPECT_GT(inner->dur_micros, 0u);
+
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":1"), std::string::npos);
+}
+
+TEST(Trace, ConcurrentSpansKeepPerThreadNesting) {
+  TraceRecorder recorder;
+  StartTracing(&recorder);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 8; ++i) {
+        TraceSpan outer("test", "outer");
+        TraceSpan inner("test", "inner");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  StopTracing();
+
+  const std::vector<TraceEvent> events = recorder.Events();
+  EXPECT_EQ(events.size(), 4u * 8u * 2u);
+  // Within each thread, any two complete spans are disjoint or nested —
+  // never partially overlapping (that would render as garbage in
+  // Perfetto and signal a broken trace clock).
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      const TraceEvent& a = events[i];
+      const TraceEvent& b = events[j];
+      if (a.tid != b.tid || a.phase != 'X' || b.phase != 'X') continue;
+      const uint64_t a_end = a.ts_micros + a.dur_micros;
+      const uint64_t b_end = b.ts_micros + b.dur_micros;
+      const bool disjoint = a_end <= b.ts_micros || b_end <= a.ts_micros;
+      const bool a_in_b = a.ts_micros >= b.ts_micros && a_end <= b_end;
+      const bool b_in_a = b.ts_micros >= a.ts_micros && b_end <= a_end;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << "events " << i << " and " << j << " partially overlap";
+    }
+  }
+  EXPECT_TRUE(JsonChecker(recorder.ToJson()).Valid());
+}
+
+TEST(Trace, EventCapDropsInsteadOfGrowing) {
+  TraceRecorder recorder(/*max_events=*/4);
+  StartTracing(&recorder);
+  for (int i = 0; i < 10; ++i) TraceInstant("test", "e");
+  StopTracing();
+  EXPECT_EQ(recorder.Events().size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  EXPECT_TRUE(JsonChecker(recorder.ToJson()).Valid());
+}
+
+TEST(Trace, WriteJsonRoundTripsThroughDisk) {
+  TraceRecorder recorder;
+  StartTracing(&recorder);
+  { TraceSpan span("test", "disk \"quoted\" name\n"); }
+  StopTracing();
+  const std::string path =
+      testutil::ProcessTempDir() + "/trace_roundtrip.json";
+  ASSERT_TRUE(recorder.WriteJson(path).ok());
+  std::string contents;
+  FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  EXPECT_EQ(contents, recorder.ToJson());
+  EXPECT_TRUE(JsonChecker(contents).Valid()) << contents;
+}
+
+// ---------------------------------------------------------------------
+// Slow-query log
+
+/// Captures formatted log lines for assertions.
+class LogCapture {
+ public:
+  LogCapture() {
+    SetLogSink([this](LogLevel level, const std::string& line) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      lines_.push_back({level, line});
+    });
+  }
+  ~LogCapture() { SetLogSink(nullptr); }
+
+  std::vector<std::pair<LogLevel, std::string>> lines() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+};
+
+/// Sleeps in Emit so LIST execution reliably crosses a 1 ms threshold.
+class SleepySink : public TriangleSink {
+ public:
+  void Emit(VertexId, VertexId, std::span<const VertexId>) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+};
+
+std::string MaterializeTriangleStore(Env* env, const std::string& tag) {
+  // K5: every vertex pair connected; 10 triangles, so SleepySink::Emit
+  // definitely runs.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  }
+  CSRGraph g = GraphBuilder::FromEdges(edges);
+  const std::string base = testutil::ProcessTempDir() + "/slowq_" + tag;
+  GraphStoreOptions options;
+  options.page_size = 256;
+  Status s = GraphStore::Create(g, env, base, options);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return base;
+}
+
+TEST(SlowQueryLog, LogsAtWarnWhenOverThreshold) {
+  Env* env = Env::Default();
+  GraphRegistry registry(env);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.slow_query_millis = 1;
+  QueryScheduler scheduler(&registry, options);
+  ASSERT_TRUE(
+      scheduler.LoadGraph("k5", MaterializeTriangleStore(env, "on")).ok());
+
+  LogCapture capture;
+  SleepySink sink;
+  QuerySpec spec;
+  spec.graph = "k5";
+  spec.kind = QueryKind::kList;
+  spec.list_sink = &sink;
+  const QueryResult result = scheduler.Run(spec);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.triangles, 10u);
+
+  EXPECT_EQ(scheduler.stats().slow_queries, 1u);
+  bool found = false;
+  for (const auto& [level, line] : capture.lines()) {
+    if (line.find("slow query") == std::string::npos) continue;
+    found = true;
+    EXPECT_EQ(level, LogLevel::kWarn);
+    EXPECT_NE(line.find("graph=k5"), std::string::npos) << line;
+    EXPECT_NE(line.find("kind=LIST"), std::string::npos) << line;
+    EXPECT_NE(line.find("queue_wait_ms="), std::string::npos) << line;
+    EXPECT_NE(line.find("exec_ms="), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SlowQueryLog, DisabledByDefault) {
+  Env* env = Env::Default();
+  GraphRegistry registry(env);
+  SchedulerOptions options;
+  options.workers = 1;  // slow_query_millis stays 0
+  QueryScheduler scheduler(&registry, options);
+  ASSERT_TRUE(
+      scheduler.LoadGraph("k5", MaterializeTriangleStore(env, "off")).ok());
+
+  LogCapture capture;
+  SleepySink sink;
+  QuerySpec spec;
+  spec.graph = "k5";
+  spec.kind = QueryKind::kList;
+  spec.list_sink = &sink;
+  const QueryResult result = scheduler.Run(spec);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+
+  EXPECT_EQ(scheduler.stats().slow_queries, 0u);
+  for (const auto& [level, line] : capture.lines()) {
+    EXPECT_EQ(line.find("slow query"), std::string::npos) << line;
+  }
+}
+
+TEST(SlowQueryLog, QueueWaitIsReportedSeparately) {
+  // With a saturated single worker, the second query's queue wait is
+  // nonzero and the QueryResult carries it.
+  Env* env = Env::Default();
+  GraphRegistry registry(env);
+  SchedulerOptions options;
+  options.workers = 1;
+  QueryScheduler scheduler(&registry, options);
+  ASSERT_TRUE(
+      scheduler.LoadGraph("k5", MaterializeTriangleStore(env, "qw")).ok());
+
+  SleepySink slow_sink;
+  QuerySpec slow;
+  slow.graph = "k5";
+  slow.kind = QueryKind::kList;
+  slow.list_sink = &slow_sink;
+  auto first = scheduler.Submit(slow);
+
+  SleepySink second_sink;
+  QuerySpec queued = slow;
+  queued.list_sink = &second_sink;
+  auto second = scheduler.Submit(queued);
+
+  const QueryResult second_result = second.get();
+  ASSERT_TRUE(second_result.status.ok());
+  EXPECT_GT(second_result.queue_seconds, 0.0);
+  first.wait();
+}
+
+}  // namespace
+}  // namespace opt

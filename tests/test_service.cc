@@ -119,6 +119,68 @@ TEST(Wire, PayloadReaderRejectsShortStrings) {
   EXPECT_EQ(reader.GetString(&value).code(), StatusCode::kCorruption);
 }
 
+TEST(Wire, StatsResultRoundTrip) {
+  StatsResult stats;
+  stats.text = "scheduler.submitted=3\npool.lookups=10\n";
+  stats.histograms.push_back(
+      {"query.latency_us", 128, 3, 90000, 412.5, 210.0, 1800.0, 40000.0});
+  stats.histograms.push_back(
+      {"query.exec_us", 128, 1, 80000, 300.0, 150.0, 1500.0, 30000.0});
+  stats.counters.push_back({"opt.internal.cache_hits", 77});
+  stats.counters.push_back({"pool.fetch.hits", 41});
+  StatsResult decoded;
+  ASSERT_TRUE(DecodeStatsResult(EncodeStatsResult(stats), &decoded).ok());
+  EXPECT_EQ(decoded.text, stats.text);
+  ASSERT_EQ(decoded.histograms.size(), 2u);
+  EXPECT_EQ(decoded.histograms[0].name, "query.latency_us");
+  EXPECT_EQ(decoded.histograms[0].count, 128u);
+  EXPECT_EQ(decoded.histograms[0].min, 3u);
+  EXPECT_EQ(decoded.histograms[0].max, 90000u);
+  EXPECT_DOUBLE_EQ(decoded.histograms[0].mean, 412.5);
+  EXPECT_DOUBLE_EQ(decoded.histograms[0].p50, 210.0);
+  EXPECT_DOUBLE_EQ(decoded.histograms[0].p95, 1800.0);
+  EXPECT_DOUBLE_EQ(decoded.histograms[0].p99, 40000.0);
+  ASSERT_EQ(decoded.counters.size(), 2u);
+  EXPECT_EQ(decoded.counters[0].name, "opt.internal.cache_hits");
+  EXPECT_EQ(decoded.counters[0].value, 77u);
+  EXPECT_EQ(decoded.counters[1].name, "pool.fetch.hits");
+  EXPECT_EQ(decoded.counters[1].value, 41u);
+}
+
+TEST(Wire, StatsResultForwardCompatibleBothDirections) {
+  // Old client reading a new server's frame: the legacy decode path is
+  // GetString on the payload, ignoring whatever follows.
+  StatsResult stats;
+  stats.text = "scheduler.submitted=1\n";
+  stats.histograms.push_back({"query.latency_us", 1, 5, 5, 5, 5, 5, 5});
+  stats.counters.push_back({"io.requests", 9});
+  const std::string new_payload = EncodeStatsResult(stats);
+  PayloadReader old_client(new_payload);
+  std::string text;
+  ASSERT_TRUE(old_client.GetString(&text).ok());
+  EXPECT_EQ(text, stats.text);
+
+  // New client reading an old server's frame (just the string): empty
+  // structured sections, not a decode error.
+  std::string old_payload;
+  PutString(&old_payload, "cache.hits=2\n");
+  StatsResult decoded;
+  ASSERT_TRUE(DecodeStatsResult(old_payload, &decoded).ok());
+  EXPECT_EQ(decoded.text, "cache.hits=2\n");
+  EXPECT_TRUE(decoded.histograms.empty());
+  EXPECT_TRUE(decoded.counters.empty());
+}
+
+TEST(Wire, StatsResultTruncatedStructuredSectionIsCorruption) {
+  StatsResult stats;
+  stats.histograms.push_back({"h", 1, 1, 1, 1, 1, 1, 1});
+  const std::string payload = EncodeStatsResult(stats);
+  StatsResult decoded;
+  const Status s =
+      DecodeStatsResult(payload.substr(0, payload.size() - 4), &decoded);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
 // ---------------------------------------------------------------------
 // Shared buffer pool
 

@@ -6,10 +6,13 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+
 #include "util/blocking_queue.h"
 #include "util/cli.h"
 #include "util/crc32.h"
 #include "util/histogram.h"
+#include "util/logging.h"
 #include "util/random.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -228,6 +231,107 @@ TEST(HistogramTest, QuantileMonotone) {
   for (uint64_t i = 0; i < 1000; ++i) h.Add(i);
   EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
   EXPECT_LE(h.Quantile(0.5), h.Quantile(0.99));
+}
+
+TEST(HistogramSnapshotTest, EmptySnapshotReportsZeros) {
+  const HistogramSnapshot s = Histogram().Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.P99(), 0.0);
+}
+
+TEST(HistogramSnapshotTest, SingleSampleQuantilesClampToTheValue) {
+  Histogram h;
+  h.Add(1000);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 1000u);
+  EXPECT_EQ(s.max, 1000u);
+  // Every quantile of a one-sample distribution is that sample; the
+  // within-bucket interpolation must not leak bucket boundaries.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(s.P50(), 1000.0);
+  EXPECT_DOUBLE_EQ(s.P99(), 1000.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 1000.0);
+}
+
+TEST(HistogramSnapshotTest, OverflowBucketStaysWithinMinMax) {
+  Histogram h;
+  h.Add(~0ull);  // lands in the overflow bucket (bucket 63)
+  h.Add(1ull << 62);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 2u);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    const double value = s.Quantile(q);
+    EXPECT_GE(value, static_cast<double>(s.min)) << "q=" << q;
+    EXPECT_LE(value, static_cast<double>(s.max)) << "q=" << q;
+  }
+}
+
+TEST(HistogramSnapshotTest, MergeMatchesDirectAccumulation) {
+  Histogram a, b, direct;
+  for (uint64_t v : {1, 5, 9, 100}) {
+    a.Add(v);
+    direct.Add(v);
+  }
+  for (uint64_t v : {0, 2, 7000, 123456}) {
+    b.Add(v);
+    direct.Add(v);
+  }
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  const HistogramSnapshot expected = direct.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.min, expected.min);
+  EXPECT_EQ(merged.max, expected.max);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+  EXPECT_DOUBLE_EQ(merged.P95(), expected.P95());
+}
+
+TEST(HistogramSnapshotTest, MergeWithEmptyIsIdentityEitherWay) {
+  Histogram h;
+  h.Add(42);
+  h.Add(7);
+  const HistogramSnapshot original = h.Snapshot();
+
+  HistogramSnapshot merged = h.Snapshot();
+  merged.Merge(HistogramSnapshot());  // empty other: no-op
+  EXPECT_EQ(merged.count, original.count);
+  EXPECT_EQ(merged.min, original.min);
+  EXPECT_EQ(merged.max, original.max);
+
+  HistogramSnapshot empty;  // empty self: adopts other's min/max
+  empty.Merge(original);
+  EXPECT_EQ(empty.count, original.count);
+  EXPECT_EQ(empty.min, 7u);
+  EXPECT_EQ(empty.max, 42u);
+}
+
+TEST(LoggingTest, InitLogLevelFromEnvParsesNamesAndNumbers) {
+  const LogLevel original = GetLogLevel();
+  ::setenv("OPT_LOG_LEVEL", "error", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ::setenv("OPT_LOG_LEVEL", "DEBUG", 1);  // case-insensitive
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  ::setenv("OPT_LOG_LEVEL", "2", 1);  // numeric form
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+
+  SetLogLevel(LogLevel::kInfo);
+  ::setenv("OPT_LOG_LEVEL", "bogus", 1);  // unparsable: level untouched
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+  ::unsetenv("OPT_LOG_LEVEL");  // unset: level untouched
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+  SetLogLevel(original);
 }
 
 TEST(Crc32Test, KnownVector) {

@@ -11,10 +11,12 @@
 #include "storage/env.h"
 #include "storage/store_builder.h"
 #include "util/cli.h"
+#include "util/logging.h"
 
 using namespace opt;
 
 int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
   auto cl = CommandLine::Parse(argc, argv);
   if (!cl.ok() || !cl->Has("input") || !cl->Has("output")) {
     std::fprintf(stderr,

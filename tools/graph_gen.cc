@@ -15,10 +15,12 @@
 #include "storage/env.h"
 #include "storage/graph_store.h"
 #include "util/cli.h"
+#include "util/logging.h"
 
 using namespace opt;
 
 int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
   auto cl = CommandLine::Parse(argc, argv);
   if (!cl.ok() || (!cl->Has("edges") && !cl->Has("store"))) {
     std::fprintf(stderr,

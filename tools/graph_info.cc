@@ -10,10 +10,12 @@
 #include "storage/record_scanner.h"
 #include "util/cli.h"
 #include "util/histogram.h"
+#include "util/logging.h"
 
 using namespace opt;
 
 int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
   auto cl = CommandLine::Parse(argc, argv);
   if (!cl.ok() || !cl->Has("store")) {
     std::fprintf(stderr, "usage: %s --store /path/base [--histogram]\n",

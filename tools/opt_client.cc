@@ -10,10 +10,52 @@
 
 #include "service/client.h"
 #include "util/cli.h"
+#include "util/logging.h"
 
 using namespace opt;
 
+namespace {
+
+/// Pretty-prints the structured STATS reply: the legacy text section,
+/// then latency histogram quantiles, then the metrics-registry counters
+/// with a derived buffer-pool hit rate. Old servers only send the text.
+void PrintStats(const StatsResult& stats) {
+  std::fputs(stats.text.c_str(), stdout);
+  if (!stats.histograms.empty()) {
+    std::printf("\n%-24s %10s %10s %10s %10s %10s %10s %10s\n", "histogram",
+                "count", "min", "max", "mean", "p50", "p95", "p99");
+    for (const StatsHistogram& h : stats.histograms) {
+      std::printf("%-24s %10llu %10llu %10llu %10.1f %10.1f %10.1f %10.1f\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.min),
+                  static_cast<unsigned long long>(h.max), h.mean, h.p50,
+                  h.p95, h.p99);
+    }
+  }
+  if (!stats.counters.empty()) {
+    std::printf("\n%-32s %12s\n", "counter", "value");
+    uint64_t fetch_lookups = 0;
+    uint64_t fetch_hits = 0;
+    for (const StatsCounter& c : stats.counters) {
+      std::printf("%-32s %12llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+      if (c.name == "pool.fetch.lookups") fetch_lookups = c.value;
+      if (c.name == "pool.fetch.hits") fetch_hits = c.value;
+    }
+    if (fetch_lookups > 0) {
+      std::printf("\npool hit rate: %.1f%% (%llu/%llu fetches)\n",
+                  100.0 * static_cast<double>(fetch_hits) /
+                      static_cast<double>(fetch_lookups),
+                  static_cast<unsigned long long>(fetch_hits),
+                  static_cast<unsigned long long>(fetch_lookups));
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
   auto cl = CommandLine::Parse(argc, argv);
   if (!cl.ok()) {
     std::fprintf(stderr, "%s\n", cl.status().ToString().c_str());
@@ -102,12 +144,12 @@ int main(int argc, char** argv) {
   }
 
   if (*op == "stats") {
-    auto stats = client.Stats();
+    auto stats = client.StatsFull();
     if (!stats.ok()) {
       std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
       return 1;
     }
-    std::fputs(stats->c_str(), stdout);
+    PrintStats(*stats);
     return 0;
   }
 

@@ -5,20 +5,33 @@
 //   opt_server [--port N | --unix /path.sock]
 //       [--graph name=/path/base ...] [--workers N] [--max_queue N]
 //       [--pool_pages N] [--default_pages N] [--default_threads N]
-//       [--no_cache] [--no_load_graph]
+//       [--no_cache] [--no_load_graph] [--slow_query_ms N]
+//       [--metrics-dump-interval SECONDS] [--trace-out /path.json]
 //
 // --port 0 binds an ephemeral port (printed on stdout, for scripts).
-// Runs until SIGINT/SIGTERM.
+// --metrics-dump-interval logs the metrics registry every N seconds.
+// --trace-out records Chrome trace_event JSON (open in Perfetto) for
+// the whole server lifetime and writes it at shutdown.
+// Runs until SIGINT/SIGTERM. Honors OPT_LOG_LEVEL (debug|info|warn|error).
 #include <signal.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "service/graph_registry.h"
 #include "service/query_scheduler.h"
 #include "service/server.h"
 #include "util/cli.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 using namespace opt;
 
@@ -28,45 +41,63 @@ volatile sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  auto cl = CommandLine::Parse(argc, argv);
-  if (!cl.ok()) {
-    std::fprintf(stderr, "%s\n", cl.status().ToString().c_str());
-    return 2;
+/// Background thread logging Metrics().ExposeText() every `interval`.
+class MetricsDumper {
+ public:
+  explicit MetricsDumper(std::chrono::seconds interval) {
+    thread_ = std::thread([this, interval] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+        const std::string text = Metrics().ExposeText();
+        OPT_LOG(Info) << "metrics dump:\n" << text;
+      }
+    });
   }
-  if (!cl->Has("port") && !cl->Has("unix")) {
-    std::fprintf(stderr,
-                 "usage: %s (--port N | --unix /path.sock) "
-                 "[--graph name=/path/base ...] [--workers N]\n",
-                 argv[0]);
-    return 2;
+  ~MetricsDumper() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
   }
 
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// Registry, scheduler, server, and the serve loop. Runs in its own
+/// frame so every worker/connection thread has been joined — and can no
+/// longer emit trace events — by the time main() serializes the trace.
+int RunServer(const CommandLine& cl) {
   RegistryOptions registry_options;
   registry_options.min_pool_frames =
-      static_cast<uint32_t>(cl->GetInt("pool_pages", 256));
+      static_cast<uint32_t>(cl.GetInt("pool_pages", 256));
   GraphRegistry registry(Env::Default(), registry_options);
 
   SchedulerOptions scheduler_options;
   scheduler_options.workers =
-      static_cast<uint32_t>(cl->GetInt("workers", 4));
+      static_cast<uint32_t>(cl.GetInt("workers", 4));
   scheduler_options.max_queue =
-      static_cast<uint32_t>(cl->GetInt("max_queue", 64));
+      static_cast<uint32_t>(cl.GetInt("max_queue", 64));
   scheduler_options.default_memory_pages =
-      static_cast<uint32_t>(cl->GetInt("default_pages", 64));
+      static_cast<uint32_t>(cl.GetInt("default_pages", 64));
   scheduler_options.default_threads =
-      static_cast<uint32_t>(cl->GetInt("default_threads", 2));
-  scheduler_options.enable_result_cache = !cl->GetBool("no_cache", false);
+      static_cast<uint32_t>(cl.GetInt("default_threads", 2));
+  scheduler_options.enable_result_cache = !cl.GetBool("no_cache", false);
+  scheduler_options.slow_query_millis =
+      static_cast<uint64_t>(cl.GetInt("slow_query_ms", 0));
   QueryScheduler scheduler(&registry, scheduler_options);
 
   // --graph flags preload stores; more can arrive later via LOADGRAPH.
   // The CLI parser keeps the last value per flag, so multiple graphs on
   // one command line arrive as positionals of the form name=/path too.
   std::vector<std::string> graph_specs;
-  if (cl->Has("graph")) graph_specs.push_back(cl->GetString("graph"));
-  for (const std::string& positional : cl->positional()) {
+  if (cl.Has("graph")) graph_specs.push_back(cl.GetString("graph"));
+  for (const std::string& positional : cl.positional()) {
     if (positional.find('=') != std::string::npos) {
       graph_specs.push_back(positional);
     }
@@ -89,25 +120,32 @@ int main(int argc, char** argv) {
                  path.c_str());
   }
 
-  OptServer server(&scheduler, !cl->GetBool("no_load_graph", false));
+  OptServer server(&scheduler, !cl.GetBool("no_load_graph", false));
   Status status;
-  if (cl->Has("unix")) {
-    status = server.ListenUnix(cl->GetString("unix"));
+  if (cl.Has("unix")) {
+    status = server.ListenUnix(cl.GetString("unix"));
   } else {
     status = server.ListenTcp(
-        static_cast<uint16_t>(cl->GetInt("port", 0)));
+        static_cast<uint16_t>(cl.GetInt("port", 0)));
   }
   if (status.ok()) status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  if (cl->Has("unix")) {
-    std::printf("listening on %s\n", cl->GetString("unix").c_str());
+  if (cl.Has("unix")) {
+    std::printf("listening on %s\n", cl.GetString("unix").c_str());
   } else {
     std::printf("listening on 127.0.0.1:%u\n", server.bound_port());
   }
   std::fflush(stdout);
+
+  std::unique_ptr<MetricsDumper> dumper;
+  const int64_t dump_interval = cl.GetInt("metrics-dump-interval", 0);
+  if (dump_interval > 0) {
+    dumper = std::make_unique<MetricsDumper>(
+        std::chrono::seconds(dump_interval));
+  }
 
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));
@@ -119,6 +157,47 @@ int main(int argc, char** argv) {
   while (!g_stop) sigsuspend(&empty);
 
   std::fprintf(stderr, "shutting down\n");
+  dumper.reset();
   server.Stop();
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) {
+    std::fprintf(stderr, "%s\n", cl.status().ToString().c_str());
+    return 2;
+  }
+  if (!cl->Has("port") && !cl->Has("unix")) {
+    std::fprintf(stderr,
+                 "usage: %s (--port N | --unix /path.sock) "
+                 "[--graph name=/path/base ...] [--workers N] "
+                 "[--metrics-dump-interval SEC] [--trace-out FILE]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::string trace_path = cl->GetString("trace-out");
+  TraceRecorder trace_recorder;
+  if (!trace_path.empty()) StartTracing(&trace_recorder);
+
+  const int rc = RunServer(*cl);
+
+  if (!trace_path.empty()) {
+    // RunServer has joined every worker and connection thread, so no
+    // span can still be open against the recorder.
+    StopTracing();
+    if (Status s = trace_recorder.WriteJson(trace_path); !s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   s.ToString().c_str());
+      return rc != 0 ? rc : 1;
+    }
+    std::fprintf(stderr, "trace written to %s (%zu events, %llu dropped)\n",
+                 trace_path.c_str(), trace_recorder.Events().size(),
+                 static_cast<unsigned long long>(trace_recorder.dropped()));
+  }
+  return rc;
 }
