@@ -230,7 +230,8 @@ void ProcessChunk(RunContext* ctx, Chunk chunk,
   // progress.
   Status frames_ready;
   for (Frame* f : frames) {
-    frames_ready = ctx->pool->WaitValid(f);
+    frames_ready =
+        ctx->pool->WaitValid(f, ctx->options.io_wait_timeout_millis);
     if (!frames_ready.ok()) {
       ctx->RecordError(frames_ready);
       break;
@@ -473,7 +474,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
     pool = &*private_pool;
   }
   FrameReservation reservation(pool, options_.m_in + options_.m_ex + 2);
-  AsyncIoEngine engine(options_.io_queue_depth);
+  AsyncIoEngine engine(options_.io_queue_depth, options_.io_retry);
 
   ctx.store = store_;
   ctx.model = model_;
@@ -550,7 +551,8 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
       // concurrent query — the paper's Δin I/O saving either way.
       iter.internal_cache_hits++;
       if (fetch->outcome == BufferPool::FetchOutcome::kInFlight) {
-        const Status w = pool->WaitValid(f);
+        const Status w =
+            pool->WaitValid(f, options_.io_wait_timeout_millis);
         if (!w.ok()) {
           ctx.RecordError(w);
           break;
@@ -730,7 +732,19 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
 
   {
     std::lock_guard<std::mutex> lock(ctx.error_mutex);
-    if (!ctx.first_error.ok()) return ctx.first_error;
+    if (!ctx.first_error.ok()) {
+      // Unrecoverable page faults (retry budget exhausted, CRC still
+      // wrong, waiter timed out) degrade this query, not the process:
+      // the typed Unavailable tells the service layer the store is
+      // intact and a retry may succeed. Everything else — cancellation,
+      // planning errors, sink failures — keeps its own code.
+      if (ctx.first_error.IsIOError() || ctx.first_error.IsCorruption() ||
+          ctx.first_error.IsUnavailable()) {
+        return Status::Unavailable("triangulation degraded by I/O fault: " +
+                                   ctx.first_error.ToString());
+      }
+      return ctx.first_error;
+    }
   }
   OPT_RETURN_IF_ERROR(sink->Finish());
   run_stats.elapsed_seconds = total_watch.ElapsedSeconds();

@@ -16,6 +16,7 @@
 #include "core/iterator_model.h"
 #include "core/triangle_sink.h"
 #include "graph/intersect.h"
+#include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/graph_store.h"
 #include "util/status.h"
@@ -69,6 +70,15 @@ struct OptOptions {
   /// I/O it owes the shared pool, skips remaining triangulation, and
   /// returns Status::Aborted.
   const std::atomic<bool>* cancel = nullptr;
+  /// Retry policy for the run's async page reads. The default retries
+  /// transient device faults a few times with backoff; IoRetryPolicy::
+  /// None() restores fail-fast.
+  IoRetryPolicy io_retry;
+  /// Bound on waiting for a page another query is loading (shared
+  /// pools). 0 waits forever; with a bound, a reader that dies without
+  /// publishing MarkValid/MarkFailed costs this much wall time and a
+  /// typed Unavailable instead of a hung query.
+  uint64_t io_wait_timeout_millis = 10000;
 };
 
 /// Per-iteration instrumentation (Figure 4).

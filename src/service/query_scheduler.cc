@@ -31,7 +31,8 @@ QueryScheduler::QueryScheduler(GraphRegistry* registry,
       latency_hist_(Metrics().GetHistogram("query.latency_us")),
       queue_wait_hist_(Metrics().GetHistogram("query.queue_wait_us")),
       exec_hist_(Metrics().GetHistogram("query.exec_us")),
-      slow_query_counter_(Metrics().GetCounter("scheduler.slow_queries")) {
+      slow_query_counter_(Metrics().GetCounter("scheduler.slow_queries")),
+      degraded_counter_(Metrics().GetCounter("query.degraded")) {
   const uint32_t workers = std::max(options_.workers, 1u);
   workers_.reserve(workers);
   for (uint32_t i = 0; i < workers; ++i) {
@@ -234,6 +235,7 @@ void QueryScheduler::Finish(const std::shared_ptr<Task>& task,
       stats_.completed += waiters.size();
     } else {
       stats_.failed += waiters.size();
+      if (result.degraded) stats_.degraded += waiters.size();
       if (result.status.code() == StatusCode::kAborted &&
           task->cancel.load(std::memory_order_relaxed)) {
         ++stats_.deadline_expired;
@@ -293,6 +295,10 @@ QueryResult QueryScheduler::Execute(Task* task) {
     status = runner.Run(&counter, &run_stats);
   }
   result.status = status;
+  // An Unavailable run is degraded, not dead: the partial triangle
+  // count computed before the fault still rides along as a lower bound.
+  result.degraded = status.IsUnavailable();
+  if (result.degraded) degraded_counter_->Increment();
   result.triangles = counter.count();
   result.seconds = run_stats.elapsed_seconds;
   result.iterations = run_stats.iterations;

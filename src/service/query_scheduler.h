@@ -68,6 +68,11 @@ struct QuerySpec {
 
 struct QueryResult {
   Status status;
+  /// True when `status` is Unavailable: the run hit an unrecoverable
+  /// I/O fault after exhausting retries. `triangles` then holds the
+  /// partial count accumulated before the fault — a lower bound, not
+  /// the answer — and the query is worth retrying.
+  bool degraded = false;
   uint64_t triangles = 0;
   double seconds = 0;  // execution wall time (0 for cache hits)
   /// Time spent waiting in the admission queue before a worker picked
@@ -107,6 +112,9 @@ struct SchedulerStats {
   uint64_t cache_hits = 0;
   uint64_t deadline_expired = 0;
   uint64_t slow_queries = 0;  // tripped the slow-query log threshold
+  /// Queries answered Unavailable: degraded by device faults that
+  /// survived the I/O retry budget (a subset of `failed`).
+  uint64_t degraded = 0;
 };
 
 class QueryScheduler {
@@ -167,6 +175,7 @@ class QueryScheduler {
   HistogramMetric* const queue_wait_hist_;
   HistogramMetric* const exec_hist_;
   Counter* const slow_query_counter_;
+  Counter* const degraded_counter_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;

@@ -295,7 +295,8 @@ std::string OptServer::RenderStats() const {
       << "scheduler.coalesced=" << stats.coalesced << '\n'
       << "scheduler.cache_hits=" << stats.cache_hits << '\n'
       << "scheduler.deadline_expired=" << stats.deadline_expired << '\n'
-      << "scheduler.slow_queries=" << stats.slow_queries << '\n';
+      << "scheduler.slow_queries=" << stats.slow_queries << '\n'
+      << "scheduler.degraded=" << stats.degraded << '\n';
   const ResultCache::Stats cache = scheduler_->cache_stats();
   out << "cache.hits=" << cache.hits << '\n'
       << "cache.misses=" << cache.misses << '\n'

@@ -1,6 +1,9 @@
 #include "storage/async_io.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "storage/page.h"
@@ -15,7 +18,26 @@ struct IoCounters {
   Counter* requests = Metrics().GetCounter("io.requests");
   Counter* pages_read = Metrics().GetCounter("io.pages_read");
   Counter* read_errors = Metrics().GetCounter("io.read_errors");
+  Counter* retries = Metrics().GetCounter("io.retries");
+  Counter* giveups = Metrics().GetCounter("io.giveups");
 };
+
+/// Transient device classes worth retrying; anything else (OutOfRange,
+/// InvalidArgument, ...) is a caller bug and fails immediately.
+bool IsRetryable(const Status& status) {
+  return status.IsIOError() || status.IsCorruption();
+}
+
+/// Deterministic jitter: reruns with the same fault plan back off
+/// identically. Full-jitter over [backoff/2, backoff].
+uint32_t JitteredBackoff(uint32_t backoff, uint32_t pid, uint32_t attempt) {
+  uint64_t h = (static_cast<uint64_t>(pid) << 32) | attempt;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  const uint32_t half = backoff / 2;
+  return half + static_cast<uint32_t>(h % (half + 1));
+}
 
 IoCounters& GlobalIoCounters() {
   static IoCounters counters;
@@ -29,7 +51,8 @@ std::string ReadArgsJson(const ReadRequest& request) {
 
 }  // namespace
 
-AsyncIoEngine::AsyncIoEngine(uint32_t num_workers) {
+AsyncIoEngine::AsyncIoEngine(uint32_t num_workers, const IoRetryPolicy& retry)
+    : retry_(retry) {
   if (num_workers == 0) num_workers = 1;
   workers_.reserve(num_workers);
   for (uint32_t i = 0; i < num_workers; ++i) {
@@ -54,6 +77,48 @@ void AsyncIoEngine::Submit(ReadRequest request) {
   submissions_.Push(std::move(request));
 }
 
+Status AsyncIoEngine::ReadPageWithRetry(const ReadRequest& request,
+                                        uint32_t index) {
+  const uint32_t pid = request.first_pid + index;
+  const auto start = std::chrono::steady_clock::now();
+  uint32_t backoff = retry_.backoff_base_micros;
+  Status status;
+  for (uint32_t attempt = 1;; ++attempt) {
+    status = request.file->ReadPage(pid, request.frames[index]->data);
+    // Validation is part of the attempt: a torn read reports OK at the
+    // device layer and only the page CRC catches it, so the reread has
+    // to happen here where the data is still in hand.
+    if (status.ok() && request.pool != nullptr && request.validate) {
+      const uint32_t page_size = request.page_size != 0
+                                     ? request.page_size
+                                     : request.file->page_size();
+      status = PageView(request.frames[index]->data, page_size).Validate(pid);
+    }
+    if (status.ok() || !IsRetryable(status)) return status;
+    if (attempt >= retry_.max_attempts) break;
+    const uint32_t sleep_us =
+        JitteredBackoff(backoff, pid, attempt);
+    if (retry_.op_deadline_micros != 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      if (static_cast<uint64_t>(elapsed) + sleep_us >=
+          retry_.op_deadline_micros) {
+        break;  // the next attempt would blow the per-op deadline
+      }
+    }
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    GlobalIoCounters().retries->Increment();
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    backoff = std::min(backoff * 2, retry_.backoff_max_micros);
+  }
+  stats_.read_errors.fetch_add(1, std::memory_order_relaxed);
+  stats_.giveups.fetch_add(1, std::memory_order_relaxed);
+  GlobalIoCounters().read_errors->Increment();
+  GlobalIoCounters().giveups->Increment();
+  return status;
+}
+
 void AsyncIoEngine::WorkerLoop() {
   for (;;) {
     auto item = submissions_.Pop();
@@ -68,29 +133,14 @@ void AsyncIoEngine::WorkerLoop() {
     Status status;
     uint32_t done = 0;
     for (uint32_t i = 0; i < request.page_count && status.ok(); ++i) {
-      const uint32_t pid = request.first_pid + i;
-      status = request.file->ReadPage(pid, request.frames[i]->data);
+      status = ReadPageWithRetry(request, i);
       if (status.ok()) {
         stats_.pages_read.fetch_add(1, std::memory_order_relaxed);
         GlobalIoCounters().pages_read->Increment();
         if (request.pool != nullptr) {
-          if (request.validate) {
-            const uint32_t page_size = request.page_size != 0
-                                           ? request.page_size
-                                           : request.file->page_size();
-            status = PageView(request.frames[i]->data, page_size)
-                         .Validate(pid);
-          }
-          if (status.ok()) {
-            request.pool->MarkValid(request.frames[i]);
-            done = i + 1;
-          }
-        } else {
-          done = i + 1;
+          request.pool->MarkValid(request.frames[i]);
         }
-      } else {
-        stats_.read_errors.fetch_add(1, std::memory_order_relaxed);
-        GlobalIoCounters().read_errors->Increment();
+        done = i + 1;
       }
     }
     if (request.pool != nullptr && !status.ok()) {

@@ -59,6 +59,29 @@ class CompletionGroup {
 using CompletionTask = std::function<void()>;
 using CompletionQueue = BlockingQueue<CompletionTask>;
 
+/// Bounded retry with exponential backoff for page reads. Transient
+/// device faults (EIO that heals, torn reads caught by CRC validation)
+/// are retried inside the I/O worker before anything is published to
+/// waiters; only exhausted budgets surface as errors. Backoff doubles
+/// from `backoff_base_micros` up to `backoff_max_micros` with
+/// deterministic jitter (hashed from page id and attempt, so reruns of
+/// a seeded fault plan behave identically). `op_deadline_micros` caps
+/// one page's total read time including retries — past it the op gives
+/// up even if attempts remain.
+struct IoRetryPolicy {
+  uint32_t max_attempts = 4;
+  uint32_t backoff_base_micros = 100;
+  uint32_t backoff_max_micros = 20000;
+  uint64_t op_deadline_micros = 2000000;  // 0 = no per-op deadline
+
+  /// A policy that fails immediately (the pre-retry behavior).
+  static IoRetryPolicy None() {
+    IoRetryPolicy policy;
+    policy.max_attempts = 1;
+    return policy;
+  }
+};
+
 /// A read of `page_count` consecutive pages starting at `first_pid`, each
 /// into its own (already pinned) frame. Multi-page requests carry an
 /// adjacency list that spans pages.
@@ -83,18 +106,25 @@ struct ReadRequest {
 struct AsyncIoStats {
   std::atomic<uint64_t> requests{0};
   std::atomic<uint64_t> pages_read{0};
+  /// Final failures only (a page whose retry budget ran out); each also
+  /// counts one `giveups`. Individual failed attempts count `retries`.
   std::atomic<uint64_t> read_errors{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> giveups{0};
   void Reset() {
     requests = 0;
     pages_read = 0;
     read_errors = 0;
+    retries = 0;
+    giveups = 0;
   }
 };
 
 class AsyncIoEngine {
  public:
   /// `num_workers` concurrent I/O threads (the emulated SSD queue depth).
-  explicit AsyncIoEngine(uint32_t num_workers);
+  explicit AsyncIoEngine(uint32_t num_workers,
+                         const IoRetryPolicy& retry = IoRetryPolicy());
   ~AsyncIoEngine();
 
   AsyncIoEngine(const AsyncIoEngine&) = delete;
@@ -107,9 +137,14 @@ class AsyncIoEngine {
   AsyncIoStats& stats() { return stats_; }
   uint32_t num_workers() const { return static_cast<uint32_t>(workers_.size()); }
 
+  const IoRetryPolicy& retry_policy() const { return retry_; }
+
  private:
   void WorkerLoop();
+  /// One page's read + (optional) CRC validation under the retry policy.
+  Status ReadPageWithRetry(const ReadRequest& request, uint32_t index);
 
+  const IoRetryPolicy retry_;
   BlockingQueue<ReadRequest> submissions_;
   std::vector<std::thread> workers_;
   AsyncIoStats stats_;

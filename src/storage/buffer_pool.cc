@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <chrono>
 
 #include "util/metrics.h"
 
@@ -16,6 +17,8 @@ struct FetchCounters {
   Counter* hits = Metrics().GetCounter("pool.fetch.hits");
   Counter* inflight = Metrics().GetCounter("pool.fetch.inflight");
   Counter* misses = Metrics().GetCounter("pool.fetch.misses");
+  Counter* failed_pages = Metrics().GetCounter("pool.failed_pages");
+  Counter* wait_timeouts = Metrics().GetCounter("pool.wait_timeouts");
 };
 
 FetchCounters& GlobalFetchCounters() {
@@ -185,13 +188,32 @@ void BufferPool::MarkFailed(Frame* frame) {
       DropPageLocked(frame->key);
     }
   }
+  GlobalFetchCounters().failed_pages->Increment();
   valid_cv_.notify_all();
 }
 
-Status BufferPool::WaitValid(Frame* frame) {
+Status BufferPool::WaitValid(Frame* frame, uint64_t timeout_millis) {
   std::unique_lock<std::mutex> lock(mutex_);
   assert(frame->pins > 0);
-  valid_cv_.wait(lock, [&] { return frame->valid || frame->failed; });
+  const auto ready = [&] { return frame->valid || frame->failed; };
+  if (timeout_millis == 0) {
+    valid_cv_.wait(lock, ready);
+  } else if (!valid_cv_.wait_for(
+                 lock, std::chrono::milliseconds(timeout_millis), ready)) {
+    // The reader that owned this page never published a verdict (worker
+    // died, deadlock upstream). Evict the page so the wedged frame stops
+    // attracting new waiters; the frame itself is reclaimed by Unpin's
+    // orphan path once every current pin drops.
+    const uint32_t pid = PageKeyPid(frame->key);
+    auto it = page_table_.find(frame->key);
+    if (it != page_table_.end() && it->second == frame->index) {
+      DropPageLocked(frame->key);
+    }
+    GlobalFetchCounters().wait_timeouts->Increment();
+    return Status::Unavailable(
+        "page " + std::to_string(pid) + " load not published within " +
+        std::to_string(timeout_millis) + "ms (reader died?)");
+  }
   if (frame->failed) {
     return Status::IOError("page " + std::to_string(PageKeyPid(frame->key)) +
                            " failed to load in a concurrent query");

@@ -143,8 +143,13 @@ class BufferPool {
   void MarkFailed(Frame* frame);
 
   /// Blocks until `frame` (which the caller must hold a pin on) becomes
-  /// valid or its read fails.
-  Status WaitValid(Frame* frame);
+  /// valid or its read fails. `timeout_millis` bounds the wait: 0 waits
+  /// forever; past the bound the caller gets Unavailable instead of
+  /// hanging on a frame whose owning reader died before publishing
+  /// MarkValid/MarkFailed. On timeout the page is dropped from the table
+  /// (like MarkFailed) so later fetches re-read it instead of piling
+  /// more waiters onto the wedged frame.
+  Status WaitValid(Frame* frame, uint64_t timeout_millis = 0);
 
   void Pin(Frame* frame);
   void Unpin(Frame* frame);

@@ -154,8 +154,17 @@ Status GraphStore::Create(const CSRGraph& graph, Env* env,
   return writer->Finish();
 }
 
+Status GraphStore::VerifyAllPages() const {
+  std::vector<char> buffer(page_size_);
+  for (uint32_t pid = 0; pid < file_->num_pages(); ++pid) {
+    OPT_RETURN_IF_ERROR(file_->ReadPage(pid, buffer.data()));
+    OPT_RETURN_IF_ERROR(PageView(buffer.data(), page_size_).Validate(pid));
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<GraphStore>> GraphStore::Open(
-    Env* env, const std::string& base_path) {
+    Env* env, const std::string& base_path, bool verify_pages) {
   OPT_ASSIGN_OR_RETURN(auto meta_file,
                        env->OpenRandomAccess(MetaPath(base_path)));
   OPT_ASSIGN_OR_RETURN(uint64_t meta_size,
@@ -202,6 +211,7 @@ Result<std::unique_ptr<GraphStore>> GraphStore::Open(
     return Status::Corruption("page count mismatch between data and meta");
   }
   store->file_ = std::move(file);
+  if (verify_pages) OPT_RETURN_IF_ERROR(store->VerifyAllPages());
   return store;
 }
 

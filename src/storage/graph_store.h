@@ -84,8 +84,16 @@ class GraphStore {
                        const GraphStoreOptions& options = {});
 
   /// Opens an existing store. `env` must outlive the store.
+  /// `verify_pages` additionally checks every page's header + CRC at
+  /// open — the crash-consistency gate that catches a build torn by a
+  /// mid-write crash even when the file sizes happen to line up.
   static Result<std::unique_ptr<GraphStore>> Open(Env* env,
-                                                  const std::string& base_path);
+                                                  const std::string& base_path,
+                                                  bool verify_pages = false);
+
+  /// Full-scan integrity check: validates the header and CRC of every
+  /// page. Corruption names the first bad page.
+  Status VerifyAllPages() const;
 
   VertexId num_vertices() const { return num_vertices_; }
   uint32_t num_pages() const { return file_->num_pages(); }

@@ -23,6 +23,12 @@ enum class StatusCode : int {
   kInternal = 7,
   kNotSupported = 8,
   kAborted = 9,
+  /// Transient service-level degradation: the operation failed for a
+  /// reason that is expected to heal (storage faults that exhausted
+  /// their retry budget, a wedged page load, an overloaded backend).
+  /// Callers may retry the whole request; partial results may accompany
+  /// it (see QueryResult::degraded).
+  kUnavailable = 10,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "IOError", ...).
@@ -64,6 +70,9 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +84,7 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

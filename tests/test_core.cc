@@ -342,7 +342,9 @@ TEST(OptRunnerTest, PropagatesInjectedIoErrors) {
   EdgeIteratorModel model;
   OptRunner runner(store.get(), &model, options);
   CountingSink sink;
-  EXPECT_TRUE(runner.Run(&sink, nullptr).IsIOError());
+  // Unrecoverable device faults surface as the typed Unavailable (the
+  // degraded-query contract), not a raw IOError.
+  EXPECT_TRUE(runner.Run(&sink, nullptr).IsUnavailable());
 }
 
 TEST(OptRunnerTest, CacheSavingsReported) {

@@ -2,10 +2,11 @@
 // sorted triangle listing must equal the in-memory baseline on seeded
 // R-MAT / Erdős–Rényi / Holme–Kim graphs across the full configuration
 // matrix of {m_in/m_ex splits, thread counts, thread morphing,
-// backward external order, intersection kernel}. A fault-injection
-// variant re-runs OPT end-to-end with randomized read-fault offsets and
-// asserts each run either surfaces a clean IOError or produces the
-// exact result — never a silently wrong count.
+// backward external order, intersection kernel}. Fault-injection
+// variants re-run OPT end-to-end with randomized read-fault offsets and
+// with seeded FaultPlans, asserting each run either surfaces the typed
+// Unavailable or produces the exact result — never a silently wrong
+// count. Failing fault trials print a one-line `--fault-plan` repro.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -19,6 +20,7 @@
 #include "gen/rmat.h"
 #include "graph/intersect.h"
 #include "storage/env.h"
+#include "storage/fault_env.h"
 #include "test_helpers.h"
 #include "util/random.h"
 
@@ -193,7 +195,7 @@ TEST_F(DifferentialTest, RandomizedFaultOffsetsNeverYieldWrongCounts) {
   // End-to-end fault injection: arm a read failure at a random offset
   // for each trial while also varying threads, morphing, and kernel.
   // Every run must either complete with the exact count (the fault
-  // landed past the last read) or fail with a clean IOError.
+  // landed past the last read) or fail with the typed Unavailable.
   CSRGraph g = MakeRmat(5);
   FaultInjectionEnv fenv(Env::Default());
   auto store = testutil::MakeStore(g, &fenv, "diff_fault", 256);
@@ -224,13 +226,76 @@ TEST_F(DifferentialTest, RandomizedFaultOffsetsNeverYieldWrongCounts) {
       ASSERT_EQ(sink.count(), oracle);
       ++completed;
     } else {
-      ASSERT_TRUE(s.IsIOError()) << s.ToString();
+      ASSERT_TRUE(s.IsUnavailable()) << s.ToString();
       ++faulted;
     }
   }
   // The offset range is tuned so the sweep exercises both outcomes.
   EXPECT_GT(completed, 0);
   EXPECT_GT(faulted, 0);
+}
+
+TEST_F(DifferentialTest, SeededFaultPlansNeverYieldWrongCounts) {
+  // FaultPlan-driven differential fuzzing: every trial runs under a
+  // distinct deterministic plan mixing transient errors, torn reads,
+  // and latency spikes. Transient plans must heal through the I/O
+  // retry path and still produce the exact count; persistent plans must
+  // surface the typed Unavailable. Any failure prints the one-line
+  // fault-plan spec — rerun it against the server with
+  //   opt_server --fault-plan "<spec>" --graph g=/path
+  // or feed it to FaultPlan::Parse in a unit test to reproduce.
+  CSRGraph g = MakeRmat(6);
+  const uint64_t oracle = testutil::OracleCount(g);
+  EdgeIteratorModel model;
+
+  Random64 rng(0x9E1A);
+  int healed = 0;
+  int degraded = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    FaultPlan plan;
+    plan.seed = 0xBEEF0000 + static_cast<uint64_t>(trial);
+    plan.read_error_p = 0.05 + 0.05 * static_cast<double>(rng.Uniform(4));
+    plan.transient = rng.Uniform(4) == 0 ? 0 : 1 + rng.Uniform(2);
+    plan.torn_read_p = rng.Uniform(2) == 0 ? 0.02 : 0.0;
+    plan.latency_p = rng.Uniform(2) == 0 ? 0.05 : 0.0;
+    plan.latency_us = 200;
+    plan.path_filter = ".pages";
+    SCOPED_TRACE("repro: --fault-plan \"" + plan.ToString() + "\"");
+
+    FaultInjectingEnv fenv(Env::Default(), plan);
+    fenv.set_enabled(false);  // build the store fault-free
+    auto store = testutil::MakeStore(
+        g, &fenv, "diff_plan_" + std::to_string(trial), 256);
+    fenv.set_enabled(true);
+
+    OptOptions options = MakeOptions(MakeSplits(*store)[0],
+                                     1 + rng.Uniform(3), true, true,
+                                     IntersectKernel::kAuto);
+    options.io_retry.backoff_base_micros = 20;  // keep trials brisk
+    // A location can fault on the error stream AND the torn stream; the
+    // budget must cover both transient runs plus the clean attempt.
+    options.io_retry.max_attempts = 2 * plan.transient + 1;
+    OptRunner runner(store.get(), &model, options);
+    CountingSink sink;
+    Status s = runner.Run(&sink, nullptr);
+    if (s.ok()) {
+      ASSERT_EQ(sink.count(), oracle)
+          << "wrong count under --fault-plan \"" << plan.ToString() << "\"";
+      ++healed;
+    } else {
+      ASSERT_TRUE(s.IsUnavailable()) << s.ToString();
+      ++degraded;
+    }
+    // Transient plans whose faults all healed within the retry budget
+    // must end with the exact count — a transient fault is not license
+    // for a wrong answer.
+    if (plan.transient != 0 && plan.transient <= 2 &&
+        options.io_retry.max_attempts > plan.transient) {
+      EXPECT_TRUE(s.ok()) << "transient plan should have healed: "
+                          << s.ToString();
+    }
+  }
+  EXPECT_GT(healed, 0);
 }
 
 }  // namespace

@@ -214,8 +214,8 @@ class FaultSweepTest : public ::testing::TestWithParam<int64_t> {};
 TEST_P(FaultSweepTest, FailureAtAnyPointIsCleanErrorOrCorrectResult) {
   // Inject an I/O failure after N successful reads, at several N: the
   // runner must either finish with the exact count (failure landed
-  // after the last read) or surface IOError — never hang, crash, or
-  // return a wrong count.
+  // after the last read) or surface the typed Unavailable — never hang,
+  // crash, or return a wrong count.
   CSRGraph g = MakeGraph(Gen::kRmat, 12);
   FaultInjectionEnv fenv(Env::Default());
   auto store = testutil::MakeStore(g, &fenv, "fault_sweep", 256);
@@ -235,7 +235,7 @@ TEST_P(FaultSweepTest, FailureAtAnyPointIsCleanErrorOrCorrectResult) {
   if (s.ok()) {
     EXPECT_EQ(sink.count(), oracle);
   } else {
-    EXPECT_TRUE(s.IsIOError()) << s.ToString();
+    EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
   }
 }
 

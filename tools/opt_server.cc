@@ -6,9 +6,13 @@
 //       [--graph name=/path/base ...] [--workers N] [--max_queue N]
 //       [--pool_pages N] [--default_pages N] [--default_threads N]
 //       [--no_cache] [--no_load_graph] [--slow_query_ms N]
+//       [--fault-plan SPEC]
 //       [--metrics-dump-interval SECONDS] [--trace-out /path.json]
 //
 // --port 0 binds an ephemeral port (printed on stdout, for scripts).
+// --fault-plan wraps the filesystem in a deterministic FaultInjectingEnv
+// for reproducible chaos runs, e.g.
+// --fault-plan "seed=42,read_error_p=0.02,transient=1,path_filter=.pages".
 // --metrics-dump-interval logs the metrics registry every N seconds.
 // --trace-out records Chrome trace_event JSON (open in Perfetto) for
 // the whole server lifetime and writes it at shutdown.
@@ -27,6 +31,7 @@
 
 #include "service/graph_registry.h"
 #include "service/query_scheduler.h"
+#include "storage/fault_env.h"
 #include "service/server.h"
 #include "util/cli.h"
 #include "util/logging.h"
@@ -73,10 +78,25 @@ class MetricsDumper {
 /// frame so every worker/connection thread has been joined — and can no
 /// longer emit trace events — by the time main() serializes the trace.
 int RunServer(const CommandLine& cl) {
+  Env* env = Env::Default();
+  std::unique_ptr<FaultInjectingEnv> fault_env;
+  if (cl.Has("fault-plan")) {
+    auto plan = FaultPlan::Parse(cl.GetString("fault-plan"));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    fault_env = std::make_unique<FaultInjectingEnv>(env, *plan);
+    env = fault_env.get();
+    std::fprintf(stderr, "fault injection armed: %s\n",
+                 plan->ToString().c_str());
+  }
+
   RegistryOptions registry_options;
   registry_options.min_pool_frames =
       static_cast<uint32_t>(cl.GetInt("pool_pages", 256));
-  GraphRegistry registry(Env::Default(), registry_options);
+  GraphRegistry registry(env, registry_options);
 
   SchedulerOptions scheduler_options;
   scheduler_options.workers =
