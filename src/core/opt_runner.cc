@@ -733,13 +733,16 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
   {
     std::lock_guard<std::mutex> lock(ctx.error_mutex);
     if (!ctx.first_error.ok()) {
-      // Unrecoverable page faults (retry budget exhausted, CRC still
-      // wrong, waiter timed out) degrade this query, not the process:
-      // the typed Unavailable tells the service layer the store is
-      // intact and a retry may succeed. Everything else — cancellation,
-      // planning errors, sink failures — keeps its own code.
-      if (ctx.first_error.IsIOError() || ctx.first_error.IsCorruption() ||
-          ctx.first_error.IsUnavailable()) {
+      // Unrecoverable *device* faults (retry budget exhausted on EIO,
+      // waiter timed out) degrade this query, not the process: the
+      // typed Unavailable tells the service layer the store is intact
+      // and a retry may succeed. Corruption is different — a page whose
+      // CRC still fails after every reread is data damage, not device
+      // flakiness — so it keeps its code (VerifyAllPages locates it)
+      // instead of inviting clients to retry forever against a damaged
+      // store. Cancellation, planning errors, and sink failures keep
+      // their own codes too.
+      if (ctx.first_error.IsIOError() || ctx.first_error.IsUnavailable()) {
         return Status::Unavailable("triangulation degraded by I/O fault: " +
                                    ctx.first_error.ToString());
       }

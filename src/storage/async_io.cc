@@ -74,7 +74,27 @@ void AsyncIoEngine::Submit(ReadRequest request) {
   if (CurrentTraceRecorder() != nullptr) {
     TraceInstant("io", "io.submit", ReadArgsJson(request));
   }
-  submissions_.Push(std::move(request));
+  // The engine holds its own pin on every pool-backed frame until the
+  // worker has published it: even if every other pin drops first (a
+  // WaitValid timeout evicts the page and the waiters/submitter unpin),
+  // the frame cannot be recycled to another page while a worker still
+  // holds a raw pointer into it.
+  BufferPool* const pool = request.pool;
+  const std::vector<Frame*> frames = pool != nullptr
+                                         ? request.frames
+                                         : std::vector<Frame*>();
+  if (pool != nullptr) {
+    for (Frame* f : frames) pool->Pin(f);
+  }
+  if (!submissions_.Push(std::move(request))) {
+    // Shutdown raced the submit: the read will never run, so publish
+    // the failure (waiters must not hang on an unresolved miss) and
+    // drop the engine pins taken above.
+    for (Frame* f : frames) {
+      pool->MarkFailed(f);
+      pool->Unpin(f);
+    }
+  }
 }
 
 Status AsyncIoEngine::ReadPageWithRetry(const ReadRequest& request,
@@ -94,7 +114,15 @@ Status AsyncIoEngine::ReadPageWithRetry(const ReadRequest& request,
                                      : request.file->page_size();
       status = PageView(request.frames[index]->data, page_size).Validate(pid);
     }
-    if (status.ok() || !IsRetryable(status)) return status;
+    if (status.ok()) return status;
+    if (!IsRetryable(status)) {
+      // Non-retryable errors (OutOfRange, InvalidArgument, ...) are
+      // caller bugs, but they are still failed page reads: count them
+      // in read_errors. No giveups — no retry budget was spent.
+      stats_.read_errors.fetch_add(1, std::memory_order_relaxed);
+      GlobalIoCounters().read_errors->Increment();
+      return status;
+    }
     if (attempt >= retry_.max_attempts) break;
     const uint32_t sleep_us =
         JitteredBackoff(backoff, pid, attempt);
@@ -148,6 +176,14 @@ void AsyncIoEngine::WorkerLoop() {
       // frame of this request wake with an error instead of hanging.
       for (uint32_t i = done; i < request.page_count; ++i) {
         request.pool->MarkFailed(request.frames[i]);
+      }
+    }
+    if (request.pool != nullptr) {
+      // Every frame is published; release the engine pins taken at
+      // Submit. Frames abandoned by all other pinners (WaitValid
+      // timeout eviction) reclaim here through Unpin's orphan path.
+      for (uint32_t i = 0; i < request.page_count; ++i) {
+        request.pool->Unpin(request.frames[i]);
       }
     }
     auto callback = std::move(request.callback);

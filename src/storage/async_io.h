@@ -97,7 +97,11 @@ struct ReadRequest {
   /// the page CRC if `validate` — via MarkValid/MarkFailed *before*
   /// queueing the completion. Required when `frames` live in a pool
   /// shared with concurrent queries: their WaitValid() must never depend
-  /// on this query draining its completion queue.
+  /// on this query draining its completion queue. The engine also holds
+  /// its own pin on each frame from Submit until publication, so a
+  /// frame whose page was evicted by a WaitValid timeout (and whose
+  /// other pins all dropped) can never be recycled to a different page
+  /// while the worker still writes into it.
   BufferPool* pool = nullptr;
   bool validate = false;
   uint32_t page_size = 0;  // for validation; defaults to file page size
@@ -106,8 +110,9 @@ struct ReadRequest {
 struct AsyncIoStats {
   std::atomic<uint64_t> requests{0};
   std::atomic<uint64_t> pages_read{0};
-  /// Final failures only (a page whose retry budget ran out); each also
-  /// counts one `giveups`. Individual failed attempts count `retries`.
+  /// Final failures only: a page whose retry budget ran out (each also
+  /// counts one `giveups`) or a non-retryable error (OutOfRange,
+  /// InvalidArgument, ...). Individual failed attempts count `retries`.
   std::atomic<uint64_t> read_errors{0};
   std::atomic<uint64_t> retries{0};
   std::atomic<uint64_t> giveups{0};

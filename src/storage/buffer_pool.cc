@@ -201,9 +201,12 @@ Status BufferPool::WaitValid(Frame* frame, uint64_t timeout_millis) {
   } else if (!valid_cv_.wait_for(
                  lock, std::chrono::milliseconds(timeout_millis), ready)) {
     // The reader that owned this page never published a verdict (worker
-    // died, deadlock upstream). Evict the page so the wedged frame stops
-    // attracting new waiters; the frame itself is reclaimed by Unpin's
-    // orphan path once every current pin drops.
+    // died, deadlock upstream — or is merely slow). Evict the page so
+    // the wedged frame stops attracting new waiters; the frame itself
+    // is reclaimed by Unpin's orphan path once every current pin drops.
+    // A merely-slow read stays safe because the AsyncIoEngine holds its
+    // own pin on the frame until publication: the worst case of a
+    // premature timeout is one duplicate read, never a recycled frame.
     const uint32_t pid = PageKeyPid(frame->key);
     auto it = page_table_.find(frame->key);
     if (it != page_table_.end() && it->second == frame->index) {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -81,36 +83,61 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
     }
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
+    if (key == "path_filter") {
+      plan.path_filter = value;
+      continue;
+    }
     char* end = nullptr;
     errno = 0;
-    const double num =
-        key == "path_filter" ? 0 : std::strtod(value.c_str(), &end);
-    if (key != "path_filter" &&
-        (errno != 0 || end == value.c_str() || *end != '\0')) {
-      return ParseError("non-numeric value for '" + key + "': " + value);
-    }
-    if (key == "seed") {
-      plan.seed = static_cast<uint64_t>(num);
-    } else if (key == "read_error_p") {
-      plan.read_error_p = num;
-    } else if (key == "transient") {
-      plan.transient = static_cast<uint32_t>(num);
-    } else if (key == "torn_read_p") {
-      plan.torn_read_p = num;
-    } else if (key == "latency_p") {
-      plan.latency_p = num;
-    } else if (key == "latency_us") {
-      plan.latency_us = static_cast<uint32_t>(num);
+    const auto consumed = [&] {
+      return errno == 0 && end != value.c_str() && *end == '\0';
+    };
+    if (key == "read_error_p" || key == "torn_read_p" ||
+        key == "latency_p") {
+      const double p = std::strtod(value.c_str(), &end);
+      if (!consumed()) {
+        return ParseError("non-numeric value for '" + key + "': " + value);
+      }
+      if (key == "read_error_p") {
+        plan.read_error_p = p;
+      } else if (key == "torn_read_p") {
+        plan.torn_read_p = p;
+      } else {
+        plan.latency_p = p;
+      }
     } else if (key == "fail_reads_after") {
-      plan.fail_reads_after = static_cast<int64_t>(num);
-    } else if (key == "write_fail_after") {
-      plan.write_fail_after = static_cast<uint64_t>(num);
-    } else if (key == "silent_write_loss") {
-      plan.silent_write_loss = num != 0;
-    } else if (key == "path_filter") {
-      plan.path_filter = value;
+      const long long n = std::strtoll(value.c_str(), &end, 10);
+      if (!consumed()) {
+        return ParseError("non-numeric value for '" + key + "': " + value);
+      }
+      plan.fail_reads_after = n;
     } else {
-      return ParseError("unknown key '" + key + "'");
+      // Unsigned integer keys. Full 64-bit precision matters: a strtod
+      // round-trip would silently change seeds above 2^53, and strtoull
+      // happily wraps "-1", so the sign is rejected up front.
+      if (!value.empty() && (value[0] == '-' || value[0] == '+')) {
+        return ParseError("'" + key + "' must be a non-negative integer, "
+                          "got " + value);
+      }
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (!consumed()) {
+        return ParseError("non-numeric value for '" + key + "': " + value);
+      }
+      if (key == "seed") {
+        plan.seed = n;
+      } else if (key == "transient") {
+        if (n > UINT32_MAX) return ParseError("'transient' out of range");
+        plan.transient = static_cast<uint32_t>(n);
+      } else if (key == "latency_us") {
+        if (n > UINT32_MAX) return ParseError("'latency_us' out of range");
+        plan.latency_us = static_cast<uint32_t>(n);
+      } else if (key == "write_fail_after") {
+        plan.write_fail_after = n;
+      } else if (key == "silent_write_loss") {
+        plan.silent_write_loss = n != 0;
+      } else {
+        return ParseError("unknown key '" + key + "'");
+      }
     }
   }
   for (const double p :
@@ -122,6 +149,9 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
 
 std::string FaultPlan::ToString() const {
   std::ostringstream out;
+  // max_digits10 makes the probability round-trip exact: a fuzzed plan's
+  // printed repro line must Parse() back to the identical plan.
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << "seed=" << seed;
   const auto put_p = [&out](const char* key, double p) {
     if (p > 0) out << ',' << key << '=' << p;

@@ -22,10 +22,12 @@
 #include "graph/csr_graph.h"
 #include "service/graph_registry.h"
 #include "service/query_scheduler.h"
+#include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/env.h"
 #include "storage/fault_env.h"
 #include "storage/graph_store.h"
+#include "storage/page_file.h"
 #include "test_helpers.h"
 #include "util/metrics.h"
 
@@ -67,6 +69,54 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_FALSE(FaultPlan::Parse("=3").ok());
   EXPECT_FALSE(FaultPlan::Parse("seed").ok());
   EXPECT_TRUE(FaultPlan::Parse("").ok());  // all defaults
+}
+
+TEST(FaultPlan, IntegerFieldsKeepFull64BitPrecision) {
+  // seed and write_fail_after are uint64: a strtod parse would silently
+  // change values above 2^53, so a 64-bit seed printed by ToString()
+  // would replay a different plan.
+  auto plan = FaultPlan::Parse(
+      "seed=18446744073709551615,write_fail_after=9007199254740993");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->seed, 18446744073709551615ull);
+  EXPECT_EQ(plan->write_fail_after, 9007199254740993ull);  // 2^53 + 1
+  auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->seed, plan->seed);
+  EXPECT_EQ(reparsed->write_fail_after, plan->write_fail_after);
+}
+
+TEST(FaultPlan, RejectsNegativeUnsignedFields) {
+  // A negative double cast to an unsigned type is UB; the parser must
+  // reject the sign outright rather than wrap or misbehave.
+  EXPECT_FALSE(FaultPlan::Parse("seed=-5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("transient=-1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("write_fail_after=-1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("latency_us=-200").ok());
+  EXPECT_FALSE(FaultPlan::Parse("transient=4294967296").ok());  // > uint32
+  // fail_reads_after is signed; -1 is its documented "disarmed" value.
+  auto plan = FaultPlan::Parse("fail_reads_after=-1");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->fail_reads_after, -1);
+}
+
+TEST(FaultPlan, ProbabilitiesRoundTripBitExactly) {
+  // The repro contract is exact: a fuzzed plan's printed spec must
+  // parse back to the identical plan, including probabilities that are
+  // not exactly representable in 6 significant digits.
+  FaultPlan plan;
+  plan.seed = 0x9E3779B97F4A7C15ull;
+  plan.read_error_p = 0.1;
+  plan.torn_read_p = 1.0 / 3.0;
+  plan.latency_p = 0.05;
+  plan.latency_us = 123;
+  auto reparsed = FaultPlan::Parse(plan.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->seed, plan.seed);
+  EXPECT_EQ(reparsed->read_error_p, plan.read_error_p);
+  EXPECT_EQ(reparsed->torn_read_p, plan.torn_read_p);
+  EXPECT_EQ(reparsed->latency_p, plan.latency_p);
+  EXPECT_EQ(reparsed->ToString(), plan.ToString());
 }
 
 // ---------------------------------------------------------------------
@@ -361,6 +411,83 @@ TEST(BufferPoolFaults, WaitValidStillReturnsPromptlyOnLatePublish) {
   publisher.join();
   EXPECT_TRUE(w.ok()) << w.ToString();
   pool.Unpin(frame);
+}
+
+TEST(BufferPoolFaults, InFlightFrameIsNotRecycledAfterWaiterTimeout) {
+  // Regression: WaitValid's timeout evicts the page so fresh fetches
+  // re-read it, but nothing distinguishes a dead reader from a merely
+  // slow one (queueing + backoff can exceed any timeout). If the
+  // abandoning pins were the last ones, the frame would return to the
+  // free list while the I/O worker still writes into it, and the late
+  // MarkValid would publish another page's frame with the wrong bytes.
+  // The engine's own pin — held from Submit to publication — must keep
+  // the frame out of circulation: with a 1-frame pool, allocation fails
+  // until the slow read actually completes.
+  Env* base = Env::Default();
+  const std::string path =
+      testutil::ProcessTempDir() + "/inflight_pin.pages";
+  {
+    auto writer = PageFileWriter::Create(base, path, 256);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    std::vector<char> page(256, 'z');
+    ASSERT_TRUE((*writer)->Append(page.data()).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  // Every read stalls half a second: plenty of room for the waiter to
+  // time out and abandon while the read is genuinely in flight.
+  auto plan = FaultPlan::Parse("seed=1,latency_p=1,latency_us=500000");
+  ASSERT_TRUE(plan.ok());
+  FaultInjectingEnv fenv(base, *plan);
+  auto file = PageFile::Open(&fenv, path, 256);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+
+  BufferPool pool(256, 1);
+  AsyncIoEngine engine(1);
+  CompletionQueue queue;
+  const PageKey key = MakePageKey(0, 0);
+  auto owned = pool.AllocateForRead(key);
+  ASSERT_TRUE(owned.ok());
+  Frame* frame = *owned;
+
+  Status read_status = Status::Internal("callback never ran");
+  ReadRequest request;
+  request.file = file->get();
+  request.first_pid = 0;
+  request.page_count = 1;
+  request.frames = {frame};
+  request.completion_queue = &queue;
+  request.pool = &pool;
+  request.callback = [&](const Status& s) { read_status = s; };
+  engine.Submit(std::move(request));
+
+  // A concurrent query waits briefly, gives up, and abandons its pin;
+  // the submitter's error path then unpins too.
+  auto waiter = pool.Fetch(key);
+  ASSERT_TRUE(waiter.ok());
+  ASSERT_EQ(waiter->outcome, BufferPool::FetchOutcome::kInFlight);
+  EXPECT_TRUE(pool.WaitValid(waiter->frame, 20).IsUnavailable());
+  pool.Unpin(waiter->frame);
+  pool.Unpin(frame);
+
+  // The engine pin is now the only one left; the frame must not be
+  // allocatable to another page while the read is still in flight.
+  EXPECT_EQ(pool.Fetch(MakePageKey(0, 1)).status().code(),
+            StatusCode::kResourceExhausted);
+
+  // Once the read completes (publication, then the engine unpin, then
+  // the completion), the frame is reclaimable again.
+  while (true) {
+    if (auto task = queue.PopFor(1000000)) {
+      (*task)();
+      break;
+    }
+  }
+  EXPECT_TRUE(read_status.ok()) << read_status.ToString();
+  auto refetch = pool.Fetch(MakePageKey(0, 1));
+  ASSERT_TRUE(refetch.ok()) << refetch.status().ToString();
+  EXPECT_EQ(refetch->outcome, BufferPool::FetchOutcome::kMiss);
+  pool.MarkValid(refetch->frame);
+  pool.Unpin(refetch->frame);
 }
 
 // ---------------------------------------------------------------------
