@@ -1,8 +1,13 @@
 // Ablation: the two-level overlap machinery. Sweeps (a) the async-read
 // queue depth (micro-level overlap: how much external I/O hides behind
-// CPU) and (b) the m_in : m_ex buffer split (the paper picks 50:50 "to
-// maximize the buffering effect", §5.1).
+// CPU), (b) the m_in : m_ex buffer split (the paper picks 50:50 "to
+// maximize the buffering effect", §5.1), (c) the external load order,
+// and (d) the sampled overlap profile + cost-model residual, emitted as
+// machine-readable JSON (see --json_out) so CI can track the overlap
+// fractions and the profiler's own overhead across commits.
 #include "bench_common.h"
+
+#include <fstream>
 
 #include "core/iterator_model.h"
 #include "core/opt_runner.h"
@@ -16,17 +21,32 @@ namespace {
 struct RunMetrics {
   double seconds = 0;
   uint64_t saved_pages = 0;
+  OptRunStats stats;
 };
 
-Result<RunMetrics> RunOnce(GraphStore* store, uint32_t m_in, uint32_t m_ex,
-                           uint32_t queue_depth, bool backward = true) {
+struct RunConfig {
+  uint32_t m_in = 0;
+  uint32_t m_ex = 0;
+  uint32_t queue_depth = 16;
+  bool backward = true;
+  bool macro_overlap = false;  // OPT_serial isolates the micro level
+  bool thread_morphing = false;
+  uint32_t num_threads = 1;
+  bool profile = false;
+  uint64_t profile_period_micros = 250;  // bench runs are short
+};
+
+Result<RunMetrics> RunOnce(GraphStore* store, const RunConfig& config) {
   OptOptions options;
-  options.m_in = std::max(m_in, store->MaxRecordPages());
-  options.m_ex = std::max(1u, m_ex);
-  options.macro_overlap = false;  // OPT_serial isolates the micro level
-  options.thread_morphing = false;
-  options.io_queue_depth = queue_depth;
-  options.backward_external_order = backward;
+  options.m_in = std::max(config.m_in, store->MaxRecordPages());
+  options.m_ex = std::max(1u, config.m_ex);
+  options.macro_overlap = config.macro_overlap;
+  options.thread_morphing = config.thread_morphing;
+  options.num_threads = config.num_threads;
+  options.io_queue_depth = config.queue_depth;
+  options.backward_external_order = config.backward;
+  options.profile = config.profile;
+  options.profile_period_micros = config.profile_period_micros;
   EdgeIteratorModel model;
   OptRunner runner(store, &model, options);
   CountingSink sink;
@@ -36,7 +56,38 @@ Result<RunMetrics> RunOnce(GraphStore* store, uint32_t m_in, uint32_t m_ex,
   RunMetrics metrics;
   metrics.seconds = watch.ElapsedSeconds();
   metrics.saved_pages = stats.internal_cache_hits + stats.external_cache_hits;
+  metrics.stats = stats;
   return metrics;
+}
+
+/// One profiled configuration as a JSON object (no trailing newline).
+std::string OverlapJson(const char* config, const RunMetrics& off,
+                        const RunMetrics& on) {
+  const OverlapReport& r = on.stats.overlap;
+  const double overhead =
+      off.seconds > 0 ? (on.seconds - off.seconds) / off.seconds : 0.0;
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"config\":\"%s\",\"seconds\":%.6f,\"seconds_unprofiled\":%.6f,"
+      "\"profiler_overhead_frac\":%.6f,\"samples\":%llu,"
+      "\"micro_overlap\":%.4f,\"macro_overlap\":%.4f,"
+      "\"stalled_samples\":%llu,\"morph_events\":%llu,"
+      "\"cost_c_seconds_per_page\":%.8g,\"delta_in_pages\":%llu,"
+      "\"delta_ex_pages\":%llu,\"cost_ideal_seconds\":%.6f,"
+      "\"cost_predicted_seconds\":%.6f,\"cost_measured_seconds\":%.6f,"
+      "\"cost_residual_seconds\":%.6f}",
+      config, on.seconds, off.seconds, overhead,
+      static_cast<unsigned long long>(r.samples),
+      r.MicroOverlapFraction(), r.MacroOverlapFraction(),
+      static_cast<unsigned long long>(r.stalled_samples),
+      static_cast<unsigned long long>(r.morph_events),
+      r.cost.c_seconds_per_page,
+      static_cast<unsigned long long>(r.cost.delta_in_pages),
+      static_cast<unsigned long long>(r.cost.delta_ex_pages),
+      r.cost.ideal_seconds, r.cost.predicted_seconds,
+      r.cost.measured_seconds, r.cost.residual_seconds);
+  return buf;
 }
 
 }  // namespace
@@ -59,7 +110,11 @@ int main(int argc, char** argv) {
   std::printf("\n(a) OPT_serial elapsed vs emulated SSD queue depth\n");
   TablePrinter depth_table({"queue depth", "elapsed (s)"});
   for (uint32_t depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    auto seconds = RunOnce(store->get(), budget / 2, budget / 2, depth);
+    RunConfig config;
+    config.m_in = budget / 2;
+    config.m_ex = budget / 2;
+    config.queue_depth = depth;
+    auto seconds = RunOnce(store->get(), config);
     if (!seconds.ok()) {
       std::fprintf(stderr, "%s\n", seconds.status().ToString().c_str());
       return 1;
@@ -75,9 +130,10 @@ int main(int argc, char** argv) {
   std::printf("\n(b) OPT_serial elapsed vs m_in share of the budget\n");
   TablePrinter split_table({"m_in : m_ex", "elapsed (s)"});
   for (uint32_t in_pct : {25u, 50u, 75u}) {
-    const uint32_t m_in = std::max(1u, budget * in_pct / 100);
-    const uint32_t m_ex = std::max(1u, budget - m_in);
-    auto seconds = RunOnce(store->get(), m_in, m_ex, 16);
+    RunConfig config;
+    config.m_in = std::max(1u, budget * in_pct / 100);
+    config.m_ex = std::max(1u, budget - config.m_in);
+    auto seconds = RunOnce(store->get(), config);
     if (!seconds.ok()) {
       std::fprintf(stderr, "%s\n", seconds.status().ToString().c_str());
       return 1;
@@ -94,8 +150,11 @@ int main(int argc, char** argv) {
   std::printf("\n(c) external load order: backward (paper) vs ascending\n");
   TablePrinter order_table({"order", "elapsed (s)", "saved page reads"});
   for (bool backward : {true, false}) {
-    auto metrics =
-        RunOnce(store->get(), budget / 2, budget / 2, 16, backward);
+    RunConfig config;
+    config.m_in = budget / 2;
+    config.m_ex = budget / 2;
+    config.backward = backward;
+    auto metrics = RunOnce(store->get(), config);
     if (!metrics.ok()) {
       std::fprintf(stderr, "%s\n", metrics.status().ToString().c_str());
       return 1;
@@ -108,5 +167,84 @@ int main(int argc, char** argv) {
   std::printf("Expected (§3.2/§3.3): the backward order leaves the pages "
               "adjacent to the internal area hot in the pool, so the next "
               "iteration's fill saves reads (the Δin term).\n");
+
+  std::printf("\n(d) sampled overlap profile + cost-model residual\n");
+  struct NamedConfig {
+    const char* name;
+    bool macro_overlap;
+    bool thread_morphing;
+    uint32_t num_threads;
+  };
+  const NamedConfig profiled[] = {
+      {"opt_serial", false, false, 1},
+      {"opt_full", true, true, std::max(2u, ctx.threads)},
+  };
+  TablePrinter overlap_table({"config", "elapsed (s)", "micro %", "macro %",
+                              "morphs", "residual (s)", "overhead %"});
+  std::vector<std::string> json_lines;
+  for (const NamedConfig& named : profiled) {
+    RunConfig config;
+    config.m_in = budget / 2;
+    config.m_ex = budget / 2;
+    config.macro_overlap = named.macro_overlap;
+    config.thread_morphing = named.thread_morphing;
+    config.num_threads = named.num_threads;
+    // Best-of-3 per variant: single runs are ~100 ms here and scheduler
+    // noise swamps the profiler's real cost; the min-vs-min delta is
+    // what actually measures the sampler.
+    auto best_of = [&](bool profile) -> Result<RunMetrics> {
+      config.profile = profile;
+      Result<RunMetrics> best = RunOnce(store->get(), config);
+      for (int rep = 1; rep < 3 && best.ok(); ++rep) {
+        Result<RunMetrics> next = RunOnce(store->get(), config);
+        if (!next.ok()) return next;
+        if (next->seconds < best->seconds) best = next;
+      }
+      return best;
+    };
+    auto off = best_of(false);  // unprofiled baseline
+    auto on = best_of(true);
+    if (!off.ok() || !on.ok()) {
+      const Status& s = off.ok() ? on.status() : off.status();
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    const OverlapReport& report = on->stats.overlap;
+    overlap_table.AddRow(
+        {named.name, bench::Secs(on->seconds),
+         TablePrinter::Fmt(100.0 * report.MicroOverlapFraction(), 1),
+         TablePrinter::Fmt(100.0 * report.MacroOverlapFraction(), 1),
+         TablePrinter::Fmt(report.morph_events),
+         bench::Secs(report.cost.residual_seconds),
+         TablePrinter::Fmt(
+             off->seconds > 0
+                 ? 100.0 * (on->seconds - off->seconds) / off->seconds
+                 : 0.0,
+             1)});
+    json_lines.push_back(OverlapJson(named.name, *off, *on));
+  }
+  overlap_table.Print();
+  std::printf("Expected: micro overlap well above zero in both configs, "
+              "macro overlap only in opt_full, and profiler overhead "
+              "within noise (≤ ~2%%). The residual is measured − "
+              "predicted where the prediction is the §3.3 *serial* cost "
+              "Cost(ideal) + c(Δex − Δin): a negative residual is the "
+              "overlap machinery beating the serial model — the win the "
+              "paper claims — and a residual near zero means no "
+              "overlap happened.\n");
+  std::printf("\nJSON:\n");
+  for (const std::string& line : json_lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  // --json_out: the same objects as a JSON array, for CI artifacts.
+  auto cl = CommandLine::Parse(argc, argv);
+  if (cl.ok() && cl->Has("json_out")) {
+    std::ofstream out(cl->GetString("json_out"));
+    out << "[\n";
+    for (size_t i = 0; i < json_lines.size(); ++i) {
+      out << "  " << json_lines[i] << (i + 1 < json_lines.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+  }
   return 0;
 }

@@ -6,8 +6,11 @@
 // Reported per worker count: queries/sec, mean and p50/p95/p99 latency
 // (per-client histograms merged after the wave), shared-pool hit rate,
 // and how many queries were answered without a fresh run (coalesced /
-// cached). One JSON line per configuration on stdout (prefix "JSON ")
-// for trend tracking; see EXPERIMENTS.md.
+// cached). One query per wave (client 0's first) runs with the overlap
+// profiler on, so each JSON line also carries the micro/macro overlap
+// fractions and the §3.3 cost-model residual observed while the wave
+// contends for the shared pool. One JSON line per configuration on
+// stdout (prefix "JSON ") for trend tracking; see EXPERIMENTS.md.
 //
 //   bench_service_throughput [--clients N] [--queries_per_client N]
 //       [--pages N] [--no_cache] + the common flags (bench_common.h)
@@ -20,6 +23,7 @@
 
 #include "bench_common.h"
 #include "gen/erdos_renyi.h"
+#include "obs/overlap_profiler.h"
 #include "service/graph_registry.h"
 #include "service/query_scheduler.h"
 #include "storage/buffer_pool.h"
@@ -40,6 +44,9 @@ struct RunResult {
   HistogramSnapshot latency_us;  // per-query wall time, microseconds
   SchedulerStats stats;
   PoolStatsSnapshot pool;
+  // From the wave's single profiled query (client 0's first).
+  bool profiled = false;
+  OverlapReport overlap;
 };
 
 RunResult RunWave(Env* env, const std::vector<std::string>& store_paths,
@@ -81,9 +88,19 @@ RunResult RunWave(Env* env, const std::vector<std::string>& store_paths,
         // coalesce or hit the cache while the rest are distinct runs.
         spec.graph = names[(c / 2 + q) % names.size()];
         spec.memory_pages = pages + (c / 2) * queries_per_client + q;
+        // One profiled query per wave: it executes fresh (profiled
+        // queries never coalesce or hit the cache) while the other
+        // clients load the shared pool, so its overlap report reflects
+        // the contended configuration.
+        const bool profile_this = c == 0 && q == 0;
+        spec.profile = profile_this;
         const auto q0 = std::chrono::steady_clock::now();
         const QueryResult answer = scheduler.Run(spec);
         const auto q1 = std::chrono::steady_clock::now();
+        if (profile_this && answer.profiled) {
+          result.profiled = true;  // only client 0 writes these
+          result.overlap = answer.overlap;
+        }
         const double query_seconds =
             std::chrono::duration<double>(q1 - q0).count();
         latencies[c] += query_seconds;
@@ -178,14 +195,22 @@ int main(int argc, char** argv) {
         "\"p95_latency_ms\":%.3f,\"p99_latency_ms\":%.3f,"
         "\"pool_hit_rate\":%.4f,"
         "\"executed\":%llu,\"coalesced\":%llu,\"cache_hits\":%llu,"
-        "\"errors\":%llu}\n",
+        "\"errors\":%llu,"
+        "\"profiled\":%s,\"micro_overlap\":%.4f,\"macro_overlap\":%.4f,"
+        "\"overlap_samples\":%llu,\"morph_events\":%llu,"
+        "\"cost_residual_seconds\":%.6f}\n",
         workers, clients,
         static_cast<unsigned long long>(r.queries), qps, mean_latency_ms,
         p50_ms, p95_ms, p99_ms,
         hit_rate, static_cast<unsigned long long>(r.stats.executed),
         static_cast<unsigned long long>(r.stats.coalesced),
         static_cast<unsigned long long>(r.stats.cache_hits),
-        static_cast<unsigned long long>(r.errors));
+        static_cast<unsigned long long>(r.errors),
+        r.profiled ? "true" : "false",
+        r.overlap.MicroOverlapFraction(), r.overlap.MacroOverlapFraction(),
+        static_cast<unsigned long long>(r.overlap.samples),
+        static_cast<unsigned long long>(r.overlap.morph_events),
+        r.overlap.cost.residual_seconds);
     if (r.errors != 0) return 1;
   }
   table.Print();

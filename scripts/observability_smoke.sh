@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # End-to-end observability smoke test: starts opt_server with metrics
-# dumping and tracing enabled, runs COUNT + STATS through opt_client,
-# and asserts that (a) the STATS exposition carries the core registry
-# counters and latency percentiles, and (b) the shutdown trace file is
-# Chrome trace_event JSON containing OPT phase spans.
+# dumping, tracing, and profile logging enabled, runs COUNT + STATS +
+# PROFILE through opt_client, and asserts that (a) the STATS exposition
+# carries the core registry counters and latency percentiles, (b) the
+# PROFILE reply reports non-zero micro overlap (CPU really did run
+# while reads were in flight) plus a cost-model residual, and the
+# server appended the run to --profile-out, and (c) the shutdown trace
+# file is Chrome trace_event JSON containing OPT phase spans and the
+# profiler's overlap counter tracks.
 #
 #   scripts/observability_smoke.sh [BUILD_DIR]    (default: build)
 set -euo pipefail
@@ -40,6 +44,7 @@ echo "== starting opt_server (metrics dump + tracing on)"
 OPT_LOG_LEVEL=info "$BUILD_DIR/tools/opt_server" --unix "$SOCK" \
   --graph "smoke=$WORK_DIR/g" --workers 2 --default_pages 8 \
   --metrics-dump-interval 1 --trace-out "$TRACE" \
+  --profile-out "$WORK_DIR/profiles.jsonl" \
   > "$WORK_DIR/server.out" 2> "$WORK_DIR/server.err" &
 SERVER_PID=$!
 
@@ -48,6 +53,32 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 [[ -S "$SOCK" ]] || { echo "server did not come up"; cat "$WORK_DIR/server.err"; exit 1; }
+
+# PROFILE goes first, while the shared pool is still cold: a warmed
+# pool serves every external page from memory, the run does no real
+# reads, and micro overlap is legitimately zero — not what we want to
+# assert.
+echo "== PROFILE"
+PROFILE="$("$BUILD_DIR/tools/opt_client" --unix "$SOCK" --op profile --graph smoke)"
+echo "$PROFILE"
+
+MICRO="$(sed -n 's/.*micro (CPU busy while reads in flight): \([0-9.]*\)%.*/\1/p' <<< "$PROFILE")"
+[[ -n "$MICRO" ]] || { echo "FAIL: PROFILE output missing the micro-overlap line" >&2; exit 1; }
+python3 - "$MICRO" <<'EOF'
+import sys
+micro = float(sys.argv[1])
+if not 0.0 < micro <= 100.0:
+    sys.exit(f"FAIL: micro overlap {micro}% not in (0, 100] — "
+             "the profiled run never had CPU and in-flight reads together")
+print(f"micro overlap {micro}% OK")
+EOF
+grep -qF "residual:" <<< "$PROFILE" || {
+  echo "FAIL: PROFILE output missing the cost-model residual" >&2; exit 1; }
+
+[[ -s "$WORK_DIR/profiles.jsonl" ]] || {
+  echo "FAIL: --profile-out got no profile line" >&2; exit 1; }
+grep -qF '"micro_overlap"' "$WORK_DIR/profiles.jsonl" || {
+  echo "FAIL: --profile-out line missing micro_overlap" >&2; exit 1; }
 
 echo "== COUNT"
 "$BUILD_DIR/tools/opt_client" --unix "$SOCK" --op count --graph smoke
@@ -93,11 +124,16 @@ with open(sys.argv[1]) as f:
 events = trace["traceEvents"]
 names = {e["name"] for e in events}
 required = {"opt.run", "phaseA.load", "internal.main", "external.chunk",
-            "morph.to_external", "query.execute"}
+            "morph.to_external", "query.execute",
+            # Counter tracks sampled by the overlap profiler during the
+            # PROFILE query.
+            "overlap.cpu_roles", "overlap.io_inflight"}
 missing = required - names
 if missing:
     sys.exit(f"FAIL: trace missing spans {sorted(missing)}; has {sorted(names)}")
-print(f"trace OK: {len(events)} events, spans include {sorted(required)}")
+counters = sum(1 for e in events if e.get("ph") == "C")
+print(f"trace OK: {len(events)} events ({counters} counter samples), "
+      f"spans include {sorted(required)}")
 EOF
 
 echo "observability smoke: PASS"

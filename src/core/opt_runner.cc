@@ -72,6 +72,10 @@ struct RunContext {
   AsyncIoEngine* engine = nullptr;
   CompletionQueue completions;
 
+  // Observability hooks (both optional; null → no-ops).
+  OverlapProfiler* profiler = nullptr;
+  FlightRecorder* flight = nullptr;
+
   // Per-iteration state.
   IterationPlan plan;
   std::vector<Frame*> internal_frames;
@@ -119,9 +123,25 @@ struct RunContext {
   bool CheckCancel() {
     if (!aborted() && options.cancel != nullptr &&
         options.cancel->load(std::memory_order_relaxed)) {
+      if (flight != nullptr) flight->Record(FlightEventType::kCancel);
       RecordError(Status::Aborted("query cancelled"));
     }
     return aborted();
+  }
+
+  void RecordFetch(BufferPool::FetchOutcome outcome, uint32_t pid) {
+    if (flight == nullptr) return;
+    switch (outcome) {
+      case BufferPool::FetchOutcome::kHit:
+        flight->Record(FlightEventType::kFetchHit, pid);
+        break;
+      case BufferPool::FetchOutcome::kInFlight:
+        flight->Record(FlightEventType::kFetchInFlight, pid);
+        break;
+      case BufferPool::FetchOutcome::kMiss:
+        flight->Record(FlightEventType::kFetchMiss, pid);
+        break;
+    }
   }
 
   bool InternalDone() const {
@@ -153,6 +173,7 @@ void CollectCandidatesFromPage(RunContext* ctx, const char* data) {
 void ProcessInternalPage(RunContext* ctx, uint32_t page_index,
                          ModelScratch* scratch) {
   Stopwatch watch;
+  OverlapProfiler::SetWork(/*internal_work=*/true);
   if (!ctx->CheckCancel()) {
     PageView page(ctx->internal_page_data[page_index],
                   ctx->store->page_size());
@@ -228,15 +249,21 @@ void ProcessChunk(RunContext* ctx, Chunk chunk,
   // sharing the pool; their validity is published by that query's I/O
   // workers, never by our completion drain, so this wait always makes
   // progress.
+  OverlapProfiler::SetRole(ThreadRole::kIoWait);
   Status frames_ready;
-  for (Frame* f : frames) {
+  for (size_t i = 0; i < frames.size(); ++i) {
     frames_ready =
-        ctx->pool->WaitValid(f, ctx->options.io_wait_timeout_millis);
+        ctx->pool->WaitValid(frames[i], ctx->options.io_wait_timeout_millis);
     if (!frames_ready.ok()) {
+      if (ctx->flight != nullptr && frames_ready.IsUnavailable()) {
+        ctx->flight->Record(FlightEventType::kWaitTimeout,
+                            chunk.first_pid + static_cast<uint32_t>(i));
+      }
       ctx->RecordError(frames_ready);
       break;
     }
   }
+  OverlapProfiler::SetWork(/*internal_work=*/false);
   if (frames_ready.ok() && !ctx->CheckCancel()) {
     std::vector<const char*> data;
     data.reserve(frames.size());
@@ -248,6 +275,9 @@ void ProcessChunk(RunContext* ctx, Chunk chunk,
     } else {
       ModelScratch scratch;
       for (VertexId v : chunk.candidates) {
+        // Refresh the slot each candidate so a long chunk never trips
+        // the sampler's stall guard mid-CPU-burst.
+        OverlapProfiler::SetWork(/*internal_work=*/false);
         if (!view.HasFull(v)) {
           ctx->RecordError(Status::Corruption(
               "external candidate " + std::to_string(v) +
@@ -307,6 +337,7 @@ void SubmitChunk(RunContext* ctx, Chunk chunk) {
       return;
     }
     state->frames[i] = fetch->frame;
+    ctx->RecordFetch(fetch->outcome, pid);
     if (fetch->outcome == BufferPool::FetchOutcome::kMiss) {
       missing.push_back(i);
     } else {
@@ -340,6 +371,7 @@ void SubmitChunk(RunContext* ctx, Chunk chunk) {
     request.pool = ctx->pool;
     request.validate = ctx->options.validate_pages;
     request.page_size = ctx->store->page_size();
+    request.flight = ctx->flight;
     request.callback = [state](const Status& status) {
       RunContext* ctx = state->ctx;
       if (!status.ok()) ctx->RecordError(status);
@@ -370,10 +402,15 @@ void DrainExternal(RunContext* ctx, bool allow_morph,
         // First steal only: one marker per morph transition, not one
         // per stolen page.
         TraceInstant("morph", "morph.steal_internal");
+        if (ctx->profiler != nullptr) ctx->profiler->RecordMorph();
+        if (ctx->flight != nullptr) {
+          ctx->flight->Record(FlightEventType::kMorphStealInternal);
+        }
         morph_traced = true;
       }
       continue;
     }
+    OverlapProfiler::SetRole(ThreadRole::kIoWait);
     if (auto task = ctx->completions.PopFor(200)) (*task)();
   }
 }
@@ -382,6 +419,8 @@ void DrainExternal(RunContext* ctx, bool allow_morph,
 /// external triangulation first, then (if morphing) internal stealing.
 void CallbackRole(RunContext* ctx) {
   TraceSpan role_span("opt", "external.callback_role");
+  OverlapProfiler::ThreadScope profile_scope(ctx->profiler,
+                                             ThreadRole::kExternal);
   ModelScratch scratch;
   DrainExternal(ctx, ctx->options.thread_morphing, &scratch);
   if (ctx->options.thread_morphing) {
@@ -393,11 +432,19 @@ void CallbackRole(RunContext* ctx) {
 /// Extra workers prefer internal pages, then morph into callbacks.
 void FlexRole(RunContext* ctx) {
   TraceSpan role_span("opt", "internal.flex_role");
+  OverlapProfiler::ThreadScope profile_scope(ctx->profiler,
+                                             ThreadRole::kInternal);
   ModelScratch scratch;
   while (RunOneInternalUnit(ctx, &scratch)) {
   }
   if (ctx->options.thread_morphing) {
-    if (!ExternalDone(ctx)) TraceInstant("morph", "morph.to_external");
+    if (!ExternalDone(ctx)) {
+      TraceInstant("morph", "morph.to_external");
+      if (ctx->profiler != nullptr) ctx->profiler->RecordMorph();
+      if (ctx->flight != nullptr) {
+        ctx->flight->Record(FlightEventType::kMorphToExternal);
+      }
+    }
     DrainExternal(ctx, /*allow_morph=*/true, &scratch);
   }
 }
@@ -461,7 +508,19 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
   // Declaration order is load-bearing: the context (and its completion
   // queue) and the pool must outlive the engine, whose destructor joins
   // the I/O workers — a worker's completion push or frame publication
-  // may otherwise race their destruction at the end of Run().
+  // may otherwise race their destruction at the end of Run(). The
+  // profiler outlives every ThreadScope referencing it (helpers join in
+  // phase C; the main scope below is destroyed first).
+  std::optional<OverlapProfiler> profiler;
+  if (options_.profile) {
+    OverlapProfiler::Options profile_options;
+    profile_options.period_micros =
+        options_.profile_period_micros == 0 ? 1000
+                                            : options_.profile_period_micros;
+    profiler.emplace(profile_options);
+  }
+  OverlapProfiler::ThreadScope main_profile_scope(
+      profiler.has_value() ? &*profiler : nullptr, ThreadRole::kInternal);
   RunContext ctx;
   // m_in + m_ex frames as in the paper; grows per iteration only if a
   // merged chunk around spanning adjacency lists exceeds m_ex. A shared
@@ -483,6 +542,8 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
   ctx.pool = pool;
   ctx.owner = options_.shared_pool != nullptr ? options_.pool_owner : 0;
   ctx.engine = &engine;
+  ctx.profiler = profiler.has_value() ? &*profiler : nullptr;
+  ctx.flight = options_.flight;
 
   OptRunStats run_stats;
   const VertexId n = store_->num_vertices();
@@ -523,6 +584,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
       }
       Frame* f = fetch->frame;
       ctx.internal_frames[i] = f;
+      ctx.RecordFetch(fetch->outcome, pid);
       if (fetch->outcome == BufferPool::FetchOutcome::kMiss) {
         ctx.group_in.Add();
         ReadRequest request;
@@ -535,6 +597,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
         request.pool = pool;
         request.validate = options_.validate_pages;
         request.page_size = store_->page_size();
+        request.flight = ctx.flight;
         RunContext* pctx = &ctx;
         request.callback = [pctx, f](const Status& status) {
           if (!status.ok()) {
@@ -551,20 +614,30 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
       // concurrent query — the paper's Δin I/O saving either way.
       iter.internal_cache_hits++;
       if (fetch->outcome == BufferPool::FetchOutcome::kInFlight) {
+        OverlapProfiler::SetRole(ThreadRole::kIoWait);
         const Status w =
             pool->WaitValid(f, options_.io_wait_timeout_millis);
         if (!w.ok()) {
+          if (ctx.flight != nullptr && w.IsUnavailable()) {
+            ctx.flight->Record(FlightEventType::kWaitTimeout, pid);
+          }
           ctx.RecordError(w);
           break;
         }
       }
+      OverlapProfiler::SetWork(/*internal_work=*/true);
       CollectCandidatesFromPage(&ctx, f->data);
     }
     // The main thread drains completion callbacks while remaining reads
     // are in flight (micro-level overlap of load and candidate parsing).
     while (!ctx.group_in.Finished()) {
-      if (auto task = ctx.completions.PopFor(200)) (*task)();
+      OverlapProfiler::SetRole(ThreadRole::kIoWait);
+      if (auto task = ctx.completions.PopFor(200)) {
+        OverlapProfiler::SetWork(/*internal_work=*/true);
+        (*task)();
+      }
     }
+    OverlapProfiler::SetWork(/*internal_work=*/true);
     if (ctx.aborted()) {
       for (Frame* f : ctx.internal_frames) {
         if (f != nullptr) pool->Unpin(f);
@@ -679,9 +752,16 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
         }
       }
       if (options_.thread_morphing) {
-        if (!ExternalDone(&ctx)) TraceInstant("morph", "morph.to_external");
+        if (!ExternalDone(&ctx)) {
+          TraceInstant("morph", "morph.to_external");
+          if (ctx.profiler != nullptr) ctx.profiler->RecordMorph();
+          if (ctx.flight != nullptr) {
+            ctx.flight->Record(FlightEventType::kMorphToExternal);
+          }
+        }
         DrainExternal(&ctx, /*allow_morph=*/true, &scratch);
       }
+      OverlapProfiler::SetRole(ThreadRole::kIoWait);
       ctx.group_ex.Wait();
       for (auto& h : helpers) h.join();
     } else {
@@ -694,6 +774,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
         }
       }
       DrainExternal(&ctx, /*allow_morph=*/false, &scratch);
+      OverlapProfiler::SetRole(ThreadRole::kIoWait);
       ctx.group_ex.Wait();
     }
     phase_span.reset();
@@ -743,14 +824,57 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
       // store. Cancellation, planning errors, and sink failures keep
       // their own codes too.
       if (ctx.first_error.IsIOError() || ctx.first_error.IsUnavailable()) {
-        return Status::Unavailable("triangulation degraded by I/O fault: " +
-                                   ctx.first_error.ToString());
+        const Status degraded =
+            Status::Unavailable("triangulation degraded by I/O fault: " +
+                                ctx.first_error.ToString());
+        if (ctx.flight != nullptr) {
+          ctx.flight->Record(FlightEventType::kDegrade,
+                             static_cast<uint64_t>(degraded.code()));
+        }
+        return degraded;
       }
       return ctx.first_error;
     }
   }
   OPT_RETURN_IF_ERROR(sink->Finish());
   run_stats.elapsed_seconds = total_watch.ElapsedSeconds();
+  if (profiler.has_value()) {
+    profiler->Stop();
+    run_stats.profiled = true;
+    run_stats.overlap = profiler->Report();
+    // Fit the cost model (§3.3): c is the measured per-page read
+    // latency; Cost(ideal) is the run's CPU work plus one sequential
+    // pass over the internal areas; the prediction adds c(Δex − Δin)
+    // where Δin is pages the pool saved the internal fill and Δex is
+    // pages the external loads actually re-read.
+    const AsyncIoStats& io = engine.stats();
+    const uint64_t pages_read =
+        io.pages_read.load(std::memory_order_relaxed);
+    const double c =
+        pages_read == 0
+            ? 0.0
+            : static_cast<double>(
+                  io.read_micros.load(std::memory_order_relaxed)) *
+                  1e-6 / static_cast<double>(pages_read);
+    double cpu_seconds = 0;
+    for (const IterationStats& iter : run_stats.per_iteration) {
+      cpu_seconds += iter.internal_cpu_seconds + iter.external_cpu_seconds;
+    }
+    const uint64_t one_pass_pages =
+        run_stats.internal_pages_read + run_stats.internal_cache_hits;
+    OverlapCostModel& cost = run_stats.overlap.cost;
+    cost.c_seconds_per_page = c;
+    cost.delta_in_pages = run_stats.internal_cache_hits;
+    cost.delta_ex_pages = run_stats.external_pages_read;
+    cost.ideal_seconds =
+        cpu_seconds + c * static_cast<double>(one_pass_pages);
+    cost.predicted_seconds =
+        cost.ideal_seconds +
+        c * (static_cast<double>(cost.delta_ex_pages) -
+             static_cast<double>(cost.delta_in_pages));
+    cost.measured_seconds = run_stats.elapsed_seconds;
+    cost.residual_seconds = cost.measured_seconds - cost.predicted_seconds;
+  }
   if (stats != nullptr) *stats = std::move(run_stats);
   return Status::OK();
 }

@@ -16,6 +16,8 @@
 #include "core/iterator_model.h"
 #include "core/triangle_sink.h"
 #include "graph/intersect.h"
+#include "obs/flight_recorder.h"
+#include "obs/overlap_profiler.h"
 #include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/graph_store.h"
@@ -79,6 +81,16 @@ struct OptOptions {
   /// publishing MarkValid/MarkFailed costs this much wall time and a
   /// typed Unavailable instead of a hung query.
   uint64_t io_wait_timeout_millis = 10000;
+  /// Run the overlap profiler for this run: worker threads publish role
+  /// timelines, a sampler folds them into OptRunStats::overlap (macro /
+  /// micro overlap fractions, morph count, cost-model residual).
+  bool profile = false;
+  /// Sampling period of the profiler (ignored unless `profile`).
+  uint64_t profile_period_micros = 1000;
+  /// Optional per-query flight recorder: fetch outcomes, I/O retries,
+  /// morphs, degradation are recorded as structured events for
+  /// postmortems. Null disables. Must outlive the Run() call.
+  FlightRecorder* flight = nullptr;
 };
 
 /// Per-iteration instrumentation (Figure 4).
@@ -114,6 +126,10 @@ struct OptRunStats {
   /// Summed per-kernel intersection counters across iterations.
   IntersectCounters intersect;
   std::vector<IterationStats> per_iteration;
+  /// Filled when OptOptions::profile was set: sampled overlap fractions
+  /// plus the fitted cost-model residual (DESIGN.md §9).
+  bool profiled = false;
+  OverlapReport overlap;
 
   /// Measured parallel fraction p for Amdahl's law (Table 5).
   double ParallelFraction() const {

@@ -15,13 +15,6 @@ namespace opt {
 
 namespace {
 
-Status ErrorFromReply(const WireMessage& message) {
-  ErrorResult error;
-  const Status decode = DecodeError(message.payload, &error);
-  if (!decode.ok()) return decode;
-  return error.ToStatus();
-}
-
 Status UnexpectedReply(const WireMessage& message) {
   return Status::Corruption("unexpected reply type " +
                             std::to_string(static_cast<int>(message.type)));
@@ -99,7 +92,16 @@ void OptClient::Close() {
 
 Status OptClient::SendRequest(MessageType type, std::string_view payload) {
   if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  last_error_events_.clear();
   return WriteMessage(fd_, type, payload);
+}
+
+Status OptClient::ErrorFromReply(const WireMessage& message) {
+  ErrorResult error;
+  const Status decode = DecodeError(message.payload, &error);
+  if (!decode.ok()) return decode;
+  last_error_events_ = std::move(error.events);
+  return error.ToStatus();
 }
 
 Status OptClient::ReadReply(WireMessage* message) {
@@ -125,6 +127,26 @@ Result<CountResult> OptClient::Count(const std::string& graph,
   if (reply.type != MessageType::kCountResult) return UnexpectedReply(reply);
   CountResult result;
   OPT_RETURN_IF_ERROR(DecodeCountResult(reply.payload, &result));
+  return result;
+}
+
+Result<ProfileResult> OptClient::Profile(const std::string& graph,
+                                         const ClientQueryOptions& options) {
+  QueryRequest request;
+  request.graph = graph;
+  request.memory_pages = options.memory_pages;
+  request.num_threads = options.num_threads;
+  request.deadline_millis = options.deadline_millis;
+  OPT_RETURN_IF_ERROR(SendRequest(MessageType::kProfileRequest,
+                                  EncodeQueryRequest(request)));
+  WireMessage reply;
+  OPT_RETURN_IF_ERROR(ReadReply(&reply));
+  if (reply.type == MessageType::kError) return ErrorFromReply(reply);
+  if (reply.type != MessageType::kProfileResult) {
+    return UnexpectedReply(reply);
+  }
+  ProfileResult result;
+  OPT_RETURN_IF_ERROR(DecodeProfileResult(reply.payload, &result));
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "service/wire.h"
 #include "util/status.h"
@@ -38,6 +39,11 @@ class OptClient {
   Result<CountResult> Count(const std::string& graph,
                             const ClientQueryOptions& options = {});
 
+  /// PROFILE: COUNT with the overlap profiler on — answer plus overlap
+  /// fractions, role histogram, and the fitted cost model.
+  Result<ProfileResult> Profile(const std::string& graph,
+                                const ClientQueryOptions& options = {});
+
   /// LIST: `on_batch` is invoked for each streamed batch on the calling
   /// thread; returns the trailer (total count + seconds) on success.
   Result<ListEnd> List(
@@ -56,11 +62,23 @@ class OptClient {
 
   Status LoadGraph(const std::string& name, const std::string& base_path);
 
+  /// Flight-recorder tail from the most recent server ERROR reply on
+  /// this client (degraded queries ship their event log with the
+  /// error). Cleared at the start of every request; empty when the last
+  /// error carried no events or the last request succeeded.
+  const std::vector<FlightEvent>& last_error_events() const {
+    return last_error_events_;
+  }
+
  private:
   Status SendRequest(MessageType type, std::string_view payload);
   Status ReadReply(WireMessage* message);
+  /// Decodes an ERROR frame, stashing any event tail for
+  /// last_error_events().
+  Status ErrorFromReply(const WireMessage& message);
 
   int fd_ = -1;
+  std::vector<FlightEvent> last_error_events_;
 };
 
 }  // namespace opt

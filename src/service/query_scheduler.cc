@@ -104,7 +104,9 @@ std::shared_future<QueryResult> QueryScheduler::Submit(
     return ImmediateResult(std::move(result));
   }
 
-  const bool coalescable = spec.kind == QueryKind::kCount;
+  // Profiled queries measure a fresh run: sharing an in-flight run or a
+  // cached answer would return no samples.
+  const bool coalescable = spec.kind == QueryKind::kCount && !spec.profile;
   const std::string key = CacheKey(spec, handle->epoch, options_);
 
   if (coalescable && options_.enable_result_cache) {
@@ -282,6 +284,12 @@ QueryResult QueryScheduler::Execute(Task* task) {
   opt.shared_pool = registry_->pool();
   opt.pool_owner = handle->owner;
   opt.cancel = &task->cancel;
+  // Every query gets a flight recorder (events are two relaxed stores);
+  // its tail is only materialized when the query comes back degraded.
+  FlightRecorder recorder(256);
+  opt.flight = &recorder;
+  opt.profile = task->spec.profile;
+  opt.profile_period_micros = options_.profile_period_micros;
 
   EdgeIteratorModel model;
   OptRunner runner(store, &model, opt);
@@ -298,7 +306,20 @@ QueryResult QueryScheduler::Execute(Task* task) {
   // An Unavailable run is degraded, not dead: the partial triangle
   // count computed before the fault still rides along as a lower bound.
   result.degraded = status.IsUnavailable();
-  if (result.degraded) degraded_counter_->Increment();
+  if (result.degraded) {
+    degraded_counter_->Increment();
+    // The degraded response ships its own postmortem: the event tail
+    // rides the wire and the log gets a copy.
+    result.flight_events = recorder.Tail(64);
+    OPT_LOG(Warn) << "degraded query: graph=" << task->spec.graph
+                  << " status=" << status.ToString()
+                  << " flight recorder tail ("
+                  << result.flight_events.size() << " of "
+                  << recorder.total_recorded() << " events):\n"
+                  << FlightRecorder::Render(result.flight_events);
+  }
+  result.profiled = run_stats.profiled;
+  if (run_stats.profiled) result.overlap = run_stats.overlap;
   result.triangles = counter.count();
   result.seconds = run_stats.elapsed_seconds;
   result.iterations = run_stats.iterations;

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "core/triangle_sink.h"
+#include "obs/flight_recorder.h"
+#include "obs/overlap_profiler.h"
 #include "service/graph_registry.h"
 #include "service/result_cache.h"
 #include "util/metrics.h"
@@ -64,6 +66,11 @@ struct QuerySpec {
   /// thread safe and outlive the query. List queries never coalesce and
   /// are never cached.
   TriangleSink* list_sink = nullptr;
+  /// kCount only: run the overlap profiler for this query and return the
+  /// sampled overlap report in QueryResult. Profiled queries never
+  /// coalesce and never hit the result cache — the measurement is of a
+  /// fresh run by definition.
+  bool profile = false;
 };
 
 struct QueryResult {
@@ -85,6 +92,13 @@ struct QueryResult {
   uint64_t pages_read = 0;
   uint32_t iterations = 0;
   uint64_t epoch = 0;  // graph epoch the answer was computed against
+  /// Filled for profiled queries that executed (QuerySpec::profile).
+  bool profiled = false;
+  OverlapReport overlap;
+  /// Flight-recorder tail of a degraded query: the structured events
+  /// (fetch outcomes, retries, give-ups, the degrade itself) leading up
+  /// to the failure. Empty for healthy queries.
+  std::vector<FlightEvent> flight_events;
 };
 
 struct SchedulerOptions {
@@ -99,6 +113,10 @@ struct SchedulerOptions {
   /// logged at Warn level with their graph, kind, queue wait, and
   /// execution time. 0 (the default) disables the slow-query log.
   uint64_t slow_query_millis = 0;
+  /// Sampling period for profiled queries (QuerySpec::profile). Finer
+  /// than the batch default because service queries are short: at 250 µs
+  /// even a few-ms query collects a meaningful sample count.
+  uint64_t profile_period_micros = 250;
 };
 
 struct SchedulerStats {

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "service/graph_registry.h"
@@ -69,6 +70,12 @@ Status SendError(int fd, const Status& status) {
   return WriteMessage(fd, MessageType::kError, EncodeError(status));
 }
 
+/// Degraded queries ship their flight-recorder tail with the error.
+Status SendError(int fd, const Status& status,
+                 const std::vector<FlightEvent>& events) {
+  return WriteMessage(fd, MessageType::kError, EncodeError(status, events));
+}
+
 QuerySpec SpecFromRequest(const QueryRequest& request, QueryKind kind) {
   QuerySpec spec;
   spec.graph = request.graph;
@@ -87,6 +94,34 @@ CountResult CountResultFrom(const QueryResult& result) {
   wire.pool_hits = result.pool_hits;
   wire.pages_read = result.pages_read;
   wire.iterations = result.iterations;
+  return wire;
+}
+
+ProfileResult ProfileResultFrom(const QueryResult& result) {
+  ProfileResult wire;
+  wire.triangles = result.triangles;
+  wire.seconds = result.seconds;
+  wire.iterations = result.iterations;
+  const OverlapReport& overlap = result.overlap;
+  wire.period_micros = overlap.period_micros;
+  wire.samples = overlap.samples;
+  wire.micro_overlap_samples = overlap.micro_overlap_samples;
+  wire.macro_overlap_samples = overlap.macro_overlap_samples;
+  wire.cpu_active_samples = overlap.cpu_active_samples;
+  wire.io_inflight_samples = overlap.io_inflight_samples;
+  wire.stalled_samples = overlap.stalled_samples;
+  wire.morph_events = overlap.morph_events;
+  wire.role_samples.assign(overlap.role_samples.begin(),
+                           overlap.role_samples.end());
+  wire.micro_overlap = overlap.MicroOverlapFraction();
+  wire.macro_overlap = overlap.MacroOverlapFraction();
+  wire.cost_c_seconds_per_page = overlap.cost.c_seconds_per_page;
+  wire.delta_in_pages = overlap.cost.delta_in_pages;
+  wire.delta_ex_pages = overlap.cost.delta_ex_pages;
+  wire.cost_ideal_seconds = overlap.cost.ideal_seconds;
+  wire.cost_predicted_seconds = overlap.cost.predicted_seconds;
+  wire.cost_measured_seconds = overlap.cost.measured_seconds;
+  wire.cost_residual_seconds = overlap.cost.residual_seconds;
   return wire;
 }
 
@@ -231,6 +266,9 @@ void OptServer::HandleConnection(int fd) {
       case MessageType::kListRequest:
         status = HandleList(fd, message);
         break;
+      case MessageType::kProfileRequest:
+        status = HandleProfile(fd, message);
+        break;
       case MessageType::kStatsRequest:
         status = HandleStats(fd);
         break;
@@ -258,9 +296,31 @@ Status OptServer::HandleCount(int fd, const WireMessage& message) {
                            : std::string());
   const QueryResult result =
       scheduler_->Run(SpecFromRequest(request, QueryKind::kCount));
-  if (!result.status.ok()) return SendError(fd, result.status);
+  if (!result.status.ok()) {
+    return SendError(fd, result.status, result.flight_events);
+  }
   return WriteMessage(fd, MessageType::kCountResult,
                       EncodeCountResult(CountResultFrom(result)));
+}
+
+Status OptServer::HandleProfile(int fd, const WireMessage& message) {
+  QueryRequest request;
+  Status status = DecodeQueryRequest(message.payload, &request);
+  if (!status.ok()) return SendError(fd, status);
+  TraceSpan query_span("service", "query.profile",
+                       CurrentTraceRecorder() != nullptr
+                           ? "\"graph\":\"" + JsonEscape(request.graph) + "\""
+                           : std::string());
+  QuerySpec spec = SpecFromRequest(request, QueryKind::kCount);
+  spec.profile = true;
+  const QueryResult result = scheduler_->Run(spec);
+  if (!result.status.ok()) {
+    return SendError(fd, result.status, result.flight_events);
+  }
+  const ProfileResult profile = ProfileResultFrom(result);
+  AppendProfileLine(profile, request.graph);
+  return WriteMessage(fd, MessageType::kProfileResult,
+                      EncodeProfileResult(profile));
 }
 
 Status OptServer::HandleList(int fd, const WireMessage& message) {
@@ -276,7 +336,9 @@ Status OptServer::HandleList(int fd, const WireMessage& message) {
   spec.list_sink = &sink;
   const QueryResult result = scheduler_->Run(spec);
   OPT_RETURN_IF_ERROR(sink.Finish());
-  if (!result.status.ok()) return SendError(fd, result.status);
+  if (!result.status.ok()) {
+    return SendError(fd, result.status, result.flight_events);
+  }
   ListEnd end;
   end.triangles = result.triangles;
   end.seconds = result.seconds;
@@ -348,6 +410,37 @@ StatsResult OptServer::BuildStats() const {
 Status OptServer::HandleStats(int fd) {
   return WriteMessage(fd, MessageType::kStatsResult,
                       EncodeStatsResult(BuildStats()));
+}
+
+void OptServer::SetProfileOutput(const std::string& path) {
+  std::lock_guard<std::mutex> lock(profile_out_mutex_);
+  profile_out_path_ = path;
+}
+
+void OptServer::AppendProfileLine(const ProfileResult& profile,
+                                  const std::string& graph) {
+  std::lock_guard<std::mutex> lock(profile_out_mutex_);
+  if (profile_out_path_.empty()) return;
+  std::ofstream out(profile_out_path_, std::ios::app);
+  if (!out) return;
+  out << "{\"graph\":\"" << JsonEscape(graph) << "\""
+      << ",\"triangles\":" << profile.triangles
+      << ",\"seconds\":" << profile.seconds
+      << ",\"iterations\":" << profile.iterations
+      << ",\"period_micros\":" << profile.period_micros
+      << ",\"samples\":" << profile.samples
+      << ",\"micro_overlap\":" << profile.micro_overlap
+      << ",\"macro_overlap\":" << profile.macro_overlap
+      << ",\"stalled_samples\":" << profile.stalled_samples
+      << ",\"morph_events\":" << profile.morph_events
+      << ",\"cost_c_seconds_per_page\":" << profile.cost_c_seconds_per_page
+      << ",\"delta_in_pages\":" << profile.delta_in_pages
+      << ",\"delta_ex_pages\":" << profile.delta_ex_pages
+      << ",\"cost_ideal_seconds\":" << profile.cost_ideal_seconds
+      << ",\"cost_predicted_seconds\":" << profile.cost_predicted_seconds
+      << ",\"cost_measured_seconds\":" << profile.cost_measured_seconds
+      << ",\"cost_residual_seconds\":" << profile.cost_residual_seconds
+      << "}\n";
 }
 
 Status OptServer::HandleLoadGraph(int fd, const WireMessage& message) {

@@ -48,6 +48,10 @@ class OptServer {
 
   uint16_t bound_port() const { return bound_port_; }
 
+  /// Appends one JSON line per PROFILE query to `path` (opt_server
+  /// --profile-out). Empty disables. Safe to call before Start().
+  void SetProfileOutput(const std::string& path);
+
  private:
   struct Connection {
     int fd = -1;
@@ -58,8 +62,11 @@ class OptServer {
   void HandleConnection(int fd);
   Status HandleCount(int fd, const WireMessage& message);
   Status HandleList(int fd, const WireMessage& message);
+  Status HandleProfile(int fd, const WireMessage& message);
   Status HandleStats(int fd);
   Status HandleLoadGraph(int fd, const WireMessage& message);
+  void AppendProfileLine(const ProfileResult& profile,
+                         const std::string& graph);
   std::string RenderStats() const;
   /// Legacy text plus the live metrics registry (histogram quantiles and
   /// counters) for the extended STATS reply.
@@ -76,6 +83,9 @@ class OptServer {
 
   std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::mutex profile_out_mutex_;
+  std::string profile_out_path_;
 };
 
 }  // namespace opt

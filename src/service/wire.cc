@@ -170,16 +170,106 @@ Status DecodeLoadGraphRequest(std::string_view payload,
 }
 
 std::string EncodeError(const Status& status) {
+  return EncodeError(status, {});
+}
+
+std::string EncodeError(const Status& status,
+                        const std::vector<FlightEvent>& events) {
   std::string payload;
   PutU32(&payload, static_cast<uint32_t>(status.code()));
   PutString(&payload, status.message());
+  PutU32(&payload, static_cast<uint32_t>(events.size()));
+  for (const FlightEvent& event : events) {
+    PutU64(&payload, event.t_micros);
+    payload.push_back(static_cast<char>(event.type));
+    PutU64(&payload, event.a);
+    PutU64(&payload, event.b);
+  }
   return payload;
 }
 
 Status DecodeError(std::string_view payload, ErrorResult* out) {
   PayloadReader reader(payload);
   OPT_RETURN_IF_ERROR(reader.GetU32(&out->code));
-  return reader.GetString(&out->message);
+  OPT_RETURN_IF_ERROR(reader.GetString(&out->message));
+  out->events.clear();
+  // A payload ending here came from a server predating the flight
+  // recorder — code + message are the whole answer.
+  if (reader.AtEnd()) return Status::OK();
+  uint32_t num_events;
+  OPT_RETURN_IF_ERROR(reader.GetU32(&num_events));
+  out->events.reserve(num_events);
+  for (uint32_t i = 0; i < num_events; ++i) {
+    FlightEvent event;
+    uint8_t type;
+    OPT_RETURN_IF_ERROR(reader.GetU64(&event.t_micros));
+    OPT_RETURN_IF_ERROR(reader.GetU8(&type));
+    event.type = static_cast<FlightEventType>(type);
+    OPT_RETURN_IF_ERROR(reader.GetU64(&event.a));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&event.b));
+    out->events.push_back(event);
+  }
+  return Status::OK();
+}
+
+std::string EncodeProfileResult(const ProfileResult& result) {
+  std::string payload;
+  PutU64(&payload, result.triangles);
+  PutDouble(&payload, result.seconds);
+  PutU32(&payload, result.iterations);
+  PutU64(&payload, result.period_micros);
+  PutU64(&payload, result.samples);
+  PutU64(&payload, result.micro_overlap_samples);
+  PutU64(&payload, result.macro_overlap_samples);
+  PutU64(&payload, result.cpu_active_samples);
+  PutU64(&payload, result.io_inflight_samples);
+  PutU64(&payload, result.stalled_samples);
+  PutU64(&payload, result.morph_events);
+  PutU32(&payload, static_cast<uint32_t>(result.role_samples.size()));
+  for (uint64_t samples : result.role_samples) PutU64(&payload, samples);
+  PutDouble(&payload, result.micro_overlap);
+  PutDouble(&payload, result.macro_overlap);
+  PutDouble(&payload, result.cost_c_seconds_per_page);
+  PutU64(&payload, result.delta_in_pages);
+  PutU64(&payload, result.delta_ex_pages);
+  PutDouble(&payload, result.cost_ideal_seconds);
+  PutDouble(&payload, result.cost_predicted_seconds);
+  PutDouble(&payload, result.cost_measured_seconds);
+  PutDouble(&payload, result.cost_residual_seconds);
+  return payload;
+}
+
+Status DecodeProfileResult(std::string_view payload, ProfileResult* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->triangles));
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->seconds));
+  OPT_RETURN_IF_ERROR(reader.GetU32(&out->iterations));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->period_micros));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->samples));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->micro_overlap_samples));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->macro_overlap_samples));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->cpu_active_samples));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->io_inflight_samples));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->stalled_samples));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->morph_events));
+  uint32_t num_roles;
+  OPT_RETURN_IF_ERROR(reader.GetU32(&num_roles));
+  out->role_samples.clear();
+  out->role_samples.reserve(num_roles);
+  for (uint32_t i = 0; i < num_roles; ++i) {
+    uint64_t samples;
+    OPT_RETURN_IF_ERROR(reader.GetU64(&samples));
+    out->role_samples.push_back(samples);
+  }
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->micro_overlap));
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->macro_overlap));
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->cost_c_seconds_per_page));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->delta_in_pages));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->delta_ex_pages));
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->cost_ideal_seconds));
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->cost_predicted_seconds));
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->cost_measured_seconds));
+  return reader.GetDouble(&out->cost_residual_seconds);
 }
 
 std::string EncodeListBatch(const ListBatch& batch) {

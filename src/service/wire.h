@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/triangle.h"
+#include "obs/flight_recorder.h"
 #include "util/status.h"
 
 namespace opt {
@@ -28,6 +29,9 @@ enum class MessageType : uint8_t {
   kListRequest = 2,
   kStatsRequest = 3,
   kLoadGraphRequest = 4,
+  /// COUNT with the overlap profiler enabled; same payload shape as
+  /// kCountRequest, answered with kProfileResult.
+  kProfileRequest = 5,
   // Responses.
   kCountResult = 64,
   kListBatch = 65,
@@ -35,6 +39,7 @@ enum class MessageType : uint8_t {
   kStatsResult = 67,
   kLoadGraphResult = 68,
   kError = 69,
+  kProfileResult = 70,
 };
 
 struct WireMessage {
@@ -96,10 +101,43 @@ struct StatsResult {
 struct ErrorResult {
   uint32_t code = 0;  // StatusCode
   std::string message;
+  /// Flight-recorder tail of the failed query — filled for degraded
+  /// (Unavailable) queries so the response ships its own postmortem.
+  /// Appended after `message` on the wire: old clients decode code +
+  /// message and ignore the tail; old servers simply send none.
+  std::vector<FlightEvent> events;
 
   Status ToStatus() const {
     return Status(static_cast<StatusCode>(code), message);
   }
+};
+
+/// PROFILE reply: the run's answer plus the sampled overlap accounting
+/// and fitted cost model (OverlapReport flattened for the wire).
+struct ProfileResult {
+  uint64_t triangles = 0;
+  double seconds = 0;
+  uint32_t iterations = 0;
+  // Sampler accounting.
+  uint64_t period_micros = 0;
+  uint64_t samples = 0;
+  uint64_t micro_overlap_samples = 0;
+  uint64_t macro_overlap_samples = 0;
+  uint64_t cpu_active_samples = 0;
+  uint64_t io_inflight_samples = 0;
+  uint64_t stalled_samples = 0;
+  uint64_t morph_events = 0;
+  std::vector<uint64_t> role_samples;  // indexed by ThreadRole
+  double micro_overlap = 0;  // fractions of samples
+  double macro_overlap = 0;
+  // Cost model (§3.3): Cost(ideal) + c(Δex − Δin) vs measured.
+  double cost_c_seconds_per_page = 0;
+  uint64_t delta_in_pages = 0;
+  uint64_t delta_ex_pages = 0;
+  double cost_ideal_seconds = 0;
+  double cost_predicted_seconds = 0;
+  double cost_measured_seconds = 0;
+  double cost_residual_seconds = 0;
 };
 
 /// One LIST_BATCH frame: nested-representation records.
@@ -153,7 +191,15 @@ Status DecodeLoadGraphRequest(std::string_view payload,
                               LoadGraphRequest* out);
 
 std::string EncodeError(const Status& status);
+/// With a flight-recorder tail appended (degraded queries).
+std::string EncodeError(const Status& status,
+                        const std::vector<FlightEvent>& events);
+/// Tolerates payloads that end after `message` (pre-flight-recorder
+/// servers): `events` is left empty.
 Status DecodeError(std::string_view payload, ErrorResult* out);
+
+std::string EncodeProfileResult(const ProfileResult& result);
+Status DecodeProfileResult(std::string_view payload, ProfileResult* out);
 
 std::string EncodeListBatch(const ListBatch& batch);
 Status DecodeListBatch(std::string_view payload, ListBatch* out);

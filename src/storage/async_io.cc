@@ -20,6 +20,10 @@ struct IoCounters {
   Counter* read_errors = Metrics().GetCounter("io.read_errors");
   Counter* retries = Metrics().GetCounter("io.retries");
   Counter* giveups = Metrics().GetCounter("io.giveups");
+  /// Pages submitted but not yet published — the overlap profiler
+  /// samples this to detect reads in flight (micro overlap).
+  Gauge* inflight = Metrics().GetGauge("io.inflight_depth");
+  HistogramMetric* page_read_us = Metrics().GetHistogram("io.page_read_us");
 };
 
 /// Transient device classes worth retrying; anything else (OutOfRange,
@@ -86,10 +90,13 @@ void AsyncIoEngine::Submit(ReadRequest request) {
   if (pool != nullptr) {
     for (Frame* f : frames) pool->Pin(f);
   }
+  const uint32_t page_count = request.page_count;
+  GlobalIoCounters().inflight->Add(page_count);
   if (!submissions_.Push(std::move(request))) {
     // Shutdown raced the submit: the read will never run, so publish
     // the failure (waiters must not hang on an unresolved miss) and
     // drop the engine pins taken above.
+    GlobalIoCounters().inflight->Add(-static_cast<int64_t>(page_count));
     for (Frame* f : frames) {
       pool->MarkFailed(f);
       pool->Unpin(f);
@@ -114,13 +121,26 @@ Status AsyncIoEngine::ReadPageWithRetry(const ReadRequest& request,
                                      : request.file->page_size();
       status = PageView(request.frames[index]->data, page_size).Validate(pid);
     }
-    if (status.ok()) return status;
+    if (status.ok()) {
+      const uint64_t micros =
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+      stats_.read_micros.fetch_add(micros, std::memory_order_relaxed);
+      GlobalIoCounters().page_read_us->Record(micros);
+      return status;
+    }
     if (!IsRetryable(status)) {
       // Non-retryable errors (OutOfRange, InvalidArgument, ...) are
       // caller bugs, but they are still failed page reads: count them
       // in read_errors. No giveups — no retry budget was spent.
       stats_.read_errors.fetch_add(1, std::memory_order_relaxed);
       GlobalIoCounters().read_errors->Increment();
+      if (request.flight != nullptr) {
+        request.flight->Record(FlightEventType::kIoError, pid,
+                               static_cast<uint64_t>(status.code()));
+      }
       return status;
     }
     if (attempt >= retry_.max_attempts) break;
@@ -137,6 +157,9 @@ Status AsyncIoEngine::ReadPageWithRetry(const ReadRequest& request,
     }
     stats_.retries.fetch_add(1, std::memory_order_relaxed);
     GlobalIoCounters().retries->Increment();
+    if (request.flight != nullptr) {
+      request.flight->Record(FlightEventType::kIoRetry, pid, attempt);
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
     backoff = std::min(backoff * 2, retry_.backoff_max_micros);
   }
@@ -144,6 +167,10 @@ Status AsyncIoEngine::ReadPageWithRetry(const ReadRequest& request,
   stats_.giveups.fetch_add(1, std::memory_order_relaxed);
   GlobalIoCounters().read_errors->Increment();
   GlobalIoCounters().giveups->Increment();
+  if (request.flight != nullptr) {
+    request.flight->Record(FlightEventType::kIoGiveup, pid,
+                           static_cast<uint64_t>(status.code()));
+  }
   return status;
 }
 
@@ -186,6 +213,8 @@ void AsyncIoEngine::WorkerLoop() {
         request.pool->Unpin(request.frames[i]);
       }
     }
+    GlobalIoCounters().inflight->Add(
+        -static_cast<int64_t>(request.page_count));
     auto callback = std::move(request.callback);
     request.completion_queue->Push(
         [callback = std::move(callback), status]() { callback(status); });

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 #include "util/blocking_queue.h"
@@ -105,6 +106,10 @@ struct ReadRequest {
   BufferPool* pool = nullptr;
   bool validate = false;
   uint32_t page_size = 0;  // for validation; defaults to file page size
+  /// When set, retry/giveup/error outcomes of this request's pages are
+  /// recorded as flight events for the owning query's postmortem tail.
+  /// Must outlive the request's completion.
+  FlightRecorder* flight = nullptr;
 };
 
 struct AsyncIoStats {
@@ -116,12 +121,17 @@ struct AsyncIoStats {
   std::atomic<uint64_t> read_errors{0};
   std::atomic<uint64_t> retries{0};
   std::atomic<uint64_t> giveups{0};
+  /// Total wall-micros spent reading successful pages (retries
+  /// included): read_micros / pages_read is the measured per-page read
+  /// latency that fits the cost model's `c` (DESIGN.md §9).
+  std::atomic<uint64_t> read_micros{0};
   void Reset() {
     requests = 0;
     pages_read = 0;
     read_errors = 0;
     retries = 0;
     giveups = 0;
+    read_micros = 0;
   }
 };
 

@@ -19,6 +19,10 @@ struct FetchCounters {
   Counter* misses = Metrics().GetCounter("pool.fetch.misses");
   Counter* failed_pages = Metrics().GetCounter("pool.failed_pages");
   Counter* wait_timeouts = Metrics().GetCounter("pool.wait_timeouts");
+  /// Time actually spent blocked in WaitValid (immediate hits on
+  /// already-valid frames record nothing): the stall the overlap
+  /// profiler's io_wait role corresponds to.
+  HistogramMetric* wait_us = Metrics().GetHistogram("pool.wait_us");
 };
 
 FetchCounters& GlobalFetchCounters() {
@@ -196,10 +200,22 @@ Status BufferPool::WaitValid(Frame* frame, uint64_t timeout_millis) {
   std::unique_lock<std::mutex> lock(mutex_);
   assert(frame->pins > 0);
   const auto ready = [&] { return frame->valid || frame->failed; };
+  std::chrono::steady_clock::time_point wait_start;
+  const bool blocked = !ready();
+  if (blocked) wait_start = std::chrono::steady_clock::now();
+  const auto record_wait = [&] {
+    if (!blocked) return;
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - wait_start)
+                            .count();
+    GlobalFetchCounters().wait_us->Record(static_cast<uint64_t>(micros));
+  };
   if (timeout_millis == 0) {
     valid_cv_.wait(lock, ready);
+    record_wait();
   } else if (!valid_cv_.wait_for(
                  lock, std::chrono::milliseconds(timeout_millis), ready)) {
+    record_wait();
     // The reader that owned this page never published a verdict (worker
     // died, deadlock upstream — or is merely slow). Evict the page so
     // the wedged frame stops attracting new waiters; the frame itself
@@ -216,6 +232,8 @@ Status BufferPool::WaitValid(Frame* frame, uint64_t timeout_millis) {
     return Status::Unavailable(
         "page " + std::to_string(pid) + " load not published within " +
         std::to_string(timeout_millis) + "ms (reader died?)");
+  } else {
+    record_wait();
   }
   if (frame->failed) {
     return Status::IOError("page " + std::to_string(PageKeyPid(frame->key)) +

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 namespace opt {
@@ -33,14 +34,27 @@ double HistogramSnapshot::Quantile(double q) const {
   if (count == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  const double target = q * static_cast<double>(count);
-  double seen = 0.0;
+  // Nearest-rank: the q-quantile is the ceil(q*count)-th smallest sample
+  // (1-based). A fractional target of q*count instead lands high
+  // percentiles of small-N snapshots in the wrong bucket — with two
+  // samples, p95 would interpolate 90% of the way through the *first*
+  // sample's bucket rather than reporting the second sample.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  rank = std::clamp<uint64_t>(rank, 1, count);
+  // The extreme ranks are exactly known: the smallest sample is min, the
+  // largest is max. Reporting them directly keeps tiny snapshots (N=1,2)
+  // honest where within-bucket interpolation has nothing to go on.
+  if (rank == 1) return static_cast<double>(min);
+  if (rank == count) return static_cast<double>(max);
+  uint64_t seen = 0;
   double result = static_cast<double>(max);
   for (int b = 0; b < kNumBuckets; ++b) {
     if (buckets[b] == 0) continue;
-    const double next = seen + static_cast<double>(buckets[b]);
-    if (next >= target) {
-      const double frac = (target - seen) / static_cast<double>(buckets[b]);
+    const uint64_t next = seen + buckets[b];
+    if (next >= rank) {
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets[b]);
       const double lo = static_cast<double>(BucketLow(b));
       const double hi = static_cast<double>(BucketHigh(b));
       result = lo + frac * (hi - lo);
@@ -49,7 +63,7 @@ double HistogramSnapshot::Quantile(double q) const {
     seen = next;
   }
   // The within-bucket interpolation can stray outside the observed range
-  // (a single sample sits somewhere in [2^b, 2^(b+1))); clamp so reported
+  // (samples sit somewhere in [2^b, 2^(b+1))); clamp so reported
   // percentiles never contradict min/max.
   return std::clamp(result, static_cast<double>(min),
                     static_cast<double>(max));

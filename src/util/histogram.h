@@ -28,9 +28,11 @@ struct HistogramSnapshot {
   void Merge(const HistogramSnapshot& other);
 
   double Mean() const;
-  /// Approximate p-quantile (q in [0,1]) assuming uniform density within
-  /// a bucket; clamped to [min, max] so single-sample and overflow-bucket
-  /// snapshots report sane values.
+  /// Approximate p-quantile (q in [0,1]): nearest-rank bucket selection
+  /// with uniform-density interpolation inside the bucket, clamped to
+  /// [min, max]. Rank 1 reports min exactly and rank `count` reports max
+  /// exactly, so small-N snapshots (N=1,2) never leak bucket boundaries
+  /// into p95/p99.
   double Quantile(double q) const;
   double P50() const { return Quantile(0.50); }
   double P95() const { return Quantile(0.95); }

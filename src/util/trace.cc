@@ -97,6 +97,17 @@ void TraceRecorder::RecordInstant(std::string name, const char* category,
   Record(std::move(event));
 }
 
+void TraceRecorder::RecordCounter(std::string name, const char* category,
+                                  std::string args_json) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'C';
+  event.ts_micros = NowMicros();
+  event.args_json = std::move(args_json);
+  Record(std::move(event));
+}
+
 std::vector<TraceEvent> TraceRecorder::Events() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_;
@@ -180,6 +191,13 @@ void TraceInstant(const char* category, std::string name,
   TraceRecorder* recorder = CurrentTraceRecorder();
   if (recorder == nullptr) return;
   recorder->RecordInstant(std::move(name), category, std::move(args_json));
+}
+
+void TraceCounter(const char* category, std::string name,
+                  std::string args_json) {
+  TraceRecorder* recorder = CurrentTraceRecorder();
+  if (recorder == nullptr) return;
+  recorder->RecordCounter(std::move(name), category, std::move(args_json));
 }
 
 }  // namespace opt

@@ -33,7 +33,7 @@ namespace opt {
 struct TraceEvent {
   std::string name;
   const char* category = "";
-  char phase = 'X';       // 'X' complete span, 'i' instant event
+  char phase = 'X';       // 'X' complete, 'i' instant, 'C' counter sample
   uint64_t ts_micros = 0;  // since recorder construction
   uint64_t dur_micros = 0; // complete spans only
   uint32_t tid = 0;        // small per-thread id (stable within a process)
@@ -50,6 +50,11 @@ class TraceRecorder {
                       uint64_t ts_micros, uint64_t dur_micros,
                       std::string args_json);
   void RecordInstant(std::string name, const char* category,
+                     std::string args_json);
+  /// Counter-track sample ('C' phase): Perfetto renders successive
+  /// samples of the same name as a stacked counter track. `args_json`
+  /// holds the series values, e.g. "\"internal\":2,\"external\":1".
+  void RecordCounter(std::string name, const char* category,
                      std::string args_json);
 
   /// Microseconds since this recorder was constructed (the trace clock).
@@ -104,6 +109,10 @@ class TraceSpan {
 /// One-off instant event (thread morphs, async-read submits).
 void TraceInstant(const char* category, std::string name,
                   std::string args_json = std::string());
+
+/// One counter-track sample (overlap profiler gauges).
+void TraceCounter(const char* category, std::string name,
+                  std::string args_json);
 
 }  // namespace opt
 

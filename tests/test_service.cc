@@ -101,6 +101,81 @@ TEST(Wire, ErrorRoundTrip) {
   EXPECT_EQ(decoded.ToStatus(), original);
 }
 
+TEST(Wire, ErrorWithFlightEventsRoundTrip) {
+  const Status original = Status::Unavailable("degraded by I/O fault");
+  std::vector<FlightEvent> events;
+  events.push_back({100, FlightEventType::kIoRetry, 7, 1});
+  events.push_back({250, FlightEventType::kIoGiveup, 7, 10});
+  events.push_back({300, FlightEventType::kDegrade, 10, 0});
+  ErrorResult decoded;
+  ASSERT_TRUE(DecodeError(EncodeError(original, events), &decoded).ok());
+  EXPECT_EQ(decoded.ToStatus(), original);
+  ASSERT_EQ(decoded.events.size(), 3u);
+  EXPECT_EQ(decoded.events[0].type, FlightEventType::kIoRetry);
+  EXPECT_EQ(decoded.events[0].t_micros, 100u);
+  EXPECT_EQ(decoded.events[0].a, 7u);
+  EXPECT_EQ(decoded.events[0].b, 1u);
+  EXPECT_EQ(decoded.events[2].type, FlightEventType::kDegrade);
+}
+
+TEST(Wire, ErrorWithoutEventsDecodesToEmptyTail) {
+  // An old server's frame ends after `message`; the decoder must not
+  // demand the event section.
+  ErrorResult decoded;
+  ASSERT_TRUE(
+      DecodeError(EncodeError(Status::NotFound("gone")), &decoded).ok());
+  EXPECT_TRUE(decoded.events.empty());
+}
+
+TEST(Wire, ProfileResultRoundTrip) {
+  ProfileResult result;
+  result.triangles = 4242;
+  result.seconds = 1.25;
+  result.iterations = 3;
+  result.period_micros = 250;
+  result.samples = 1000;
+  result.micro_overlap_samples = 700;
+  result.macro_overlap_samples = 400;
+  result.cpu_active_samples = 950;
+  result.io_inflight_samples = 720;
+  result.stalled_samples = 5;
+  result.morph_events = 12;
+  result.role_samples = {10, 500, 300, 40, 50, 100};
+  result.micro_overlap = 0.7;
+  result.macro_overlap = 0.4;
+  result.cost_c_seconds_per_page = 1e-5;
+  result.delta_in_pages = 64;
+  result.delta_ex_pages = 320;
+  result.cost_ideal_seconds = 1.0;
+  result.cost_predicted_seconds = 1.2;
+  result.cost_measured_seconds = 1.25;
+  result.cost_residual_seconds = 0.05;
+  ProfileResult decoded;
+  ASSERT_TRUE(
+      DecodeProfileResult(EncodeProfileResult(result), &decoded).ok());
+  EXPECT_EQ(decoded.triangles, result.triangles);
+  EXPECT_EQ(decoded.seconds, result.seconds);
+  EXPECT_EQ(decoded.iterations, result.iterations);
+  EXPECT_EQ(decoded.period_micros, result.period_micros);
+  EXPECT_EQ(decoded.samples, result.samples);
+  EXPECT_EQ(decoded.micro_overlap_samples, result.micro_overlap_samples);
+  EXPECT_EQ(decoded.macro_overlap_samples, result.macro_overlap_samples);
+  EXPECT_EQ(decoded.cpu_active_samples, result.cpu_active_samples);
+  EXPECT_EQ(decoded.io_inflight_samples, result.io_inflight_samples);
+  EXPECT_EQ(decoded.stalled_samples, result.stalled_samples);
+  EXPECT_EQ(decoded.morph_events, result.morph_events);
+  EXPECT_EQ(decoded.role_samples, result.role_samples);
+  EXPECT_EQ(decoded.micro_overlap, result.micro_overlap);
+  EXPECT_EQ(decoded.macro_overlap, result.macro_overlap);
+  EXPECT_EQ(decoded.cost_c_seconds_per_page, result.cost_c_seconds_per_page);
+  EXPECT_EQ(decoded.delta_in_pages, result.delta_in_pages);
+  EXPECT_EQ(decoded.delta_ex_pages, result.delta_ex_pages);
+  EXPECT_EQ(decoded.cost_ideal_seconds, result.cost_ideal_seconds);
+  EXPECT_EQ(decoded.cost_predicted_seconds, result.cost_predicted_seconds);
+  EXPECT_EQ(decoded.cost_measured_seconds, result.cost_measured_seconds);
+  EXPECT_EQ(decoded.cost_residual_seconds, result.cost_residual_seconds);
+}
+
 TEST(Wire, TruncatedPayloadsAreCorruption) {
   const std::string payload = EncodeQueryRequest({"g", 1, 2, 3});
   for (size_t cut = 0; cut < payload.size(); ++cut) {
@@ -581,6 +656,57 @@ TEST(QueryScheduler, InjectedReadFaultsFailQueriesNotProcess) {
   EXPECT_EQ(recovered.triangles, fix.oracle1);
 }
 
+TEST(QueryScheduler, DegradedQueryCarriesItsFlightRecorderTail) {
+  FaultInjectionEnv faulty(Env::Default());
+  SchedulerOptions options;
+  options.enable_result_cache = false;
+  ServiceFixture fix(&faulty, options);
+  faulty.FailReadsAfter(0);
+  QuerySpec spec;
+  spec.graph = "g1";
+  const QueryResult hurt = fix.scheduler.Run(spec);
+  faulty.FailReadsAfter(-1);
+  ASSERT_FALSE(hurt.status.ok());
+  EXPECT_TRUE(hurt.degraded);
+  ASSERT_FALSE(hurt.flight_events.empty());
+  // The tail must end with the degrade transition itself, preceded by
+  // the I/O events that caused it.
+  EXPECT_EQ(hurt.flight_events.back().type, FlightEventType::kDegrade);
+  bool saw_io_failure = false;
+  for (const FlightEvent& event : hurt.flight_events) {
+    if (event.type == FlightEventType::kIoGiveup ||
+        event.type == FlightEventType::kIoError) {
+      saw_io_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_io_failure);
+  // Healthy queries carry no tail.
+  const QueryResult healthy = fix.scheduler.Run(spec);
+  ASSERT_TRUE(healthy.status.ok()) << healthy.status.ToString();
+  EXPECT_TRUE(healthy.flight_events.empty());
+}
+
+TEST(QueryScheduler, ProfiledQueryReturnsOverlapReportAndSkipsCache) {
+  ServiceFixture fix(Env::Default());
+  QuerySpec spec;
+  spec.graph = "g1";
+  spec.profile = true;
+  const QueryResult first = fix.scheduler.Run(spec);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_EQ(first.triangles, fix.oracle1);
+  ASSERT_TRUE(first.profiled);
+  EXPECT_GT(first.overlap.samples, 0u);
+  EXPECT_LE(first.overlap.MicroOverlapFraction(), 1.0);
+  EXPECT_LE(first.overlap.MacroOverlapFraction(), 1.0);
+  EXPECT_GT(first.overlap.cost.measured_seconds, 0.0);
+  // A profiled rerun measures a fresh run instead of answering from the
+  // result cache.
+  const QueryResult second = fix.scheduler.Run(spec);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.source, ResultSource::kExecuted);
+  EXPECT_TRUE(second.profiled);
+}
+
 // ---------------------------------------------------------------------
 // End-to-end over sockets
 
@@ -687,6 +813,66 @@ TEST(OptServer, UnixSocketCountAndDisabledLoadGraph) {
   auto again = client.Count("g");
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->triangles, oracle);
+  server.Stop();
+}
+
+TEST(OptServer, ProfileQueryReturnsOverlapReportOverTheWire) {
+  Env* env = Env::Default();
+  CSRGraph g = GenerateErdosRenyi(300, 3000, 55);
+  const uint64_t oracle = testutil::OracleCount(g);
+  GraphRegistry registry(env);
+  QueryScheduler scheduler(&registry, {});
+  ASSERT_TRUE(
+      scheduler.LoadGraph("g", MaterializeStore(g, env, "profsrv")).ok());
+  OptServer server(&scheduler);
+  ASSERT_TRUE(server.ListenTcp(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  OptClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", server.bound_port()).ok());
+  auto profile = client.Profile("g");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(profile->triangles, oracle);
+  EXPECT_GT(profile->samples, 0u);
+  EXPECT_LE(profile->micro_overlap, 1.0);
+  EXPECT_LE(profile->macro_overlap, 1.0);
+  EXPECT_EQ(profile->role_samples.size(), kNumThreadRoles);
+  EXPECT_GT(profile->cost_measured_seconds, 0.0);
+  // The connection stays usable for a plain COUNT afterwards.
+  auto count = client.Count("g");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->triangles, oracle);
+  server.Stop();
+}
+
+TEST(OptServer, DegradedQueryShipsFlightRecorderTailOverTheWire) {
+  FaultInjectionEnv faulty(Env::Default());
+  CSRGraph g = GenerateErdosRenyi(300, 3000, 56);
+  GraphRegistry registry(&faulty);
+  SchedulerOptions options;
+  options.enable_result_cache = false;
+  QueryScheduler scheduler(&registry, options);
+  ASSERT_TRUE(
+      scheduler.LoadGraph("g", MaterializeStore(g, &faulty, "degsrv")).ok());
+  OptServer server(&scheduler);
+  ASSERT_TRUE(server.ListenTcp(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  OptClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", server.bound_port()).ok());
+  faulty.FailReadsAfter(0);
+  auto hurt = client.Count("g");
+  faulty.FailReadsAfter(-1);
+  ASSERT_FALSE(hurt.ok());
+  EXPECT_EQ(hurt.status().code(), StatusCode::kUnavailable);
+  // The ERROR frame carried the query's own postmortem.
+  const std::vector<FlightEvent>& events = client.last_error_events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().type, FlightEventType::kDegrade);
+  // A healthy request on the same connection clears the stashed tail.
+  auto healed = client.Count("g");
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_TRUE(client.last_error_events().empty());
   server.Stop();
 }
 

@@ -259,6 +259,40 @@ TEST(HistogramSnapshotTest, SingleSampleQuantilesClampToTheValue) {
   EXPECT_DOUBLE_EQ(s.Quantile(1.0), 1000.0);
 }
 
+TEST(HistogramSnapshotTest, SingleSampleEveryQuantileIsTheSample) {
+  Histogram h;
+  h.Add(7);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.P50(), 7.0);
+  EXPECT_DOUBLE_EQ(s.P95(), 7.0);
+  EXPECT_DOUBLE_EQ(s.P99(), 7.0);
+}
+
+TEST(HistogramSnapshotTest, TwoSamplesQuantilesPickRealSamples) {
+  Histogram h;
+  h.Add(10);
+  h.Add(1000);
+  const HistogramSnapshot s = h.Snapshot();
+  // Nearest-rank: p50 is the 1st of 2 samples, p95/p99 the 2nd. The old
+  // fractional-target interpolation reported ~973 for p95 (90% of the
+  // way through the wrong bucket) — a number that matches no sample.
+  EXPECT_DOUBLE_EQ(s.P50(), 10.0);
+  EXPECT_DOUBLE_EQ(s.P95(), 1000.0);
+  EXPECT_DOUBLE_EQ(s.P99(), 1000.0);
+}
+
+TEST(HistogramSnapshotTest, TenSamplesQuantilesInterpolateMidBuckets) {
+  Histogram h;
+  for (uint64_t v = 10; v <= 100; v += 10) h.Add(v);
+  const HistogramSnapshot s = h.Snapshot();
+  // Rank 5 of 10 lands in bucket [32,64) (holding 40,50,60) behind 3
+  // earlier samples: interpolate 2/3 of the way through the bucket.
+  EXPECT_DOUBLE_EQ(s.P50(), 32.0 + (2.0 / 3.0) * 32.0);
+  // Ranks ceil(9.5)=10 and ceil(9.9)=10 are the largest sample: exact.
+  EXPECT_DOUBLE_EQ(s.P95(), 100.0);
+  EXPECT_DOUBLE_EQ(s.P99(), 100.0);
+}
+
 TEST(HistogramSnapshotTest, OverflowBucketStaysWithinMinMax) {
   Histogram h;
   h.Add(~0ull);  // lands in the overflow bucket (bucket 63)

@@ -1,54 +1,132 @@
 // Command-line client for opt_server.
 //
 //   opt_client (--port N [--host 127.0.0.1] | --unix /path.sock) \
-//       --op count|list|stats|load [--graph NAME] \
+//       --op count|list|stats|load|profile [--graph NAME] \
 //       [--pages N] [--threads N] [--deadline_ms N] \
 //       [--path /graph/base]     (load: store base path) \
 //       [--out FILE]             (list: write triangles as text)
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "obs/overlap_profiler.h"
 #include "service/client.h"
 #include "util/cli.h"
 #include "util/logging.h"
+#include "util/table_printer.h"
 
 using namespace opt;
 
 namespace {
 
 /// Pretty-prints the structured STATS reply: the legacy text section,
-/// then latency histogram quantiles, then the metrics-registry counters
-/// with a derived buffer-pool hit rate. Old servers only send the text.
+/// then latency histogram quantiles and the metrics-registry counters as
+/// aligned tables, then a summary block with the derived pool hit rate
+/// and the two health counters operators grep for first. Old servers
+/// only send the text.
 void PrintStats(const StatsResult& stats) {
   std::fputs(stats.text.c_str(), stdout);
   if (!stats.histograms.empty()) {
-    std::printf("\n%-24s %10s %10s %10s %10s %10s %10s %10s\n", "histogram",
-                "count", "min", "max", "mean", "p50", "p95", "p99");
+    TablePrinter table({"histogram", "count", "min", "max", "mean", "p50",
+                        "p95", "p99"});
     for (const StatsHistogram& h : stats.histograms) {
-      std::printf("%-24s %10llu %10llu %10llu %10.1f %10.1f %10.1f %10.1f\n",
-                  h.name.c_str(), static_cast<unsigned long long>(h.count),
-                  static_cast<unsigned long long>(h.min),
-                  static_cast<unsigned long long>(h.max), h.mean, h.p50,
-                  h.p95, h.p99);
+      table.AddRow({h.name, TablePrinter::Fmt(h.count),
+                    TablePrinter::Fmt(h.min), TablePrinter::Fmt(h.max),
+                    TablePrinter::Fmt(h.mean, 1), TablePrinter::Fmt(h.p50, 1),
+                    TablePrinter::Fmt(h.p95, 1),
+                    TablePrinter::Fmt(h.p99, 1)});
     }
+    std::printf("\n");
+    table.Print();
   }
+  uint64_t fetch_lookups = 0;
+  uint64_t fetch_hits = 0;
+  uint64_t io_giveups = 0;
   if (!stats.counters.empty()) {
-    std::printf("\n%-32s %12s\n", "counter", "value");
-    uint64_t fetch_lookups = 0;
-    uint64_t fetch_hits = 0;
+    TablePrinter table({"counter", "value"});
     for (const StatsCounter& c : stats.counters) {
-      std::printf("%-32s %12llu\n", c.name.c_str(),
-                  static_cast<unsigned long long>(c.value));
+      table.AddRow({c.name, TablePrinter::Fmt(c.value)});
       if (c.name == "pool.fetch.lookups") fetch_lookups = c.value;
       if (c.name == "pool.fetch.hits") fetch_hits = c.value;
+      if (c.name == "io.giveups") io_giveups = c.value;
     }
-    if (fetch_lookups > 0) {
-      std::printf("\npool hit rate: %.1f%% (%llu/%llu fetches)\n",
-                  100.0 * static_cast<double>(fetch_hits) /
-                      static_cast<double>(fetch_lookups),
-                  static_cast<unsigned long long>(fetch_hits),
-                  static_cast<unsigned long long>(fetch_lookups));
-    }
+    std::printf("\n");
+    table.Print();
+  }
+  // Summary block: pool efficiency plus the two "is anything wrong"
+  // numbers (degraded queries, I/O retry give-ups).
+  uint64_t degraded = 0;
+  const std::string key = "scheduler.degraded=";
+  if (const size_t pos = stats.text.find(key); pos != std::string::npos) {
+    degraded = std::strtoull(stats.text.c_str() + pos + key.size(),
+                             nullptr, 10);
+  }
+  std::printf("\nsummary:\n");
+  if (fetch_lookups > 0) {
+    std::printf("  pool hit rate: %.1f%% (%llu/%llu fetches)\n",
+                100.0 * static_cast<double>(fetch_hits) /
+                    static_cast<double>(fetch_lookups),
+                static_cast<unsigned long long>(fetch_hits),
+                static_cast<unsigned long long>(fetch_lookups));
+  }
+  std::printf("  scheduler.degraded: %llu\n",
+              static_cast<unsigned long long>(degraded));
+  std::printf("  io.giveups: %llu\n",
+              static_cast<unsigned long long>(io_giveups));
+}
+
+/// PROFILE reply: overlap fractions, per-role sample shares, and the
+/// cost-model fit, in the shape DESIGN.md §9 documents.
+void PrintProfile(const ProfileResult& p) {
+  std::printf("triangles: %llu\n",
+              static_cast<unsigned long long>(p.triangles));
+  std::printf("seconds: %.6f  iterations: %u\n", p.seconds, p.iterations);
+  std::printf("\noverlap (sampled every %llu us, %llu samples, "
+              "%llu stalled):\n",
+              static_cast<unsigned long long>(p.period_micros),
+              static_cast<unsigned long long>(p.samples),
+              static_cast<unsigned long long>(p.stalled_samples));
+  std::printf("  micro (CPU busy while reads in flight): %.1f%%\n",
+              100.0 * p.micro_overlap);
+  std::printf("  macro (internal and external together): %.1f%%\n",
+              100.0 * p.macro_overlap);
+  std::printf("  morph events: %llu\n",
+              static_cast<unsigned long long>(p.morph_events));
+  TablePrinter roles({"role", "samples", "share"});
+  for (size_t i = 0; i < p.role_samples.size() && i < kNumThreadRoles;
+       ++i) {
+    const double share =
+        p.samples == 0 ? 0.0
+                       : static_cast<double>(p.role_samples[i]) /
+                             static_cast<double>(p.samples);
+    roles.AddRow({ThreadRoleName(static_cast<ThreadRole>(i)),
+                  TablePrinter::Fmt(p.role_samples[i]),
+                  TablePrinter::Fmt(100.0 * share, 1) + "%"});
+  }
+  roles.Print();
+  std::printf("\ncost model (Cost(ideal) + c*(dEx_io - dIn_io)):\n");
+  std::printf("  c (s/page): %.6g  dIn: %llu  dEx: %llu\n",
+              p.cost_c_seconds_per_page,
+              static_cast<unsigned long long>(p.delta_in_pages),
+              static_cast<unsigned long long>(p.delta_ex_pages));
+  std::printf("  ideal: %.6fs  predicted: %.6fs  measured: %.6fs\n",
+              p.cost_ideal_seconds, p.cost_predicted_seconds,
+              p.cost_measured_seconds);
+  std::printf("  residual: %+.6fs (%.1f%% of measured)\n",
+              p.cost_residual_seconds,
+              p.cost_measured_seconds > 0
+                  ? 100.0 * p.cost_residual_seconds / p.cost_measured_seconds
+                  : 0.0);
+}
+
+/// Degraded queries ship their flight-recorder tail with the error;
+/// print it so the failure explains itself at the terminal.
+void PrintErrorWithEvents(const Status& status, const OptClient& client) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  const std::vector<FlightEvent>& events = client.last_error_events();
+  if (!events.empty()) {
+    std::fprintf(stderr, "flight recorder (last %zu events):\n%s",
+                 events.size(), FlightRecorder::Render(events).c_str());
   }
 }
 
@@ -65,11 +143,13 @@ int main(int argc, char** argv) {
   if (!use_unix && !cl->Has("port")) {
     std::fprintf(stderr,
                  "usage: %s (--port N | --unix /path.sock) --op "
-                 "count|list|stats|load [--graph NAME] [--path BASE]\n",
+                 "count|list|stats|load|profile [--graph NAME] "
+                 "[--path BASE]\n",
                  argv[0]);
     return 2;
   }
-  auto op = cl->GetChoice("op", {"count", "list", "stats", "load"}, "count");
+  auto op = cl->GetChoice(
+      "op", {"count", "list", "stats", "load", "profile"}, "count");
   if (!op.ok()) {
     std::fprintf(stderr, "%s\n", op.status().ToString().c_str());
     return 2;
@@ -96,7 +176,7 @@ int main(int argc, char** argv) {
   if (*op == "count") {
     auto result = client.Count(graph, options);
     if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      PrintErrorWithEvents(result.status(), client);
       return 1;
     }
     static const char* kSources[] = {"executed", "coalesced", "cache"};
@@ -109,6 +189,16 @@ int main(int argc, char** argv) {
     std::printf("pool_hits: %llu  pages_read: %llu\n",
                 static_cast<unsigned long long>(result->pool_hits),
                 static_cast<unsigned long long>(result->pages_read));
+    return 0;
+  }
+
+  if (*op == "profile") {
+    auto result = client.Profile(graph, options);
+    if (!result.ok()) {
+      PrintErrorWithEvents(result.status(), client);
+      return 1;
+    }
+    PrintProfile(*result);
     return 0;
   }
 

@@ -8,12 +8,15 @@
 //       [--no_cache] [--no_load_graph] [--slow_query_ms N]
 //       [--fault-plan SPEC]
 //       [--metrics-dump-interval SECONDS] [--trace-out /path.json]
+//       [--profile-out /path.jsonl]
 //
 // --port 0 binds an ephemeral port (printed on stdout, for scripts).
 // --fault-plan wraps the filesystem in a deterministic FaultInjectingEnv
 // for reproducible chaos runs, e.g.
 // --fault-plan "seed=42,read_error_p=0.02,transient=1,path_filter=.pages".
 // --metrics-dump-interval logs the metrics registry every N seconds.
+// --profile-out appends one JSON line per PROFILE query (overlap
+// fractions + cost-model fit) for offline analysis.
 // --trace-out records Chrome trace_event JSON (open in Perfetto) for
 // the whole server lifetime and writes it at shutdown.
 // Runs until SIGINT/SIGTERM. Honors OPT_LOG_LEVEL (debug|info|warn|error).
@@ -141,6 +144,9 @@ int RunServer(const CommandLine& cl) {
   }
 
   OptServer server(&scheduler, !cl.GetBool("no_load_graph", false));
+  if (cl.Has("profile-out")) {
+    server.SetProfileOutput(cl.GetString("profile-out"));
+  }
   Status status;
   if (cl.Has("unix")) {
     status = server.ListenUnix(cl.GetString("unix"));
