@@ -1,0 +1,214 @@
+#include "graph/delta_overlay.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/intersect.h"
+
+namespace opt {
+
+namespace {
+
+/// Canonical undirected key for duplicate detection within a batch.
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  const VertexId lo = std::min(u, v);
+  const VertexId hi = std::max(u, v);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+/// Memoizes base-adjacency fetches and materializes the current view
+/// n(v) = (base(v) \ removed(v)) ∪ added(v) for the batch in progress.
+class ViewReader {
+ public:
+  ViewReader(const DeltaOverlay* working, const AdjacencyFetcher& fetch,
+             DeltaApplyStats* stats)
+      : working_(working), fetch_(fetch), stats_(stats) {}
+
+  /// Points `*out` at the current-view neighbors of `v`. The span stays
+  /// valid until the next Get() for the same vertex after an Invalidate.
+  Status Get(VertexId v, std::span<const VertexId>* out) {
+    auto it = merged_.find(v);
+    if (it == merged_.end()) {
+      std::vector<VertexId> base;
+      OPT_RETURN_IF_ERROR(FetchBase(v, &base));
+      it = merged_.emplace(v, working_->MergeNeighbors(v, base)).first;
+    }
+    *out = it->second;
+    return Status::OK();
+  }
+
+  /// Drops the memoized merged view of `v` (its overlay entry changed);
+  /// the base fetch stays cached.
+  void Invalidate(VertexId v) { merged_.erase(v); }
+
+ private:
+  Status FetchBase(VertexId v, std::vector<VertexId>* out) {
+    auto it = base_.find(v);
+    if (it == base_.end()) {
+      std::vector<VertexId> neighbors;
+      OPT_RETURN_IF_ERROR(fetch_(v, &neighbors));
+      if (stats_ != nullptr) ++stats_->base_fetches;
+      it = base_.emplace(v, std::move(neighbors)).first;
+    }
+    *out = it->second;
+    return Status::OK();
+  }
+
+  const DeltaOverlay* working_;
+  const AdjacencyFetcher& fetch_;
+  DeltaApplyStats* stats_;
+  std::unordered_map<VertexId, std::vector<VertexId>> base_;
+  std::unordered_map<VertexId, std::vector<VertexId>> merged_;
+};
+
+/// Sorted-insert / sorted-erase on a small vector.
+void SortedInsert(std::vector<VertexId>* list, VertexId value) {
+  list->insert(std::lower_bound(list->begin(), list->end(), value), value);
+}
+
+bool SortedErase(std::vector<VertexId>* list, VertexId value) {
+  auto it = std::lower_bound(list->begin(), list->end(), value);
+  if (it == list->end() || *it != value) return false;
+  list->erase(it);
+  return true;
+}
+
+bool SortedContains(std::span<const VertexId> list, VertexId value) {
+  return std::binary_search(list.begin(), list.end(), value);
+}
+
+}  // namespace
+
+void DeltaOverlay::EditHalfEdge(VertexId from, VertexId to, DeltaKind kind) {
+  VertexDelta& delta = vertices_[from];
+  if (kind == DeltaKind::kAdd) {
+    // Re-adding a base edge the overlay removed cancels the removal.
+    if (!SortedErase(&delta.removed, to)) SortedInsert(&delta.added, to);
+  } else {
+    // Removing an overlay-added edge cancels the addition.
+    if (!SortedErase(&delta.added, to)) SortedInsert(&delta.removed, to);
+  }
+  if (delta.empty()) vertices_.erase(from);
+}
+
+std::vector<VertexId> DeltaOverlay::MergeNeighbors(
+    VertexId v, std::span<const VertexId> base_neighbors) const {
+  auto it = vertices_.find(v);
+  if (it == vertices_.end()) {
+    return {base_neighbors.begin(), base_neighbors.end()};
+  }
+  const VertexDelta& delta = it->second;
+  std::vector<VertexId> merged;
+  merged.reserve(base_neighbors.size() + delta.added.size());
+  for (VertexId n : base_neighbors) {
+    if (!SortedContains(delta.removed, n)) merged.push_back(n);
+  }
+  // Both inputs sorted and disjoint (added edges are absent from base by
+  // construction), so a classic in-place merge keeps the order.
+  const size_t mid = merged.size();
+  merged.insert(merged.end(), delta.added.begin(), delta.added.end());
+  std::inplace_merge(merged.begin(), merged.begin() + static_cast<long>(mid),
+                     merged.end());
+  return merged;
+}
+
+Result<std::shared_ptr<const DeltaOverlay>> DeltaOverlay::Apply(
+    const DeltaOverlay* current, DeltaKind kind, std::span<const Edge> edges,
+    VertexId num_vertices, const AdjacencyFetcher& fetch,
+    DeltaApplyStats* stats) {
+  const char* verb = kind == DeltaKind::kAdd ? "add" : "remove";
+  if (edges.empty()) {
+    return Status::InvalidArgument(std::string(verb) +
+                                   ": empty delta batch");
+  }
+
+  // Phase 1 — pure validation, no I/O: self-loops, out-of-range ids,
+  // and duplicates (any repeated undirected edge, in either direction)
+  // reject the whole batch before anything is read or written.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(edges.size());
+  for (const Edge& edge : edges) {
+    if (edge.first == edge.second) {
+      return Status::InvalidArgument(
+          std::string(verb) + ": self-loop {" +
+          std::to_string(edge.first) + "," + std::to_string(edge.second) +
+          "} in delta batch");
+    }
+    if (edge.first >= num_vertices || edge.second >= num_vertices) {
+      return Status::InvalidArgument(
+          std::string(verb) + ": vertex id out of range in edge {" +
+          std::to_string(edge.first) + "," + std::to_string(edge.second) +
+          "} (graph has " + std::to_string(num_vertices) + " vertices)");
+    }
+    if (!seen.insert(EdgeKey(edge.first, edge.second)).second) {
+      return Status::InvalidArgument(
+          std::string(verb) + ": duplicate edge {" +
+          std::to_string(edge.first) + "," + std::to_string(edge.second) +
+          "} in delta batch");
+    }
+  }
+
+  // Phase 2 — apply on a private copy. Edges are processed sequentially
+  // against the evolving view; the total triangle delta equals
+  // T(final) - T(initial) regardless of the order edges appear in the
+  // batch (the view after the whole batch is the same set union /
+  // difference either way), so application is order-independent.
+  auto working = std::shared_ptr<DeltaOverlay>(
+      current != nullptr ? new DeltaOverlay(*current) : new DeltaOverlay());
+  ViewReader view(working.get(), fetch, stats);
+  for (const Edge& edge : edges) {
+    const VertexId u = edge.first;
+    const VertexId v = edge.second;
+    std::span<const VertexId> nu, nv;
+    OPT_RETURN_IF_ERROR(view.Get(u, &nu));
+    const bool present = SortedContains(nu, v);
+    if (kind == DeltaKind::kAdd && present) {
+      return Status::InvalidArgument(
+          "add: edge {" + std::to_string(u) + "," + std::to_string(v) +
+          "} already present");
+    }
+    if (kind == DeltaKind::kRemove && !present) {
+      return Status::InvalidArgument(
+          "remove: edge {" + std::to_string(u) + "," + std::to_string(v) +
+          "} not present");
+    }
+    OPT_RETURN_IF_ERROR(view.Get(v, &nv));
+    // The triangles this edge completes (insert) or breaks (remove):
+    // common neighbors of its endpoints in the current view. The edge
+    // itself never shows up in the intersection (no self-loops), so the
+    // same expression serves both directions.
+    const uint64_t closed = IntersectCount(nu, nv);
+    if (kind == DeltaKind::kAdd) {
+      working->triangle_delta_ += static_cast<int64_t>(closed);
+      if (stats != nullptr) stats->triangles_added += closed;
+    } else {
+      working->triangle_delta_ -= static_cast<int64_t>(closed);
+      if (stats != nullptr) stats->triangles_removed += closed;
+    }
+    working->EditHalfEdge(u, v, kind);
+    working->EditHalfEdge(v, u, kind);
+    view.Invalidate(u);
+    view.Invalidate(v);
+    if (stats != nullptr) ++stats->edges_applied;
+  }
+
+  // Residual-edit counters are derived from the overlay itself, not
+  // from batch history: an add-then-remove of the same batch nets out
+  // to an empty overlay with zero residual edits either direction.
+  // Each undirected edit appears under both endpoints, hence the /2.
+  uint64_t added_halves = 0;
+  uint64_t removed_halves = 0;
+  for (const auto& [vertex, delta] : working->vertices_) {
+    (void)vertex;
+    added_halves += delta.added.size();
+    removed_halves += delta.removed.size();
+  }
+  working->edges_added_ = added_halves / 2;
+  working->edges_removed_ = removed_halves / 2;
+  ++working->batches_applied_;
+  return std::shared_ptr<const DeltaOverlay>(std::move(working));
+}
+
+}  // namespace opt

@@ -1,0 +1,116 @@
+// Copy-on-write edge-delta overlay for streaming graph mutations.
+//
+// The on-disk GraphStore is immutable between compactions; live inserts
+// and removals accumulate here instead. An overlay holds, per touched
+// vertex, the sorted lists of neighbors added to and removed from the
+// base adjacency, plus the exact triangle delta maintained incrementally
+// as batches apply: inserting {u, v} adds |N(u) ∩ N(v)| triangles and
+// removing it subtracts the same quantity, with N() the *current* view
+// (base plus overlay plus the earlier edges of the same batch) — the
+// per-edge neighborhood-intersection rule of the Tangwongsan/Pavan/
+// Tirthapura streaming counters, run through the dispatched SSE/AVX2
+// intersection kernels.
+//
+// Apply() never mutates its input: it validates the whole batch, then
+// returns a brand-new overlay. Callers publish the new overlay (and a
+// new epoch) atomically, so a concurrent reader sees either the old
+// state or the new state, never a half-applied batch. A batch that
+// fails validation (self-loop, duplicate, out-of-range id, add of a
+// present edge, remove of an absent edge) rejects with a typed
+// InvalidArgument and leaves no trace; a batch whose base-adjacency
+// reads fail propagates the fetch error, also without committing.
+#ifndef OPT_GRAPH_DELTA_OVERLAY_H_
+#define OPT_GRAPH_DELTA_OVERLAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace opt {
+
+enum class DeltaKind : uint8_t {
+  kAdd = 0,     // ADD_EDGES: every edge must be absent from the view
+  kRemove = 1,  // REMOVE_EDGES: every edge must be present in the view
+};
+
+/// Per-batch accounting returned alongside the new overlay.
+struct DeltaApplyStats {
+  uint64_t edges_applied = 0;
+  uint64_t triangles_added = 0;
+  uint64_t triangles_removed = 0;
+  /// Base-adjacency reads issued while intersecting neighborhoods.
+  uint64_t base_fetches = 0;
+};
+
+/// Returns the base (on-disk) adjacency of `v`, sorted ascending.
+/// Called at most once per distinct vertex per batch (results are
+/// memoized across the batch).
+using AdjacencyFetcher =
+    std::function<Status(VertexId, std::vector<VertexId>*)>;
+
+class DeltaOverlay {
+ public:
+  /// Applies one batch on top of `current` (nullptr = empty overlay)
+  /// and returns the resulting overlay. `num_vertices` bounds the id
+  /// space: deltas cannot grow the vertex set (InvalidArgument).
+  static Result<std::shared_ptr<const DeltaOverlay>> Apply(
+      const DeltaOverlay* current, DeltaKind kind,
+      std::span<const Edge> edges, VertexId num_vertices,
+      const AdjacencyFetcher& fetch, DeltaApplyStats* stats = nullptr);
+
+  /// True when the overlay carries no residual edits — the view equals
+  /// the base graph exactly (add-then-remove of the same batch lands
+  /// here, not merely at "two entries that cancel").
+  bool empty() const { return vertices_.empty(); }
+
+  /// triangles(view) - triangles(base): maintained exactly per batch.
+  int64_t triangle_delta() const { return triangle_delta_; }
+
+  /// Residual edge edits vs the base graph (each undirected edge once).
+  uint64_t edges_added() const { return edges_added_; }
+  uint64_t edges_removed() const { return edges_removed_; }
+  uint64_t batches_applied() const { return batches_applied_; }
+
+  /// Merges the overlay into `base_neighbors` (the on-disk n(v), sorted
+  /// ascending): removals dropped, additions merged in. Returns the
+  /// merged view, sorted ascending.
+  std::vector<VertexId> MergeNeighbors(
+      VertexId v, std::span<const VertexId> base_neighbors) const;
+
+  /// True when the overlay edits n(v) at all (fast-path check).
+  bool TouchesVertex(VertexId v) const {
+    return vertices_.find(v) != vertices_.end();
+  }
+
+ private:
+  struct VertexDelta {
+    std::vector<VertexId> added;    // sorted ascending
+    std::vector<VertexId> removed;  // sorted ascending
+    bool empty() const { return added.empty() && removed.empty(); }
+  };
+
+  DeltaOverlay() = default;
+
+  /// Records a single directed half-edge edit, cancelling against the
+  /// opposite list (removing an overlay-added edge erases the addition
+  /// rather than stacking a removal, and vice versa).
+  void EditHalfEdge(VertexId from, VertexId to, DeltaKind kind);
+
+  // Ordered map so iteration (and therefore behavior) is deterministic.
+  std::map<VertexId, VertexDelta> vertices_;
+  int64_t triangle_delta_ = 0;
+  uint64_t edges_added_ = 0;
+  uint64_t edges_removed_ = 0;
+  uint64_t batches_applied_ = 0;
+};
+
+}  // namespace opt
+
+#endif  // OPT_GRAPH_DELTA_OVERLAY_H_

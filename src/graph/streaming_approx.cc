@@ -1,0 +1,74 @@
+#include "graph/streaming_approx.h"
+
+#include <algorithm>
+
+namespace opt {
+
+TriestEstimator::TriestEstimator(uint64_t reservoir_edges, uint64_t seed)
+    : capacity_(std::max<uint64_t>(reservoir_edges, 6)), rng_(seed) {
+  reservoir_.reserve(capacity_);
+}
+
+double TriestEstimator::ClosedWedgeWeight(VertexId u, VertexId v) const {
+  const auto iu = adjacency_.find(u);
+  const auto iv = adjacency_.find(v);
+  if (iu == adjacency_.end() || iv == adjacency_.end()) return 0;
+  // Probe the smaller sampled neighborhood against the larger.
+  const std::vector<VertexId>& small =
+      iu->second.size() <= iv->second.size() ? iu->second : iv->second;
+  const std::vector<VertexId>& large =
+      iu->second.size() <= iv->second.size() ? iv->second : iu->second;
+  uint64_t closed = 0;
+  for (VertexId w : small) {
+    if (std::find(large.begin(), large.end(), w) != large.end()) ++closed;
+  }
+  if (closed == 0) return 0;
+  // IMPR weighting: each closing wedge was observed with probability
+  // (M/(t-1)) * ((M-1)/(t-2)) of both its edges surviving; weight by
+  // the inverse, clamped at 1 while the reservoir still holds the
+  // whole stream (estimate stays exact there).
+  const double t = static_cast<double>(stream_length_);
+  const double m = static_cast<double>(capacity_);
+  const double eta = std::max(1.0, ((t - 1.0) * (t - 2.0)) / (m * (m - 1.0)));
+  return eta * static_cast<double>(closed);
+}
+
+void TriestEstimator::InsertSample(VertexId u, VertexId v) {
+  reservoir_.push_back({u, v});
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+}
+
+void TriestEstimator::EvictSample(size_t slot) {
+  const ReservoirEdge victim = reservoir_[slot];
+  reservoir_[slot] = reservoir_.back();
+  reservoir_.pop_back();
+  auto drop_half = [this](VertexId from, VertexId to) {
+    auto it = adjacency_.find(from);
+    auto pos = std::find(it->second.begin(), it->second.end(), to);
+    *pos = it->second.back();
+    it->second.pop_back();
+    if (it->second.empty()) adjacency_.erase(it);
+  };
+  drop_half(victim.u, victim.v);
+  drop_half(victim.v, victim.u);
+}
+
+void TriestEstimator::OnInsert(VertexId u, VertexId v) {
+  ++stream_length_;
+  // IMPR counts the arriving edge's closed wedges *before* sampling it,
+  // so every stream edge contributes regardless of whether it lands in
+  // the reservoir.
+  estimate_ += ClosedWedgeWeight(u, v);
+  if (reservoir_.size() < capacity_) {
+    InsertSample(u, v);
+    return;
+  }
+  // Standard reservoir step: keep with probability M/t.
+  if (rng_.Uniform(stream_length_) < capacity_) {
+    EvictSample(static_cast<size_t>(rng_.Uniform(reservoir_.size())));
+    InsertSample(u, v);
+  }
+}
+
+}  // namespace opt

@@ -1,0 +1,76 @@
+// Sampling-based approximate triangle counter for firehose-rate edge
+// streams (TRIÈST-IMPR, De Stefani et al., KDD'16 — the reservoir
+// descendant of the Tangwongsan/Pavan/Tirthapura neighborhood-sampling
+// streaming counters). Maintains an M-edge uniform reservoir over the
+// insert stream; every arriving edge contributes its reservoir-closed
+// wedge count, weighted by the inverse probability that both wedge
+// edges are still sampled. Memory is O(M) regardless of stream length;
+// the estimate is exact while the stream fits the reservoir and
+// unbiased beyond it.
+//
+// Insert-only: edge removals are outside the IMPR scheme (the FD
+// variant pairs removals against samples), so the first removal taints
+// the estimator and it reports not-valid until reset. The exact
+// DeltaOverlay path is removal-complete; this counter exists for
+// append-heavy feeds where running the exact intersection per delta is
+// too slow.
+#ifndef OPT_GRAPH_STREAMING_APPROX_H_
+#define OPT_GRAPH_STREAMING_APPROX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/random.h"
+
+namespace opt {
+
+class TriestEstimator {
+ public:
+  /// `reservoir_edges` is M; `seed` makes eviction deterministic.
+  TriestEstimator(uint64_t reservoir_edges, uint64_t seed);
+
+  /// Feeds one inserted edge {u, v}. Self-loops and duplicates should
+  /// be filtered by the caller (the delta-validation path already
+  /// rejects them); feeding them anyway only degrades the estimate.
+  void OnInsert(VertexId u, VertexId v);
+
+  /// Marks the estimator invalid (first removal seen). Idempotent.
+  void Taint() { tainted_ = true; }
+
+  /// False once tainted by a removal.
+  bool valid() const { return !tainted_; }
+
+  /// Estimated triangles *among streamed edges* (not including the
+  /// base graph). Exact while stream_length() <= reservoir capacity.
+  double estimate() const { return estimate_; }
+
+  uint64_t stream_length() const { return stream_length_; }
+  uint64_t reservoir_size() const { return reservoir_.size(); }
+  uint64_t reservoir_capacity() const { return capacity_; }
+
+ private:
+  struct ReservoirEdge {
+    VertexId u;
+    VertexId v;
+  };
+
+  /// Weighted count of wedges u–w–v closed inside the reservoir.
+  double ClosedWedgeWeight(VertexId u, VertexId v) const;
+  void InsertSample(VertexId u, VertexId v);
+  void EvictSample(size_t slot);
+
+  const uint64_t capacity_;
+  Random64 rng_;
+  uint64_t stream_length_ = 0;
+  double estimate_ = 0;
+  bool tainted_ = false;
+  std::vector<ReservoirEdge> reservoir_;
+  /// Reservoir adjacency: sampled neighbors per vertex (unsorted, small).
+  std::unordered_map<VertexId, std::vector<VertexId>> adjacency_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_GRAPH_STREAMING_APPROX_H_

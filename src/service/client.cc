@@ -207,6 +207,60 @@ Result<StatsResult> OptClient::StatsFull() {
   return stats;
 }
 
+Result<MutateResult> OptClient::AddEdges(
+    const std::string& graph,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  MutateRequest request;
+  request.graph = graph;
+  request.edges = edges;
+  OPT_RETURN_IF_ERROR(SendRequest(MessageType::kAddEdgesRequest,
+                                  EncodeMutateRequest(request)));
+  WireMessage reply;
+  OPT_RETURN_IF_ERROR(ReadReply(&reply));
+  if (reply.type == MessageType::kError) return ErrorFromReply(reply);
+  if (reply.type != MessageType::kMutateResult) return UnexpectedReply(reply);
+  MutateResult result;
+  OPT_RETURN_IF_ERROR(DecodeMutateResult(reply.payload, &result));
+  return result;
+}
+
+Result<MutateResult> OptClient::RemoveEdges(
+    const std::string& graph,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  MutateRequest request;
+  request.graph = graph;
+  request.edges = edges;
+  OPT_RETURN_IF_ERROR(SendRequest(MessageType::kRemoveEdgesRequest,
+                                  EncodeMutateRequest(request)));
+  WireMessage reply;
+  OPT_RETURN_IF_ERROR(ReadReply(&reply));
+  if (reply.type == MessageType::kError) return ErrorFromReply(reply);
+  if (reply.type != MessageType::kMutateResult) return UnexpectedReply(reply);
+  MutateResult result;
+  OPT_RETURN_IF_ERROR(DecodeMutateResult(reply.payload, &result));
+  return result;
+}
+
+Result<SubscribeCountResult> OptClient::SubscribeCount(
+    const std::string& graph, uint64_t after_epoch,
+    uint64_t timeout_millis) {
+  SubscribeCountRequest request;
+  request.graph = graph;
+  request.after_epoch = after_epoch;
+  request.timeout_millis = timeout_millis;
+  OPT_RETURN_IF_ERROR(SendRequest(MessageType::kSubscribeCountRequest,
+                                  EncodeSubscribeCountRequest(request)));
+  WireMessage reply;
+  OPT_RETURN_IF_ERROR(ReadReply(&reply));
+  if (reply.type == MessageType::kError) return ErrorFromReply(reply);
+  if (reply.type != MessageType::kSubscribeCountResult) {
+    return UnexpectedReply(reply);
+  }
+  SubscribeCountResult result;
+  OPT_RETURN_IF_ERROR(DecodeSubscribeCountResult(reply.payload, &result));
+  return result;
+}
+
 Status OptClient::LoadGraph(const std::string& name,
                             const std::string& base_path) {
   LoadGraphRequest request;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "service/wire.h"
@@ -61,6 +62,27 @@ class OptClient {
   Result<StatsResult> StatsFull();
 
   Status LoadGraph(const std::string& name, const std::string& base_path);
+
+  /// ADD_EDGES: applies one batch of undirected edges atomically.
+  /// Rejections (self-loop, duplicate, already-present edge, id out of
+  /// range) come back as InvalidArgument with nothing applied;
+  /// Unavailable means the server could not read base adjacency and the
+  /// same batch is safe to retry verbatim.
+  Result<MutateResult> AddEdges(
+      const std::string& graph,
+      const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  /// REMOVE_EDGES: same contract; every edge must be present.
+  Result<MutateResult> RemoveEdges(
+      const std::string& graph,
+      const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  /// SUBSCRIBE_COUNT: long-poll until the graph's epoch exceeds
+  /// `after_epoch` (pass 0 for the current state immediately) or
+  /// `timeout_millis` elapses. Blocks the connection for the duration.
+  Result<SubscribeCountResult> SubscribeCount(const std::string& graph,
+                                              uint64_t after_epoch,
+                                              uint64_t timeout_millis);
 
   /// Flight-recorder tail from the most recent server ERROR reply on
   /// this client (degraded queries ship their event log with the

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "storage/record_scanner.h"
+
 namespace opt {
 
 GraphRegistry::GraphRegistry(Env* env, const RegistryOptions& options)
@@ -33,17 +35,25 @@ Status GraphRegistry::LoadGraph(const std::string& name,
   entry.base_path = base_path;
   entry.owner = next_owner_++;
   entry.epoch = next_epoch_++;
+  entry.mutate_mutex = std::make_shared<std::mutex>();
+  if (options_.approx_reservoir_edges > 0) {
+    entry.estimator = std::make_shared<TriestEstimator>(
+        options_.approx_reservoir_edges, options_.approx_seed);
+  }
 
   auto it = graphs_.find(name);
   if (it != graphs_.end()) {
     // Reload: stale pages of the old incarnation must never satisfy a
     // lookup again (new owner tag guarantees it); reclaim the unpinned
-    // ones eagerly.
+    // ones eagerly. Pending deltas are discarded too — the store on
+    // disk is the new truth, and in-flight ApplyEdgeDelta calls on the
+    // old incarnation will fail their commit-time identity check.
     pool_->DropOwner(it->second.owner);
     it->second = std::move(entry);
   } else {
     graphs_.emplace(name, std::move(entry));
   }
+  epoch_cv_.notify_all();
   return Status::OK();
 }
 
@@ -57,9 +67,178 @@ Result<GraphRegistry::GraphHandle> GraphRegistry::Acquire(
   GraphHandle handle;
   handle.name = name;
   handle.store = it->second.store;
+  handle.overlay = it->second.overlay;
   handle.owner = it->second.owner;
   handle.epoch = it->second.epoch;
   return handle;
+}
+
+Result<GraphRegistry::DeltaOutcome> GraphRegistry::ApplyEdgeDelta(
+    const std::string& name, DeltaKind kind, std::span<const Edge> edges) {
+  // Snapshot the entry's store/overlay and its per-graph mutation lock.
+  std::shared_ptr<GraphStore> store;
+  std::shared_ptr<const DeltaOverlay> overlay;
+  std::shared_ptr<std::mutex> mutate;
+  std::shared_ptr<TriestEstimator> estimator;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end()) {
+      return Status::NotFound("graph '" + name + "' is not registered");
+    }
+    store = it->second.store;
+    overlay = it->second.overlay;
+    mutate = it->second.mutate_mutex;
+    estimator = it->second.estimator;
+  }
+
+  // Serialize batches per graph. The registry mutex is NOT held while
+  // the batch computes — queries acquire and run freely; they only see
+  // the batch once it publishes below.
+  std::lock_guard<std::mutex> apply_lock(*mutate);
+
+  // Base reads go through Env, so injected device faults apply here like
+  // anywhere else. Transient faults heal on reread within the bounded
+  // budget; terminal I/O failure degrades the mutation to Unavailable
+  // (the delta is NOT applied — nothing is ever silently dropped).
+  const uint32_t attempts = std::max(options_.delta_read_attempts, 1u);
+  AdjacencyFetcher fetch = [&](VertexId v, std::vector<VertexId>* out) {
+    Status last = Status::OK();
+    for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+      last = ReadAdjacency(*store, v, out);
+      // Only device-level failures are worth a reread (transient faults
+      // and torn pages heal); anything else is terminal as-is.
+      if (last.ok() || (!last.IsIOError() && !last.IsCorruption())) {
+        return last;
+      }
+    }
+    if (last.IsIOError()) {
+      return Status::Unavailable(
+          "base adjacency of vertex " + std::to_string(v) +
+          " unreadable after " + std::to_string(attempts) +
+          " attempts: " + last.message());
+    }
+    return last;
+  };
+
+  DeltaApplyStats stats;
+  auto next = DeltaOverlay::Apply(overlay.get(), kind, edges,
+                                  static_cast<VertexId>(store->num_vertices()),
+                                  fetch, &stats);
+  if (!next.ok()) return next.status();
+
+  DeltaOutcome outcome;
+  outcome.edges_applied = stats.edges_applied;
+  outcome.base_fetches = stats.base_fetches;
+  outcome.triangles_added = stats.triangles_added;
+  outcome.triangles_removed = stats.triangles_removed;
+  outcome.batch_triangle_delta =
+      static_cast<int64_t>(stats.triangles_added) -
+      static_cast<int64_t>(stats.triangles_removed);
+  outcome.total_triangle_delta = (*next)->triangle_delta();
+
+  // Publish: new overlay + bumped epoch as one atomic step.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end() || it->second.store != store) {
+      return Status::Aborted("graph '" + name +
+                             "' was reloaded while the delta was applying; "
+                             "batch not applied");
+    }
+    it->second.overlay = std::move(next.value());
+    it->second.epoch = next_epoch_++;
+    outcome.epoch = it->second.epoch;
+  }
+  epoch_cv_.notify_all();
+
+  // Feed the approximate counter after the exact commit (still under the
+  // per-graph mutation lock, which guards the estimator).
+  if (estimator != nullptr) {
+    if (kind == DeltaKind::kAdd) {
+      for (const Edge& e : edges) estimator->OnInsert(e.first, e.second);
+    } else {
+      // TRIÈST-IMPR is insert-only; removals invalidate the estimate.
+      estimator->Taint();
+    }
+    outcome.approx_valid = estimator->valid();
+    outcome.approx_triangles = estimator->estimate();
+  }
+  return outcome;
+}
+
+void GraphRegistry::SetBaseTriangles(const std::string& name,
+                                     const GraphStore* store,
+                                     uint64_t triangles) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end() || it->second.store.get() != store) return;
+  it->second.base_triangles_known = true;
+  it->second.base_triangles = triangles;
+}
+
+GraphRegistry::DeltaSnapshot GraphRegistry::SnapshotLocked(
+    const Entry& entry) const {
+  DeltaSnapshot snap;
+  snap.epoch = entry.epoch;
+  snap.base_known = entry.base_triangles_known;
+  snap.base_triangles = entry.base_triangles;
+  if (entry.overlay != nullptr) {
+    snap.triangle_delta = entry.overlay->triangle_delta();
+    snap.edges_added = entry.overlay->edges_added();
+    snap.edges_removed = entry.overlay->edges_removed();
+    snap.batches_applied = entry.overlay->batches_applied();
+  }
+  return snap;
+}
+
+Result<GraphRegistry::DeltaSnapshot> GraphRegistry::DeltaState(
+    const std::string& name) const {
+  std::shared_ptr<TriestEstimator> estimator;
+  std::shared_ptr<std::mutex> mutate;
+  DeltaSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end()) {
+      return Status::NotFound("graph '" + name + "' is not registered");
+    }
+    snap = SnapshotLocked(it->second);
+    estimator = it->second.estimator;
+    mutate = it->second.mutate_mutex;
+  }
+  if (estimator != nullptr) {
+    std::lock_guard<std::mutex> lock(*mutate);
+    snap.approx_valid = estimator->valid() && estimator->stream_length() > 0;
+    snap.approx_triangles = estimator->estimate();
+    snap.approx_stream_length = estimator->stream_length();
+  }
+  return snap;
+}
+
+Result<GraphRegistry::DeltaSnapshot> GraphRegistry::WaitForEpoch(
+    const std::string& name, uint64_t after_epoch,
+    std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool timed_out = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      auto it = graphs_.find(name);
+      if (it == graphs_.end()) {
+        return Status::NotFound("graph '" + name + "' is not registered");
+      }
+      if (it->second.epoch > after_epoch) break;
+      if (epoch_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        timed_out = true;
+        break;
+      }
+    }
+  }
+  auto snap = DeltaState(name);
+  if (!snap.ok()) return snap.status();
+  snap->timed_out = timed_out && snap->epoch <= after_epoch;
+  return snap;
 }
 
 std::vector<GraphRegistry::GraphInfo> GraphRegistry::List() const {
@@ -75,6 +254,11 @@ std::vector<GraphRegistry::GraphInfo> GraphRegistry::List() const {
     info.num_pages = entry.store->num_pages();
     info.page_size = entry.store->page_size();
     info.epoch = entry.epoch;
+    if (entry.overlay != nullptr) {
+      info.delta_edges_added = entry.overlay->edges_added();
+      info.delta_edges_removed = entry.overlay->edges_removed();
+      info.delta_triangles = entry.overlay->triangle_delta();
+    }
     out.push_back(std::move(info));
   }
   return out;

@@ -32,7 +32,18 @@ QueryScheduler::QueryScheduler(GraphRegistry* registry,
       queue_wait_hist_(Metrics().GetHistogram("query.queue_wait_us")),
       exec_hist_(Metrics().GetHistogram("query.exec_us")),
       slow_query_counter_(Metrics().GetCounter("scheduler.slow_queries")),
-      degraded_counter_(Metrics().GetCounter("query.degraded")) {
+      degraded_counter_(Metrics().GetCounter("query.degraded")),
+      delta_apply_hist_(Metrics().GetHistogram("delta.apply_us")),
+      delta_batches_counter_(Metrics().GetCounter("delta.batches")),
+      delta_edges_added_counter_(Metrics().GetCounter("delta.edges_added")),
+      delta_edges_removed_counter_(
+          Metrics().GetCounter("delta.edges_removed")),
+      delta_triangles_added_counter_(
+          Metrics().GetCounter("delta.triangles_added")),
+      delta_triangles_removed_counter_(
+          Metrics().GetCounter("delta.triangles_removed")),
+      delta_rejected_counter_(Metrics().GetCounter("delta.rejected")),
+      delta_degraded_counter_(Metrics().GetCounter("delta.degraded")) {
   const uint32_t workers = std::max(options_.workers, 1u);
   workers_.reserve(workers);
   for (uint32_t i = 0; i < workers; ++i) {
@@ -55,6 +66,7 @@ QueryScheduler::~QueryScheduler() {
     }
   }
   work_cv_.notify_all();
+  watchdog_cv_.notify_all();
   QueryResult aborted;
   aborted.status = Status::Aborted("scheduler shutting down");
   for (auto& task : orphaned) {
@@ -188,6 +200,61 @@ Status QueryScheduler::LoadGraph(const std::string& name,
   return Status::OK();
 }
 
+MutationResult QueryScheduler::ApplyDelta(const std::string& graph,
+                                          DeltaKind kind,
+                                          std::span<const Edge> edges) {
+  TraceSpan span("service", "delta.apply",
+                 CurrentTraceRecorder() != nullptr
+                     ? "\"graph\":\"" + JsonEscape(graph) + "\",\"kind\":\"" +
+                           (kind == DeltaKind::kAdd ? "ADD_EDGES"
+                                                    : "REMOVE_EDGES") +
+                           "\",\"edges\":" + std::to_string(edges.size())
+                     : std::string());
+  const auto start = Clock::now();
+  auto outcome = registry_->ApplyEdgeDelta(graph, kind, edges);
+  const uint64_t apply_us = static_cast<uint64_t>(std::max<int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start)
+             .count()));
+  delta_apply_hist_->Record(apply_us);
+
+  MutationResult result;
+  result.seconds = static_cast<double>(apply_us) * 1e-6;
+  if (!outcome.ok()) {
+    result.status = outcome.status();
+    result.degraded = result.status.IsUnavailable();
+    if (result.degraded) {
+      delta_degraded_counter_->Increment();
+      OPT_LOG(Warn) << "degraded mutation: graph=" << graph
+                    << " status=" << result.status.ToString()
+                    << " (batch NOT applied; retry verbatim)";
+    } else if (result.status.IsInvalidArgument()) {
+      delta_rejected_counter_->Increment();
+    }
+    return result;
+  }
+  delta_batches_counter_->Increment();
+  if (kind == DeltaKind::kAdd) {
+    delta_edges_added_counter_->Increment(outcome->edges_applied);
+  } else {
+    delta_edges_removed_counter_->Increment(outcome->edges_applied);
+  }
+  delta_triangles_added_counter_->Increment(outcome->triangles_added);
+  delta_triangles_removed_counter_->Increment(outcome->triangles_removed);
+  // Epoch-keyed cache entries for older epochs are unreachable already;
+  // dropping them eagerly just keeps the cache from holding dead weight.
+  cache_.InvalidateGraph(graph);
+
+  result.status = Status::OK();
+  result.epoch = outcome->epoch;
+  result.batch_triangle_delta = outcome->batch_triangle_delta;
+  result.total_triangle_delta = outcome->total_triangle_delta;
+  result.edges_applied = outcome->edges_applied;
+  result.approx_valid = outcome->approx_valid;
+  result.approx_triangles = outcome->approx_triangles;
+  return result;
+}
+
 SchedulerStats QueryScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
@@ -270,6 +337,19 @@ QueryResult QueryScheduler::Execute(Task* task) {
   }
   GraphStore* store = handle->store.get();
   result.epoch = handle->epoch;
+  const bool dirty_overlay =
+      handle->overlay != nullptr && !handle->overlay->empty();
+  if (dirty_overlay && task->spec.kind == QueryKind::kList) {
+    // The batch engine streams the on-disk store only; listing through
+    // an overlay would silently miss/over-report delta edges. Reload
+    // (or remove the pending deltas) to list again.
+    result.status = Status::NotSupported(
+        "LIST on graph '" + task->spec.graph + "' with " +
+        std::to_string(handle->overlay->edges_added() +
+                       handle->overlay->edges_removed()) +
+        " pending delta edges; COUNT remains exact");
+    return result;
+  }
 
   const uint32_t pages = task->spec.memory_pages != 0
                              ? task->spec.memory_pages
@@ -322,6 +402,17 @@ QueryResult QueryScheduler::Execute(Task* task) {
   if (run_stats.profiled) result.overlap = run_stats.overlap;
   result.triangles = counter.count();
   result.seconds = run_stats.elapsed_seconds;
+  if (status.ok() && task->spec.kind == QueryKind::kCount) {
+    // The engine ran the immutable base store, so counter.count() is the
+    // base triangle count: record it (O(1) subscribe totals), then fold
+    // in the overlay delta of the acquired epoch for the answer.
+    registry_->SetBaseTriangles(task->spec.graph, store, counter.count());
+    if (dirty_overlay) {
+      const int64_t total = static_cast<int64_t>(counter.count()) +
+                            handle->overlay->triangle_delta();
+      result.triangles = static_cast<uint64_t>(std::max<int64_t>(0, total));
+    }
+  }
   result.iterations = run_stats.iterations;
   result.pool_hits =
       run_stats.internal_cache_hits + run_stats.external_cache_hits;
@@ -384,7 +475,7 @@ void QueryScheduler::WatchdogLoop() {
         task->cancel.store(true, std::memory_order_relaxed);
       }
     }
-    work_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    watchdog_cv_.wait_for(lock, std::chrono::milliseconds(2));
   }
 }
 

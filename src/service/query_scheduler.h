@@ -12,7 +12,11 @@
 //    graph, epoch, and parameters) queued or running attach to the one
 //    in-flight run and all receive its result;
 //  * a result cache for completed COUNT queries, invalidated on graph
-//    reload (epoch-keyed, so stale entries are unreachable regardless).
+//    reload (epoch-keyed, so stale entries are unreachable regardless);
+//  * streaming mutations — ApplyDelta funnels ADD_EDGES/REMOVE_EDGES
+//    batches into the registry's atomic overlay commit and owns the
+//    delta.* metrics; COUNT answers fold the acquired epoch's overlay
+//    triangle delta onto the base run.
 #ifndef OPT_SERVICE_QUERY_SCHEDULER_H_
 #define OPT_SERVICE_QUERY_SCHEDULER_H_
 
@@ -101,6 +105,24 @@ struct QueryResult {
   std::vector<FlightEvent> flight_events;
 };
 
+/// Outcome of one streaming delta batch (scheduler-level wrapper over
+/// GraphRegistry::DeltaOutcome, plus timing and degraded semantics
+/// mirroring QueryResult).
+struct MutationResult {
+  Status status;
+  /// True when `status` is Unavailable: base-adjacency reads failed past
+  /// the retry budget. The batch was NOT applied — nothing was silently
+  /// dropped — and the same batch is worth retrying verbatim.
+  bool degraded = false;
+  uint64_t epoch = 0;  // epoch the batch published under (0 on failure)
+  int64_t batch_triangle_delta = 0;
+  int64_t total_triangle_delta = 0;
+  uint64_t edges_applied = 0;
+  double seconds = 0;  // apply wall time, validation included
+  bool approx_valid = false;
+  double approx_triangles = 0;
+};
+
 struct SchedulerOptions {
   uint32_t workers = 4;
   /// Admission bound: maximum queries waiting (excludes running ones).
@@ -155,6 +177,14 @@ class QueryScheduler {
   /// Registers/reloads a graph and invalidates its cached results.
   Status LoadGraph(const std::string& name, const std::string& base_path);
 
+  /// Applies one streaming edge batch synchronously (mutations are
+  /// latency-bound on a handful of point reads, not on a full run, so
+  /// they bypass the admission queue). Atomic: the batch publishes with
+  /// an epoch bump or not at all. Failed validation → InvalidArgument;
+  /// terminal device faults → Unavailable with `degraded` set.
+  MutationResult ApplyDelta(const std::string& graph, DeltaKind kind,
+                            std::span<const Edge> edges);
+
   SchedulerStats stats() const;
   ResultCache::Stats cache_stats() const { return cache_.stats(); }
   GraphRegistry* registry() { return registry_; }
@@ -194,9 +224,23 @@ class QueryScheduler {
   HistogramMetric* const exec_hist_;
   Counter* const slow_query_counter_;
   Counter* const degraded_counter_;
+  // Streaming-delta metrics (delta.apply_us feeds the p50/p95/p99 STATS
+  // exposes; the counters make rejected/degraded mutations observable).
+  HistogramMetric* const delta_apply_hist_;
+  Counter* const delta_batches_counter_;
+  Counter* const delta_edges_added_counter_;
+  Counter* const delta_edges_removed_counter_;
+  Counter* const delta_triangles_added_counter_;
+  Counter* const delta_triangles_removed_counter_;
+  Counter* const delta_rejected_counter_;
+  Counter* const delta_degraded_counter_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
+  // The watchdog sleeps on its own cv: if it shared work_cv_, Submit's
+  // notify_one could wake the watchdog instead of a worker and strand a
+  // queued query until the next (possibly never-arriving) submission.
+  std::condition_variable watchdog_cv_;
   std::deque<std::shared_ptr<Task>> queue_;
   std::vector<std::shared_ptr<Task>> running_;
   std::unordered_map<std::string, std::shared_ptr<Task>> inflight_;

@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -127,8 +128,11 @@ ProfileResult ProfileResultFrom(const QueryResult& result) {
 
 }  // namespace
 
-OptServer::OptServer(QueryScheduler* scheduler, bool allow_load_graph)
-    : scheduler_(scheduler), allow_load_graph_(allow_load_graph) {}
+OptServer::OptServer(QueryScheduler* scheduler, bool allow_load_graph,
+                     bool allow_mutations)
+    : scheduler_(scheduler),
+      allow_load_graph_(allow_load_graph),
+      allow_mutations_(allow_mutations) {}
 
 OptServer::~OptServer() { Stop(); }
 
@@ -213,11 +217,11 @@ void OptServer::Stop() {
     if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
-  if (listen_fd_ >= 0) {
+  const int listener = listen_fd_.exchange(-1);
+  if (listener >= 0) {
     // shutdown() unblocks accept(); close() alone does not on Linux.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::shutdown(listener, SHUT_RDWR);
+    ::close(listener);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<Connection>> connections;
@@ -237,7 +241,9 @@ void OptServer::Stop() {
 
 void OptServer::AcceptLoop() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int listener = listen_fd_.load(std::memory_order_acquire);
+    if (listener < 0) return;  // Stop() retired the listener
+    const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed by Stop(), or fatal
@@ -274,6 +280,15 @@ void OptServer::HandleConnection(int fd) {
         break;
       case MessageType::kLoadGraphRequest:
         status = HandleLoadGraph(fd, message);
+        break;
+      case MessageType::kAddEdgesRequest:
+        status = HandleMutate(fd, message, DeltaKind::kAdd);
+        break;
+      case MessageType::kRemoveEdgesRequest:
+        status = HandleMutate(fd, message, DeltaKind::kRemove);
+        break;
+      case MessageType::kSubscribeCountRequest:
+        status = HandleSubscribe(fd, message);
         break;
       default:
         status = SendError(
@@ -379,7 +394,13 @@ std::string OptServer::RenderStats() const {
         << "graph." << info.name << ".directed_edges="
         << info.num_directed_edges << '\n'
         << "graph." << info.name << ".pages=" << info.num_pages << '\n'
-        << "graph." << info.name << ".epoch=" << info.epoch << '\n';
+        << "graph." << info.name << ".epoch=" << info.epoch << '\n'
+        << "graph." << info.name << ".delta_edges_added="
+        << info.delta_edges_added << '\n'
+        << "graph." << info.name << ".delta_edges_removed="
+        << info.delta_edges_removed << '\n'
+        << "graph." << info.name << ".delta_triangles="
+        << info.delta_triangles << '\n';
   }
   return out.str();
 }
@@ -441,6 +462,73 @@ void OptServer::AppendProfileLine(const ProfileResult& profile,
       << ",\"cost_measured_seconds\":" << profile.cost_measured_seconds
       << ",\"cost_residual_seconds\":" << profile.cost_residual_seconds
       << "}\n";
+}
+
+Status OptServer::HandleMutate(int fd, const WireMessage& message,
+                               DeltaKind kind) {
+  if (!allow_mutations_) {
+    return SendError(fd, Status::NotSupported(
+                             "streaming mutations disabled on this server"));
+  }
+  MutateRequest request;
+  Status status = DecodeMutateRequest(message.payload, &request);
+  if (!status.ok()) return SendError(fd, status);
+  TraceSpan span("service",
+                 kind == DeltaKind::kAdd ? "delta.add" : "delta.remove",
+                 CurrentTraceRecorder() != nullptr
+                     ? "\"graph\":\"" + JsonEscape(request.graph) + "\""
+                     : std::string());
+  const MutationResult result =
+      scheduler_->ApplyDelta(request.graph, kind, request.edges);
+  if (!result.status.ok()) return SendError(fd, result.status);
+  MutateResult wire;
+  wire.epoch = result.epoch;
+  wire.batch_triangle_delta = result.batch_triangle_delta;
+  wire.total_triangle_delta = result.total_triangle_delta;
+  wire.edges_applied = result.edges_applied;
+  wire.seconds = result.seconds;
+  wire.approx_valid = result.approx_valid ? 1 : 0;
+  wire.approx_triangles = result.approx_triangles;
+  return WriteMessage(fd, MessageType::kMutateResult,
+                      EncodeMutateResult(wire));
+}
+
+Status OptServer::HandleSubscribe(int fd, const WireMessage& message) {
+  SubscribeCountRequest request;
+  Status status = DecodeSubscribeCountRequest(message.payload, &request);
+  if (!status.ok()) return SendError(fd, status);
+  GraphRegistry* registry = scheduler_->registry();
+  auto state = registry->DeltaState(request.graph);
+  if (!state.ok()) return SendError(fd, state.status());
+  if (!state->base_known) {
+    // Learn the base count once through the scheduler (cacheable and
+    // coalescable with concurrent COUNTs; a successful run records it
+    // via SetBaseTriangles). A failed run just leaves exact_known=0 —
+    // the delta fields below stay exact either way.
+    QuerySpec spec;
+    spec.graph = request.graph;
+    (void)scheduler_->Run(spec);
+  }
+  auto snap = registry->WaitForEpoch(
+      request.graph, request.after_epoch,
+      std::chrono::milliseconds(request.timeout_millis));
+  if (!snap.ok()) return SendError(fd, snap.status());
+  SubscribeCountResult wire;
+  wire.epoch = snap->epoch;
+  wire.timed_out = snap->timed_out ? 1 : 0;
+  wire.exact_known = snap->base_known ? 1 : 0;
+  if (snap->base_known) {
+    const int64_t total = static_cast<int64_t>(snap->base_triangles) +
+                          snap->triangle_delta;
+    wire.triangles = static_cast<uint64_t>(std::max<int64_t>(0, total));
+  }
+  wire.delta_triangles = snap->triangle_delta;
+  wire.edges_added = snap->edges_added;
+  wire.edges_removed = snap->edges_removed;
+  wire.approx_valid = snap->approx_valid ? 1 : 0;
+  wire.approx_triangles = snap->approx_triangles;
+  return WriteMessage(fd, MessageType::kSubscribeCountResult,
+                      EncodeSubscribeCountResult(wire));
 }
 
 Status OptServer::HandleLoadGraph(int fd, const WireMessage& message) {

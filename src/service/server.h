@@ -25,8 +25,10 @@ namespace opt {
 class OptServer {
  public:
   /// Both pointers must outlive the server. Graph loading over the wire
-  /// can be disabled for deployments that pre-pin their graphs.
-  OptServer(QueryScheduler* scheduler, bool allow_load_graph = true);
+  /// can be disabled for deployments that pre-pin their graphs, and
+  /// streaming mutations (ADD_EDGES / REMOVE_EDGES) for read-only ones.
+  OptServer(QueryScheduler* scheduler, bool allow_load_graph = true,
+            bool allow_mutations = true);
   ~OptServer();
 
   OptServer(const OptServer&) = delete;
@@ -65,6 +67,8 @@ class OptServer {
   Status HandleProfile(int fd, const WireMessage& message);
   Status HandleStats(int fd);
   Status HandleLoadGraph(int fd, const WireMessage& message);
+  Status HandleMutate(int fd, const WireMessage& message, DeltaKind kind);
+  Status HandleSubscribe(int fd, const WireMessage& message);
   void AppendProfileLine(const ProfileResult& profile,
                          const std::string& graph);
   std::string RenderStats() const;
@@ -74,8 +78,11 @@ class OptServer {
 
   QueryScheduler* const scheduler_;
   const bool allow_load_graph_;
+  const bool allow_mutations_;
 
-  int listen_fd_ = -1;
+  // Atomic: Stop() retires the listener (exchange to -1) while
+  // AcceptLoop() concurrently reads it for accept().
+  std::atomic<int> listen_fd_{-1};
   uint16_t bound_port_ = 0;
   std::string unix_path_;
   std::atomic<bool> stopping_{false};

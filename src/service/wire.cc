@@ -169,6 +169,106 @@ Status DecodeLoadGraphRequest(std::string_view payload,
   return reader.GetString(&out->base_path);
 }
 
+std::string EncodeMutateRequest(const MutateRequest& request) {
+  std::string payload;
+  PutString(&payload, request.graph);
+  PutU32(&payload, static_cast<uint32_t>(request.edges.size()));
+  for (const auto& [u, v] : request.edges) {
+    PutU32(&payload, u);
+    PutU32(&payload, v);
+  }
+  return payload;
+}
+
+Status DecodeMutateRequest(std::string_view payload, MutateRequest* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetString(&out->graph));
+  uint32_t count;
+  OPT_RETURN_IF_ERROR(reader.GetU32(&count));
+  out->edges.clear();
+  out->edges.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    VertexId u, v;
+    OPT_RETURN_IF_ERROR(reader.GetU32(&u));
+    OPT_RETURN_IF_ERROR(reader.GetU32(&v));
+    out->edges.emplace_back(u, v);
+  }
+  return Status::OK();
+}
+
+std::string EncodeMutateResult(const MutateResult& result) {
+  std::string payload;
+  PutU64(&payload, result.epoch);
+  PutU64(&payload, static_cast<uint64_t>(result.batch_triangle_delta));
+  PutU64(&payload, static_cast<uint64_t>(result.total_triangle_delta));
+  PutU64(&payload, result.edges_applied);
+  PutDouble(&payload, result.seconds);
+  payload.push_back(static_cast<char>(result.approx_valid));
+  PutDouble(&payload, result.approx_triangles);
+  return payload;
+}
+
+Status DecodeMutateResult(std::string_view payload, MutateResult* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->epoch));
+  uint64_t bits;
+  OPT_RETURN_IF_ERROR(reader.GetU64(&bits));
+  out->batch_triangle_delta = static_cast<int64_t>(bits);
+  OPT_RETURN_IF_ERROR(reader.GetU64(&bits));
+  out->total_triangle_delta = static_cast<int64_t>(bits);
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->edges_applied));
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->seconds));
+  OPT_RETURN_IF_ERROR(reader.GetU8(&out->approx_valid));
+  return reader.GetDouble(&out->approx_triangles);
+}
+
+std::string EncodeSubscribeCountRequest(
+    const SubscribeCountRequest& request) {
+  std::string payload;
+  PutString(&payload, request.graph);
+  PutU64(&payload, request.after_epoch);
+  PutU64(&payload, request.timeout_millis);
+  return payload;
+}
+
+Status DecodeSubscribeCountRequest(std::string_view payload,
+                                   SubscribeCountRequest* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetString(&out->graph));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->after_epoch));
+  return reader.GetU64(&out->timeout_millis);
+}
+
+std::string EncodeSubscribeCountResult(const SubscribeCountResult& result) {
+  std::string payload;
+  PutU64(&payload, result.epoch);
+  payload.push_back(static_cast<char>(result.timed_out));
+  payload.push_back(static_cast<char>(result.exact_known));
+  PutU64(&payload, result.triangles);
+  PutU64(&payload, static_cast<uint64_t>(result.delta_triangles));
+  PutU64(&payload, result.edges_added);
+  PutU64(&payload, result.edges_removed);
+  payload.push_back(static_cast<char>(result.approx_valid));
+  PutDouble(&payload, result.approx_triangles);
+  return payload;
+}
+
+Status DecodeSubscribeCountResult(std::string_view payload,
+                                  SubscribeCountResult* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->epoch));
+  OPT_RETURN_IF_ERROR(reader.GetU8(&out->timed_out));
+  OPT_RETURN_IF_ERROR(reader.GetU8(&out->exact_known));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->triangles));
+  uint64_t bits;
+  OPT_RETURN_IF_ERROR(reader.GetU64(&bits));
+  out->delta_triangles = static_cast<int64_t>(bits);
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->edges_added));
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->edges_removed));
+  OPT_RETURN_IF_ERROR(reader.GetU8(&out->approx_valid));
+  return reader.GetDouble(&out->approx_triangles);
+}
+
 std::string EncodeError(const Status& status) {
   return EncodeError(status, {});
 }

@@ -4,11 +4,13 @@
 // Frame layout (little-endian, via util/coding.h):
 //   [u32 frame_length] [u8 message_type] [payload: frame_length-1 bytes]
 //
-// Requests: COUNT, LIST, STATS, LOADGRAPH. Responses: one COUNT_RESULT /
-// STATS_RESULT / LOADGRAPH_RESULT / ERROR frame per request, except LIST,
-// which streams zero or more LIST_BATCH frames (nested representation:
-// u, v, k, w1..wk per record) terminated by LIST_END or ERROR. Errors
-// carry the Status code + message across the wire.
+// Requests: COUNT, LIST, STATS, LOADGRAPH, ADD_EDGES, REMOVE_EDGES,
+// SUBSCRIBE_COUNT. Responses: one COUNT_RESULT / STATS_RESULT /
+// LOADGRAPH_RESULT / MUTATE_RESULT / SUBSCRIBE_COUNT_RESULT / ERROR
+// frame per request, except LIST, which streams zero or more LIST_BATCH
+// frames (nested representation: u, v, k, w1..wk per record) terminated
+// by LIST_END or ERROR. Errors carry the Status code + message across
+// the wire.
 #ifndef OPT_SERVICE_WIRE_H_
 #define OPT_SERVICE_WIRE_H_
 
@@ -32,6 +34,14 @@ enum class MessageType : uint8_t {
   /// COUNT with the overlap profiler enabled; same payload shape as
   /// kCountRequest, answered with kProfileResult.
   kProfileRequest = 5,
+  /// Streaming edge deltas: both share the MutateRequest payload shape
+  /// and are answered with kMutateResult (or kError — the batch is all
+  /// or nothing).
+  kAddEdgesRequest = 6,
+  kRemoveEdgesRequest = 7,
+  /// Long-poll on the graph's epoch; answered with kSubscribeCountResult
+  /// when the epoch advances past `after_epoch` or the timeout elapses.
+  kSubscribeCountRequest = 8,
   // Responses.
   kCountResult = 64,
   kListBatch = 65,
@@ -40,6 +50,8 @@ enum class MessageType : uint8_t {
   kLoadGraphResult = 68,
   kError = 69,
   kProfileResult = 70,
+  kMutateResult = 71,
+  kSubscribeCountResult = 72,
 };
 
 struct WireMessage {
@@ -67,6 +79,49 @@ struct CountResult {
 struct LoadGraphRequest {
   std::string name;
   std::string base_path;
+};
+
+/// ADD_EDGES / REMOVE_EDGES: one batch of undirected edges. Validation
+/// (self-loops, duplicates, presence, id range) happens server-side so
+/// every client gets the same typed InvalidArgument rejections.
+struct MutateRequest {
+  std::string graph;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+};
+
+struct MutateResult {
+  uint64_t epoch = 0;  // epoch the batch published under
+  int64_t batch_triangle_delta = 0;
+  int64_t total_triangle_delta = 0;  // residual overlay delta vs base
+  uint64_t edges_applied = 0;
+  double seconds = 0;
+  uint8_t approx_valid = 0;  // sampling estimator enabled and untainted
+  double approx_triangles = 0;
+};
+
+struct SubscribeCountRequest {
+  std::string graph;
+  /// Return immediately once the graph's epoch exceeds this (pass the
+  /// last seen epoch; 0 returns the current state right away).
+  uint64_t after_epoch = 0;
+  /// Long-poll budget; the reply carries `timed_out` when it elapsed
+  /// without an epoch advance.
+  uint64_t timeout_millis = 0;
+};
+
+struct SubscribeCountResult {
+  uint64_t epoch = 0;
+  uint8_t timed_out = 0;
+  /// Exact total (base + delta) is only known once a full COUNT has run
+  /// against this incarnation of the store; `delta_triangles` and the
+  /// edge counters are always exact.
+  uint8_t exact_known = 0;
+  uint64_t triangles = 0;
+  int64_t delta_triangles = 0;
+  uint64_t edges_added = 0;
+  uint64_t edges_removed = 0;
+  uint8_t approx_valid = 0;
+  double approx_triangles = 0;
 };
 
 /// STATS reply. The legacy `text` field (newline-separated key=value
@@ -189,6 +244,20 @@ Status DecodeCountResult(std::string_view payload, CountResult* out);
 std::string EncodeLoadGraphRequest(const LoadGraphRequest& request);
 Status DecodeLoadGraphRequest(std::string_view payload,
                               LoadGraphRequest* out);
+
+std::string EncodeMutateRequest(const MutateRequest& request);
+Status DecodeMutateRequest(std::string_view payload, MutateRequest* out);
+
+std::string EncodeMutateResult(const MutateResult& result);
+Status DecodeMutateResult(std::string_view payload, MutateResult* out);
+
+std::string EncodeSubscribeCountRequest(const SubscribeCountRequest& request);
+Status DecodeSubscribeCountRequest(std::string_view payload,
+                                   SubscribeCountRequest* out);
+
+std::string EncodeSubscribeCountResult(const SubscribeCountResult& result);
+Status DecodeSubscribeCountResult(std::string_view payload,
+                                  SubscribeCountResult* out);
 
 std::string EncodeError(const Status& status);
 /// With a flight-recorder tail appended (degraded queries).

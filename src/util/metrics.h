@@ -58,6 +58,13 @@ class Gauge {
 };
 
 /// Thread-safe wrapper around Histogram for concurrent recording.
+///
+/// Invariant: a Snapshot() is always internally consistent — count, sum,
+/// and the bucket array describe the same set of Add() calls. Reset()
+/// publishes a whole fresh histogram under the lock (one swap, never a
+/// field-by-field clear of live state), so no snapshot can pair the old
+/// state's count with the new state's zero sum or vice versa, and the
+/// guarantee survives refactors that weaken Clear() itself.
 class HistogramMetric {
  public:
   void Record(uint64_t value) {
@@ -69,8 +76,9 @@ class HistogramMetric {
     return histogram_.Snapshot();
   }
   void Reset() {
+    Histogram fresh;
     std::lock_guard<std::mutex> lock(mutex_);
-    histogram_.Clear();
+    histogram_ = std::move(fresh);
   }
 
  private:

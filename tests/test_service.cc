@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "gen/erdos_renyi.h"
+#include "graph/builder.h"
 #include "service/client.h"
 #include "service/graph_registry.h"
 #include "service/query_scheduler.h"
@@ -873,6 +874,204 @@ TEST(OptServer, DegradedQueryShipsFlightRecorderTailOverTheWire) {
   auto healed = client.Count("g");
   ASSERT_TRUE(healed.ok()) << healed.status().ToString();
   EXPECT_TRUE(client.last_error_events().empty());
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Streaming deltas over the wire
+
+TEST(Wire, MutateRequestRoundTrip) {
+  MutateRequest request;
+  request.graph = "stream-graph";
+  request.edges = {{1, 2}, {7, 3}, {0, 4100000}};
+  MutateRequest decoded;
+  ASSERT_TRUE(
+      DecodeMutateRequest(EncodeMutateRequest(request), &decoded).ok());
+  EXPECT_EQ(decoded.graph, request.graph);
+  EXPECT_EQ(decoded.edges, request.edges);
+}
+
+TEST(Wire, MutateResultRoundTripWithNegativeDeltas) {
+  MutateResult result;
+  result.epoch = 17;
+  result.batch_triangle_delta = -12345;
+  result.total_triangle_delta = -67890;
+  result.edges_applied = 64;
+  result.seconds = 0.0625;
+  result.approx_valid = 1;
+  result.approx_triangles = 1234.5;
+  MutateResult decoded;
+  ASSERT_TRUE(
+      DecodeMutateResult(EncodeMutateResult(result), &decoded).ok());
+  EXPECT_EQ(decoded.epoch, result.epoch);
+  EXPECT_EQ(decoded.batch_triangle_delta, result.batch_triangle_delta);
+  EXPECT_EQ(decoded.total_triangle_delta, result.total_triangle_delta);
+  EXPECT_EQ(decoded.edges_applied, result.edges_applied);
+  EXPECT_EQ(decoded.seconds, result.seconds);
+  EXPECT_EQ(decoded.approx_valid, result.approx_valid);
+  EXPECT_EQ(decoded.approx_triangles, result.approx_triangles);
+}
+
+TEST(Wire, SubscribeCountRequestRoundTrip) {
+  SubscribeCountRequest request;
+  request.graph = "g";
+  request.after_epoch = 41;
+  request.timeout_millis = 2500;
+  SubscribeCountRequest decoded;
+  ASSERT_TRUE(DecodeSubscribeCountRequest(
+                  EncodeSubscribeCountRequest(request), &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.graph, request.graph);
+  EXPECT_EQ(decoded.after_epoch, request.after_epoch);
+  EXPECT_EQ(decoded.timeout_millis, request.timeout_millis);
+}
+
+TEST(Wire, SubscribeCountResultRoundTrip) {
+  SubscribeCountResult result;
+  result.epoch = 99;
+  result.timed_out = 1;
+  result.exact_known = 1;
+  result.triangles = 123456789ull;
+  result.delta_triangles = -42;
+  result.edges_added = 7;
+  result.edges_removed = 3;
+  result.approx_valid = 1;
+  result.approx_triangles = 98765.25;
+  SubscribeCountResult decoded;
+  ASSERT_TRUE(DecodeSubscribeCountResult(
+                  EncodeSubscribeCountResult(result), &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.epoch, result.epoch);
+  EXPECT_EQ(decoded.timed_out, result.timed_out);
+  EXPECT_EQ(decoded.exact_known, result.exact_known);
+  EXPECT_EQ(decoded.triangles, result.triangles);
+  EXPECT_EQ(decoded.delta_triangles, result.delta_triangles);
+  EXPECT_EQ(decoded.edges_added, result.edges_added);
+  EXPECT_EQ(decoded.edges_removed, result.edges_removed);
+  EXPECT_EQ(decoded.approx_valid, result.approx_valid);
+  EXPECT_EQ(decoded.approx_triangles, result.approx_triangles);
+}
+
+TEST(OptServer, StreamingMutationsEndToEnd) {
+  Env* env = Env::Default();
+  // K4 minus {2,3}: 2 triangles; adding {2,3} closes 2 more.
+  CSRGraph g = GraphBuilder::FromEdges({{0, 1}, {0, 2}, {0, 3}, {1, 2},
+                                        {1, 3}});
+  const std::string path = MaterializeStore(g, env, "mut_e2e");
+  GraphRegistry registry(env);
+  QueryScheduler scheduler(&registry, {});
+  ASSERT_TRUE(scheduler.LoadGraph("g", path).ok());
+  OptServer server(&scheduler);
+  ASSERT_TRUE(server.ListenTcp(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  OptClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", server.bound_port()).ok());
+  auto base = client.Count("g");
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->triangles, 2u);
+
+  // Typed rejections ride the wire as InvalidArgument; the batch is all
+  // or nothing, so state (epoch, count) is untouched even when valid
+  // edges precede the bad one.
+  auto self_loop = client.AddEdges("g", {{1, 1}});
+  EXPECT_EQ(self_loop.status().code(), StatusCode::kInvalidArgument);
+  auto duplicate = client.AddEdges("g", {{2, 3}, {3, 2}});
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kInvalidArgument);
+  auto mixed = client.AddEdges("g", {{2, 3}, {0, 1}});
+  EXPECT_EQ(mixed.status().code(), StatusCode::kInvalidArgument);
+  auto absent = client.RemoveEdges("g", {{2, 3}});
+  EXPECT_EQ(absent.status().code(), StatusCode::kInvalidArgument);
+  auto snap0 = client.SubscribeCount("g", 0, 0);
+  ASSERT_TRUE(snap0.ok()) << snap0.status().ToString();
+  EXPECT_EQ(snap0->delta_triangles, 0);
+  EXPECT_EQ(snap0->edges_added, 0u);
+  ASSERT_TRUE(snap0->exact_known);
+  EXPECT_EQ(snap0->triangles, 2u);
+  const uint64_t epoch0 = snap0->epoch;
+
+  // A valid batch bumps the epoch and COUNT folds the delta in.
+  auto added = client.AddEdges("g", {{2, 3}});
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_GT(added->epoch, epoch0);
+  EXPECT_EQ(added->batch_triangle_delta, 2);
+  EXPECT_EQ(added->edges_applied, 1u);
+  auto counted = client.Count("g");
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->triangles, 4u);
+
+  // LIST refuses while the overlay is dirty; COUNT stays exact.
+  auto dirty_list = client.List("g", [](const ListBatch&) {});
+  EXPECT_EQ(dirty_list.status().code(), StatusCode::kNotSupported);
+
+  // Long-poll: a concurrent mutation wakes the subscriber with the new
+  // epoch and the already-folded exact total.
+  std::thread mutator([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    OptClient writer;
+    ASSERT_TRUE(
+        writer.ConnectTcp("127.0.0.1", server.bound_port()).ok());
+    auto removed = writer.RemoveEdges("g", {{2, 3}});
+    EXPECT_TRUE(removed.ok()) << removed.status().ToString();
+  });
+  auto woken = client.SubscribeCount("g", added->epoch, 10000);
+  mutator.join();
+  ASSERT_TRUE(woken.ok()) << woken.status().ToString();
+  EXPECT_FALSE(woken->timed_out);
+  EXPECT_GT(woken->epoch, added->epoch);
+  EXPECT_EQ(woken->delta_triangles, 0);
+  ASSERT_TRUE(woken->exact_known);
+  EXPECT_EQ(woken->triangles, 2u);
+
+  // Add-then-remove restored the base: LIST works again and the answer
+  // matches the original.
+  uint64_t streamed = 0;
+  auto list_end = client.List("g", [&](const ListBatch& batch) {
+    for (const auto& record : batch.records) streamed += record.ws.size();
+  });
+  ASSERT_TRUE(list_end.ok()) << list_end.status().ToString();
+  EXPECT_EQ(streamed, 2u);
+
+  // The delta apply latency histogram is visible through STATS.
+  auto stats = client.StatsFull();
+  ASSERT_TRUE(stats.ok());
+  bool saw_delta_hist = false;
+  for (const auto& histogram : stats->histograms) {
+    if (histogram.name == "delta.apply_us" && histogram.count > 0) {
+      saw_delta_hist = true;
+    }
+  }
+  EXPECT_TRUE(saw_delta_hist);
+  EXPECT_NE(stats->text.find("graph.g.delta_edges_added=0"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(OptServer, MutationsCanBeDisabled) {
+  Env* env = Env::Default();
+  CSRGraph g = GenerateErdosRenyi(40, 120, 91);
+  GraphRegistry registry(env);
+  QueryScheduler scheduler(&registry, {});
+  ASSERT_TRUE(
+      scheduler.LoadGraph("g", MaterializeStore(g, env, "romut")).ok());
+  OptServer server(&scheduler, /*allow_load_graph=*/true,
+                   /*allow_mutations=*/false);
+  ASSERT_TRUE(server.ListenTcp(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+  OptClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", server.bound_port()).ok());
+  EXPECT_EQ(client.AddEdges("g", {{0, 1}}).status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(client.RemoveEdges("g", {{0, 1}}).status().code(),
+            StatusCode::kNotSupported);
+  // SUBSCRIBE_COUNT is a read op and stays available; with mutations
+  // off the epoch only moves on reload.
+  auto snapshot = client.SubscribeCount("g", 0, 0);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->edges_added, 0u);
+  // The connection survives and plain queries still work.
+  auto count = client.Count("g");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
   server.Stop();
 }
 

@@ -13,6 +13,7 @@
 #include "util/crc32.h"
 #include "util/histogram.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -344,6 +345,41 @@ TEST(HistogramSnapshotTest, MergeWithEmptyIsIdentityEitherWay) {
   EXPECT_EQ(empty.count, original.count);
   EXPECT_EQ(empty.min, 7u);
   EXPECT_EQ(empty.max, 42u);
+}
+
+// Regression: Reset() must publish a whole fresh histogram in one swap
+// under the lock. An earlier field-by-field clear let a concurrent
+// Snapshot() pair the old state's count with the new state's zero sum
+// (or vice versa), producing torn snapshots like count>0 with sum==0.
+// Recording a single constant makes tearing detectable exactly:
+// every consistent snapshot satisfies sum == kValue * count, min/max
+// are kValue whenever count > 0, and an empty snapshot is all zeros.
+TEST(HistogramMetricTest, ResetNeverTearsConcurrentSnapshots) {
+  constexpr uint64_t kValue = 37;
+  constexpr int kRounds = 20000;
+  HistogramMetric metric;
+  std::atomic<bool> stop{false};
+  std::atomic<int> tears{0};
+
+  std::thread recorder([&] {
+    while (!stop.load(std::memory_order_relaxed)) metric.Record(kValue);
+  });
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) metric.Reset();
+  });
+
+  for (int i = 0; i < kRounds; ++i) {
+    const HistogramSnapshot s = metric.Snapshot();
+    if (s.sum != kValue * s.count) ++tears;
+    if (s.count == 0 && (s.min != 0 || s.max != 0)) ++tears;
+    if (s.count > 0 && (s.min != kValue || s.max != kValue)) ++tears;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  recorder.join();
+  resetter.join();
+
+  EXPECT_EQ(tears.load(), 0)
+      << "Snapshot observed a half-reset histogram state";
 }
 
 TEST(LoggingTest, InitLogLevelFromEnvParsesNamesAndNumbers) {

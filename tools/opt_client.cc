@@ -1,13 +1,18 @@
 // Command-line client for opt_server.
 //
 //   opt_client (--port N [--host 127.0.0.1] | --unix /path.sock) \
-//       --op count|list|stats|load|profile [--graph NAME] \
+//       --op count|list|stats|load|profile|add-edges|remove-edges|subscribe \
+//       [--graph NAME] \
 //       [--pages N] [--threads N] [--deadline_ms N] \
 //       [--path /graph/base]     (load: store base path) \
-//       [--out FILE]             (list: write triangles as text)
+//       [--out FILE]             (list: write triangles as text) \
+//       [--edges "u-v,u-v,..."]  (add-edges / remove-edges) \
+//       [--after_epoch N] [--timeout_ms N]  (subscribe long-poll)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/overlap_profiler.h"
 #include "service/client.h"
@@ -119,6 +124,57 @@ void PrintProfile(const ProfileResult& p) {
                   : 0.0);
 }
 
+/// Parses "u-v,u-v,..." (also accepts "u:v"). Endpoint order is free;
+/// the server canonicalizes and validates.
+Status ParseEdgeList(const std::string& text,
+                     std::vector<std::pair<VertexId, VertexId>>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    size_t dash = item.find('-');
+    if (dash == std::string::npos) dash = item.find(':');
+    char* rest = nullptr;
+    if (dash == std::string::npos || dash == 0 ||
+        dash + 1 >= item.size()) {
+      return Status::InvalidArgument("bad edge '" + item +
+                                     "' (expected u-v)");
+    }
+    const unsigned long long u =
+        std::strtoull(item.c_str(), &rest, 10);
+    if (rest != item.c_str() + dash) {
+      return Status::InvalidArgument("bad edge '" + item + "'");
+    }
+    const unsigned long long v =
+        std::strtoull(item.c_str() + dash + 1, &rest, 10);
+    if (rest != item.c_str() + item.size()) {
+      return Status::InvalidArgument("bad edge '" + item + "'");
+    }
+    out->emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    pos = end + 1;
+  }
+  if (out->empty()) {
+    return Status::InvalidArgument("--edges is empty");
+  }
+  return Status::OK();
+}
+
+void PrintMutateResult(const MutateResult& m) {
+  std::printf("epoch: %llu  edges_applied: %llu\n",
+              static_cast<unsigned long long>(m.epoch),
+              static_cast<unsigned long long>(m.edges_applied));
+  std::printf("batch_triangle_delta: %+lld  total_triangle_delta: %+lld\n",
+              static_cast<long long>(m.batch_triangle_delta),
+              static_cast<long long>(m.total_triangle_delta));
+  std::printf("seconds: %.6f\n", m.seconds);
+  if (m.approx_valid) {
+    std::printf("approx_triangles (streamed edges): %.1f\n",
+                m.approx_triangles);
+  }
+}
+
 /// Degraded queries ship their flight-recorder tail with the error;
 /// print it so the failure explains itself at the terminal.
 void PrintErrorWithEvents(const Status& status, const OptClient& client) {
@@ -149,7 +205,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   auto op = cl->GetChoice(
-      "op", {"count", "list", "stats", "load", "profile"}, "count");
+      "op",
+      {"count", "list", "stats", "load", "profile", "add-edges",
+       "remove-edges", "subscribe"},
+      "count");
   if (!op.ok()) {
     std::fprintf(stderr, "%s\n", op.status().ToString().c_str());
     return 2;
@@ -230,6 +289,57 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "triangles: %llu  seconds: %.6f\n",
                  static_cast<unsigned long long>(result->triangles),
                  result->seconds);
+    return 0;
+  }
+
+  if (*op == "add-edges" || *op == "remove-edges") {
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    status = ParseEdgeList(cl->GetString("edges"), &edges);
+    if (!status.ok() || graph.empty()) {
+      std::fprintf(stderr,
+                   "--op %s needs --graph NAME --edges \"u-v,u-v\"%s%s\n",
+                   op->c_str(), status.ok() ? "" : ": ",
+                   status.ok() ? "" : status.ToString().c_str());
+      return 2;
+    }
+    auto result = *op == "add-edges" ? client.AddEdges(graph, edges)
+                                     : client.RemoveEdges(graph, edges);
+    if (!result.ok()) {
+      PrintErrorWithEvents(result.status(), client);
+      return 1;
+    }
+    PrintMutateResult(*result);
+    return 0;
+  }
+
+  if (*op == "subscribe") {
+    const uint64_t after_epoch =
+        static_cast<uint64_t>(cl->GetInt("after_epoch", 0));
+    const uint64_t timeout_ms =
+        static_cast<uint64_t>(cl->GetInt("timeout_ms", 30000));
+    auto result = client.SubscribeCount(graph, after_epoch, timeout_ms);
+    if (!result.ok()) {
+      PrintErrorWithEvents(result.status(), client);
+      return 1;
+    }
+    std::printf("epoch: %llu%s\n",
+                static_cast<unsigned long long>(result->epoch),
+                result->timed_out ? "  (timed out)" : "");
+    if (result->exact_known) {
+      std::printf("triangles: %llu\n",
+                  static_cast<unsigned long long>(result->triangles));
+    } else {
+      std::printf("triangles: unknown (no COUNT has run yet)\n");
+    }
+    std::printf("delta_triangles: %+lld  edges_added: %llu  "
+                "edges_removed: %llu\n",
+                static_cast<long long>(result->delta_triangles),
+                static_cast<unsigned long long>(result->edges_added),
+                static_cast<unsigned long long>(result->edges_removed));
+    if (result->approx_valid) {
+      std::printf("approx_triangles (streamed edges): %.1f\n",
+                  result->approx_triangles);
+    }
     return 0;
   }
 

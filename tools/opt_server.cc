@@ -1,11 +1,15 @@
 // Triangle query server. Pins one or more GraphStores behind a shared
-// buffer pool and serves COUNT/LIST/STATS/LOADGRAPH over TCP or a
-// Unix-domain socket.
+// buffer pool and serves COUNT/LIST/STATS/LOADGRAPH plus the streaming
+// delta ops ADD_EDGES/REMOVE_EDGES/SUBSCRIBE_COUNT over TCP or a
+// Unix-domain socket. --no_mutations makes the server read-only;
+// --approx_reservoir N arms the per-graph TRIÈST sampling counter with
+// an N-edge reservoir (0 = exact-only, the default).
 //
 //   opt_server [--port N | --unix /path.sock]
 //       [--graph name=/path/base ...] [--workers N] [--max_queue N]
 //       [--pool_pages N] [--default_pages N] [--default_threads N]
-//       [--no_cache] [--no_load_graph] [--slow_query_ms N]
+//       [--no_cache] [--no_load_graph] [--no_mutations]
+//       [--approx_reservoir N] [--slow_query_ms N]
 //       [--fault-plan SPEC]
 //       [--metrics-dump-interval SECONDS] [--trace-out /path.json]
 //       [--profile-out /path.jsonl]
@@ -99,6 +103,8 @@ int RunServer(const CommandLine& cl) {
   RegistryOptions registry_options;
   registry_options.min_pool_frames =
       static_cast<uint32_t>(cl.GetInt("pool_pages", 256));
+  registry_options.approx_reservoir_edges =
+      static_cast<uint64_t>(cl.GetInt("approx_reservoir", 0));
   GraphRegistry registry(env, registry_options);
 
   SchedulerOptions scheduler_options;
@@ -143,7 +149,8 @@ int RunServer(const CommandLine& cl) {
                  path.c_str());
   }
 
-  OptServer server(&scheduler, !cl.GetBool("no_load_graph", false));
+  OptServer server(&scheduler, !cl.GetBool("no_load_graph", false),
+                   !cl.GetBool("no_mutations", false));
   if (cl.Has("profile-out")) {
     server.SetProfileOutput(cl.GetString("profile-out"));
   }
