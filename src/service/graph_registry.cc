@@ -75,9 +75,8 @@ Result<GraphRegistry::GraphHandle> GraphRegistry::Acquire(
 
 Result<GraphRegistry::DeltaOutcome> GraphRegistry::ApplyEdgeDelta(
     const std::string& name, DeltaKind kind, std::span<const Edge> edges) {
-  // Snapshot the entry's store/overlay and its per-graph mutation lock.
+  // Snapshot the entry's store and its per-graph mutation lock.
   std::shared_ptr<GraphStore> store;
-  std::shared_ptr<const DeltaOverlay> overlay;
   std::shared_ptr<std::mutex> mutate;
   std::shared_ptr<TriestEstimator> estimator;
   {
@@ -87,7 +86,6 @@ Result<GraphRegistry::DeltaOutcome> GraphRegistry::ApplyEdgeDelta(
       return Status::NotFound("graph '" + name + "' is not registered");
     }
     store = it->second.store;
-    overlay = it->second.overlay;
     mutate = it->second.mutate_mutex;
     estimator = it->second.estimator;
   }
@@ -96,6 +94,23 @@ Result<GraphRegistry::DeltaOutcome> GraphRegistry::ApplyEdgeDelta(
   // the batch computes — queries acquire and run freely; they only see
   // the batch once it publishes below.
   std::lock_guard<std::mutex> apply_lock(*mutate);
+
+  // Snapshot the overlay only now, under the mutation lock: a batch
+  // that waited here must build on its predecessor's published overlay.
+  // Reading it before the wait would validate and apply against a stale
+  // view, and the commit below would silently overwrite the
+  // predecessor's edges and triangle delta.
+  std::shared_ptr<const DeltaOverlay> overlay;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end() || it->second.store != store) {
+      return Status::Aborted("graph '" + name +
+                             "' was reloaded while the delta was waiting; "
+                             "batch not applied");
+    }
+    overlay = it->second.overlay;
+  }
 
   // Base reads go through Env, so injected device faults apply here like
   // anywhere else. Transient faults heal on reread within the bounded
@@ -137,7 +152,11 @@ Result<GraphRegistry::DeltaOutcome> GraphRegistry::ApplyEdgeDelta(
       static_cast<int64_t>(stats.triangles_removed);
   outcome.total_triangle_delta = (*next)->triangle_delta();
 
-  // Publish: new overlay + bumped epoch as one atomic step.
+  // Publish: new overlay + bumped epoch as one atomic step. The store
+  // identity check suffices to detect every concurrent change: while
+  // this batch holds the mutation lock no other batch on the same
+  // incarnation can publish, so the only way the entry's overlay can
+  // differ from the one read above is a reload — which swaps the store.
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = graphs_.find(name);
@@ -219,6 +238,15 @@ Result<GraphRegistry::DeltaSnapshot> GraphRegistry::DeltaState(
 Result<GraphRegistry::DeltaSnapshot> GraphRegistry::WaitForEpoch(
     const std::string& name, uint64_t after_epoch,
     std::chrono::milliseconds timeout) const {
+  // The timeout is client-controlled: adding a huge (or u64-wrapped
+  // negative) value to steady_clock::now() overflows the time_point and
+  // the wait would expire immediately instead of long-polling. Clamp to
+  // a server-side ceiling; clients re-poll for longer waits.
+  static constexpr std::chrono::milliseconds kMaxWait =
+      std::chrono::minutes(5);
+  if (timeout < std::chrono::milliseconds::zero() || timeout > kMaxWait) {
+    timeout = kMaxWait;
+  }
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   bool timed_out = false;
   {

@@ -144,6 +144,8 @@ class GraphRegistry {
   /// Long-poll: blocks until the graph's epoch exceeds `after_epoch`
   /// (any applied batch or reload) or `timeout` elapses, then returns
   /// the current snapshot (`timed_out` set when the wait expired).
+  /// Timeouts are clamped to a 5-minute ceiling (negative or absurd
+  /// values would overflow the deadline); re-poll to wait longer.
   Result<DeltaSnapshot> WaitForEpoch(const std::string& name,
                                      uint64_t after_epoch,
                                      std::chrono::milliseconds timeout) const;

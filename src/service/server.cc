@@ -209,12 +209,14 @@ Status OptServer::Start() {
     return Status::InvalidArgument("server already started");
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  prime_thread_ = std::thread([this] { PrimeLoop(); });
   return Status::OK();
 }
 
 void OptServer::Stop() {
   if (stopping_.exchange(true)) {
     if (accept_thread_.joinable()) accept_thread_.join();
+    if (prime_thread_.joinable()) prime_thread_.join();
     return;
   }
   const int listener = listen_fd_.exchange(-1);
@@ -236,6 +238,13 @@ void OptServer::Stop() {
     if (connection->thread.joinable()) connection->thread.join();
     ::close(connection->fd);
   }
+  {
+    // Lock around the notify so a primer between its stopping_ check
+    // and its wait cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(prime_mutex_);
+  }
+  prime_cv_.notify_all();
+  if (prime_thread_.joinable()) prime_thread_.join();
   if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
 }
 
@@ -501,13 +510,12 @@ Status OptServer::HandleSubscribe(int fd, const WireMessage& message) {
   auto state = registry->DeltaState(request.graph);
   if (!state.ok()) return SendError(fd, state.status());
   if (!state->base_known) {
-    // Learn the base count once through the scheduler (cacheable and
-    // coalescable with concurrent COUNTs; a successful run records it
-    // via SetBaseTriangles). A failed run just leaves exact_known=0 —
-    // the delta fields below stay exact either way.
-    QuerySpec spec;
-    spec.graph = request.graph;
-    (void)scheduler_->Run(spec);
+    // Learn the base count in the background: a synchronous COUNT here
+    // would charge its full latency to every subscriber (and eat the
+    // poll budget) on graphs where counts are slow or keep failing.
+    // The reply just carries exact_known=0 until a count has recorded
+    // the base via SetBaseTriangles; the delta fields stay exact.
+    SchedulePrime(request.graph);
   }
   auto snap = registry->WaitForEpoch(
       request.graph, request.after_epoch,
@@ -529,6 +537,37 @@ Status OptServer::HandleSubscribe(int fd, const WireMessage& message) {
   wire.approx_triangles = snap->approx_triangles;
   return WriteMessage(fd, MessageType::kSubscribeCountResult,
                       EncodeSubscribeCountResult(wire));
+}
+
+void OptServer::SchedulePrime(const std::string& graph) {
+  std::lock_guard<std::mutex> lock(prime_mutex_);
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  if (!prime_pending_.insert(graph).second) return;  // already in flight
+  prime_queue_.push_back(graph);
+  prime_cv_.notify_one();
+}
+
+void OptServer::PrimeLoop() {
+  std::unique_lock<std::mutex> lock(prime_mutex_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (prime_queue_.empty()) {
+      prime_cv_.wait(lock);
+      continue;
+    }
+    const std::string graph = std::move(prime_queue_.front());
+    prime_queue_.pop_front();
+    lock.unlock();
+    // Coalescable with concurrent COUNTs; a successful run records the
+    // base via SetBaseTriangles. A failed run leaves it unknown — a
+    // later subscribe schedules a fresh attempt (the pending-set entry
+    // is only cleared once this run finishes, so at most one count per
+    // graph is ever in flight on this thread's behalf).
+    QuerySpec spec;
+    spec.graph = graph;
+    (void)scheduler_->Run(spec);
+    lock.lock();
+    prime_pending_.erase(graph);
+  }
 }
 
 Status OptServer::HandleLoadGraph(int fd, const WireMessage& message) {

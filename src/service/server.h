@@ -10,8 +10,11 @@
 #define OPT_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,6 +72,12 @@ class OptServer {
   Status HandleLoadGraph(int fd, const WireMessage& message);
   Status HandleMutate(int fd, const WireMessage& message, DeltaKind kind);
   Status HandleSubscribe(int fd, const WireMessage& message);
+  /// Queues a background COUNT to learn `graph`'s base triangle count
+  /// (deduplicated while one is already queued or running). SUBSCRIBE
+  /// never pays a full count's latency on the connection thread — it
+  /// replies exact_known=0 until a count has recorded the base.
+  void SchedulePrime(const std::string& graph);
+  void PrimeLoop();
   void AppendProfileLine(const ProfileResult& profile,
                          const std::string& graph);
   std::string RenderStats() const;
@@ -93,6 +102,13 @@ class OptServer {
 
   std::mutex profile_out_mutex_;
   std::string profile_out_path_;
+
+  // Background base-count primer (one thread, started with the server).
+  std::mutex prime_mutex_;
+  std::condition_variable prime_cv_;
+  std::deque<std::string> prime_queue_;
+  std::set<std::string> prime_pending_;  // queued or running
+  std::thread prime_thread_;
 };
 
 }  // namespace opt

@@ -185,6 +185,14 @@ Status DecodeMutateRequest(std::string_view payload, MutateRequest* out) {
   OPT_RETURN_IF_ERROR(reader.GetString(&out->graph));
   uint32_t count;
   OPT_RETURN_IF_ERROR(reader.GetU32(&count));
+  // The count is attacker-controlled; bound it by the bytes actually
+  // present (8 per edge) before reserving, or a ~14-byte frame claiming
+  // 2^32 edges forces a multi-GB allocation.
+  if (count > reader.remaining() / 8) {
+    return Status::InvalidArgument(
+        "mutate batch claims " + std::to_string(count) + " edges but only " +
+        std::to_string(reader.remaining()) + " payload bytes follow");
+  }
   out->edges.clear();
   out->edges.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

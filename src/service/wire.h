@@ -228,6 +228,7 @@ class PayloadReader {
   Status GetDouble(double* value);
   Status GetString(std::string* value);
   bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
 
  private:
   std::string_view data_;

@@ -891,6 +891,29 @@ TEST(Wire, MutateRequestRoundTrip) {
   EXPECT_EQ(decoded.edges, request.edges);
 }
 
+TEST(Wire, MutateRequestRejectsCountBeyondPayload) {
+  // The edge count is attacker-controlled: a tiny frame claiming 2^32-1
+  // edges must fail the decode up front (typed, no multi-GB reserve),
+  // and a merely-inflated count must fail the same way.
+  std::string huge;
+  PutString(&huge, "g");
+  PutU32(&huge, 0xFFFFFFFFu);
+  PutU32(&huge, 1);  // a single half-edge of trailing bytes
+  MutateRequest decoded;
+  Status status = DecodeMutateRequest(huge, &decoded);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+      << status.ToString();
+
+  std::string inflated;
+  PutString(&inflated, "g");
+  PutU32(&inflated, 3);  // claims 3 edges, carries 1
+  PutU32(&inflated, 1);
+  PutU32(&inflated, 2);
+  status = DecodeMutateRequest(inflated, &decoded);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+      << status.ToString();
+}
+
 TEST(Wire, MutateResultRoundTripWithNegativeDeltas) {
   MutateResult result;
   result.epoch = 17;
@@ -1072,6 +1095,44 @@ TEST(OptServer, MutationsCanBeDisabled) {
   // The connection survives and plain queries still work.
   auto count = client.Count("g");
   ASSERT_TRUE(count.ok()) << count.status().ToString();
+  server.Stop();
+}
+
+TEST(OptServer, SubscribePrimesBaseCountInBackground) {
+  Env* env = Env::Default();
+  CSRGraph g = GraphBuilder::FromEdges({{0, 1}, {0, 2}, {0, 3}, {1, 2},
+                                        {1, 3}});
+  GraphRegistry registry(env);
+  QueryScheduler scheduler(&registry, {});
+  ASSERT_TRUE(
+      scheduler.LoadGraph("g", MaterializeStore(g, env, "prime")).ok());
+  OptServer server(&scheduler);
+  ASSERT_TRUE(server.ListenTcp(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+  OptClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", server.bound_port()).ok());
+
+  // No COUNT has run yet: the subscribe returns without paying a full
+  // count's latency on the connection thread and schedules the base
+  // count in the background instead of blocking on it.
+  auto first = client.SubscribeCount("g", 0, 0);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->delta_triangles, 0);
+
+  // The primed base becomes visible to a later subscribe.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    auto snap = client.SubscribeCount("g", 0, 0);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    if (snap->exact_known) {
+      EXPECT_EQ(snap->triangles, 2u);
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "background prime never recorded the base count";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   server.Stop();
 }
 

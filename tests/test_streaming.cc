@@ -9,6 +9,7 @@
 // Every randomized case derives from one seed printed via SCOPED_TRACE
 // as a one-line repro; override with OPT_STREAMING_SEED=<n>.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -485,6 +486,99 @@ TEST(StreamingService, SubscribeLongPollWakesOnMutation) {
   EXPECT_EQ(woken->triangle_delta, 2);
   ASSERT_TRUE(woken->base_known);
   EXPECT_EQ(woken->base_triangles + woken->triangle_delta, 4);
+}
+
+TEST(StreamingService, WaitForEpochClampsHugeTimeouts) {
+  // A u64 timeout straight off the wire can be absurdly large; naively
+  // adding it to steady_clock::now() overflows the deadline and the
+  // poll returns timed_out immediately. With the clamp the waiter
+  // long-polls normally and a concurrent mutation wakes it.
+  Env* env = Env::Default();
+  const CSRGraph g = DiamondGraph();
+  ServiceFixture service(env, g, "clamp");
+  auto now = service.registry->WaitForEpoch(
+      "g", 0, std::chrono::milliseconds(0));
+  ASSERT_TRUE(now.ok());
+  const uint64_t epoch0 = now->epoch;
+
+  std::thread mutator([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const MutationResult result = service.scheduler->ApplyDelta(
+        "g", DeltaKind::kAdd, std::vector<Edge>{{2, 3}});
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  });
+  auto woken = service.registry->WaitForEpoch(
+      "g", epoch0, std::chrono::milliseconds::max());
+  mutator.join();
+  ASSERT_TRUE(woken.ok());
+  EXPECT_FALSE(woken->timed_out);
+  EXPECT_GT(woken->epoch, epoch0);
+}
+
+TEST(StreamingService, ConcurrentBatchesOnOneGraphAllSurvive) {
+  const uint64_t seed = SoakSeed();
+  SCOPED_TRACE(ReproLine(seed));
+  // Pure read latency (no faults): each apply's base-adjacency fetches
+  // hold the per-graph mutation lock for hundreds of microseconds, so
+  // the two writers contend on essentially every batch.
+  auto plan = FaultPlan::Parse("seed=" + std::to_string(seed) +
+                               ",latency_p=1.0,latency_us=200,"
+                               "path_filter=.pages");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  FaultInjectingEnv fenv(Env::Default(), *plan);
+  fenv.set_enabled(false);  // clean store build + base count
+  const CSRGraph g = GenerateErdosRenyi(80, 400, seed);
+  ServiceFixture service(&fenv, g, "concurrent");
+  const uint64_t base_count = service.Count();
+  ASSERT_EQ(base_count, OracleCount(g));
+
+  // Two writers race disjoint absent edges at the same graph. Every
+  // batch must build on its predecessor's published overlay — an apply
+  // that snapshots the overlay before waiting on the per-graph mutation
+  // lock validates against a stale view and its commit silently drops
+  // the other writer's edges and triangle delta. Single-edge batches
+  // behind a start barrier maximize lock contention so a stale-snapshot
+  // regression loses updates with overwhelming probability.
+  constexpr size_t kEdgesPerWriter = 60;
+  std::set<EdgePair> mirror = EdgeSetOf(g);
+  std::vector<std::vector<Edge>> lanes(2);
+  for (VertexId u = 0; u + 1 < g.num_vertices(); ++u) {
+    for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      if (mirror.count({u, v}) != 0) continue;
+      auto& lane = lanes[(u + v) % 2];
+      if (lane.size() < kEdgesPerWriter) lane.push_back({u, v});
+    }
+  }
+  ASSERT_EQ(lanes[0].size(), kEdgesPerWriter);
+  ASSERT_EQ(lanes[1].size(), kEdgesPerWriter);
+
+  fenv.set_enabled(true);
+  std::atomic<int> at_gate{0};
+  std::vector<std::thread> writers;
+  for (const auto& lane : lanes) {
+    writers.emplace_back([&service, &lane, &at_gate] {
+      at_gate.fetch_add(1);
+      while (at_gate.load() < 2) std::this_thread::yield();
+      for (const Edge& e : lane) {
+        const MutationResult result = service.scheduler->ApplyDelta(
+            "g", DeltaKind::kAdd, std::vector<Edge>{e});
+        EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  fenv.set_enabled(false);
+
+  for (const auto& lane : lanes) {
+    for (const Edge& e : lane) mirror.insert(Canonical(e.first, e.second));
+  }
+  auto snap = service.registry->DeltaState("g");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->edges_added, 2 * kEdgesPerWriter);
+  EXPECT_EQ(snap->batches_applied, 2 * kEdgesPerWriter);
+  EXPECT_EQ(service.Count(), MirrorTriangles(mirror));
+  EXPECT_EQ(static_cast<int64_t>(MirrorTriangles(mirror)),
+            static_cast<int64_t>(base_count) + snap->triangle_delta);
 }
 
 // ---------------------------------------------------------------------
