@@ -1,0 +1,335 @@
+// Sharded-serving throughput: closed-loop clients issuing COUNT queries
+// through opt_router's fan-out path while the shard count sweeps
+// {1, 2, 4} and the router's worker pool sweeps {4, 8}. Every shard is
+// a real spawned process (this binary re-execs itself as the server
+// child, like tests/test_shard.cc) serving its partition slice under a
+// ThrottledEnv, so page reads cost emulated FlashSSD latency and the
+// external-memory cost model decides the outcome: a COUNT over P pages
+// with an m-page budget costs ~P^2/m page reads, so four shards of
+// ~P/4 pages each fan out to ~P^2/4m reads total — and the throttled
+// sleeps overlap across the shard processes, which is where the
+// multi-process speedup comes from even on one core.
+//
+// Every merged answer is checked against the in-memory truth and must
+// arrive with partial_shards == 0; any mismatch or error fails the run.
+// One JSON line per configuration on stdout (prefix "JSON ") with
+// speedup_vs_single relative to the 1-shard row at the same router
+// worker count; --json_out writes the same objects as a JSON array for
+// CI artifacts (committed snapshot: BENCH_shard.json).
+//
+//   bench_shard_throughput [--clients N] [--queries_per_client N]
+//       [--pages N] [--shard_page_size N] [--json_out PATH]
+//       + the common flags (bench_common.h)
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "baselines/inmemory.h"
+#include "gen/rmat.h"
+#include "service/client.h"
+#include "service/graph_registry.h"
+#include "service/query_scheduler.h"
+#include "service/server.h"
+#include "shard/router.h"
+#include "shard/shard_plan.h"
+#include "shard/shard_set.h"
+#include "util/histogram.h"
+#include "util/stopwatch.h"
+
+using namespace opt;
+using namespace opt::bench;
+
+namespace {
+
+std::string SelfExe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  buf[n > 0 ? n : 0] = '\0';
+  return buf;
+}
+
+/// Minimal opt_server clone run when this binary re-execs itself as a
+/// shard child (same recipe as tests/test_shard.cc, plus a ThrottledEnv
+/// so the child's page reads cost the emulated FlashSSD latency).
+int RunShardServerChild(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) {
+    std::fprintf(stderr, "%s\n", cl.status().ToString().c_str());
+    return 2;
+  }
+  static ThrottledEnv env(
+      Env::Default(),
+      static_cast<uint32_t>(cl->GetInt("read_us", kDefaultReadMicros)),
+      static_cast<uint32_t>(cl->GetInt("write_us", kDefaultWriteMicros)));
+  RegistryOptions registry_options;
+  // A pool smaller than the store keeps reads going to the throttled
+  // env instead of being absorbed by page caching — the whole point of
+  // the bench is the external-memory pass cost.
+  registry_options.min_pool_frames =
+      static_cast<uint32_t>(cl->GetInt("pool_frames", 64));
+  GraphRegistry registry(&env, registry_options);
+  SchedulerOptions scheduler_options;
+  scheduler_options.workers =
+      static_cast<uint32_t>(cl->GetInt("workers", 2));
+  scheduler_options.default_memory_pages =
+      static_cast<uint32_t>(cl->GetInt("default_pages", 64));
+  scheduler_options.enable_result_cache = !cl->GetBool("no_cache", false);
+  QueryScheduler scheduler(&registry, scheduler_options);
+  const std::string spec = cl->GetString("graph");
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos) {
+    std::fprintf(stderr, "need --graph name=/path\n");
+    return 2;
+  }
+  if (Status s =
+          scheduler.LoadGraph(spec.substr(0, eq), spec.substr(eq + 1));
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  OptServer server(&scheduler);
+  Status status =
+      server.ListenTcp(static_cast<uint16_t>(cl->GetInt("port", 0)));
+  if (status.ok()) status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u\n", server.bound_port());
+  std::fflush(stdout);
+  for (;;) ::pause();  // the supervisor's SIGTERM ends us
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  uint64_t partials = 0;
+  double total_latency = 0;
+  HistogramSnapshot latency_us;
+  uint64_t replicated_bytes = 0;
+  uint64_t ghost_triangles = 0;
+  uint32_t max_shard_pages = 0;
+};
+
+RunResult RunConfig(const CSRGraph& g, uint64_t truth,
+                    const std::string& prefix, uint32_t shards,
+                    uint32_t router_workers, int clients,
+                    int queries_per_client, uint32_t pages,
+                    uint32_t shard_page_size, uint32_t read_us,
+                    uint32_t write_us) {
+  RunResult result;
+  ShardPlanOptions plan_options;
+  plan_options.num_shards = shards;
+  plan_options.page_size = shard_page_size;
+  auto manifest = PartitionGraph(g, Env::Default(), "g", prefix,
+                                 plan_options);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "partition: %s\n",
+                 manifest.status().ToString().c_str());
+    std::exit(1);
+  }
+  result.replicated_bytes = manifest->replicated_bytes();
+  result.ghost_triangles = manifest->ghost_triangles_total();
+  for (const ShardInfo& shard : manifest->shards) {
+    result.max_shard_pages =
+        std::max(result.max_shard_pages, shard.num_pages);
+  }
+
+  ShardSetOptions set_options;
+  set_options.command = {SelfExe(), "--shard-server-child"};
+  set_options.extra_args = {
+      "--no_cache",         "--workers",
+      "2",                  "--default_pages",
+      std::to_string(pages + 8),
+      "--pool_frames",      std::to_string(pages * 3),
+      "--read_us",          std::to_string(read_us),
+      "--write_us",         std::to_string(write_us)};
+  ShardSet shard_set(*manifest, set_options);
+  if (Status s = shard_set.Spawn(); !s.ok()) {
+    std::fprintf(stderr, "spawn: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  if (!shard_set.WaitHealthy(20000)) {
+    std::fprintf(stderr, "shards never became healthy\n");
+    std::exit(1);
+  }
+  RouterOptions router_options;
+  router_options.workers = router_workers;
+  router_options.shard_deadline_ms = 60000;
+  QueryRouter router(&shard_set, router_options);
+  Status status = router.ListenTcp(0);
+  if (status.ok()) status = router.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "router: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> partials{0};
+  std::vector<double> latencies(clients, 0.0);
+  std::vector<Histogram> client_hists(clients);
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      OptClient client;
+      if (!client.ConnectTcp("127.0.0.1", router.bound_port()).ok()) {
+        errors.fetch_add(static_cast<uint64_t>(queries_per_client));
+        return;
+      }
+      for (int q = 0; q < queries_per_client; ++q) {
+        ClientQueryOptions options;
+        // Nudge the budget per query so concurrent COUNTs never
+        // coalesce server-side — every query pays the full pass cost.
+        options.memory_pages =
+            pages + static_cast<uint32_t>((c * queries_per_client + q) % 4);
+        const auto q0 = std::chrono::steady_clock::now();
+        auto answer = client.Count("g", options);
+        const auto q1 = std::chrono::steady_clock::now();
+        const double query_seconds =
+            std::chrono::duration<double>(q1 - q0).count();
+        latencies[c] += query_seconds;
+        client_hists[c].Add(static_cast<uint64_t>(query_seconds * 1e6));
+        if (!answer.ok() || answer->triangles != truth) {
+          errors.fetch_add(1);
+        } else if (answer->partial_shards != 0) {
+          partials.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  router.Stop();
+  shard_set.Stop();
+
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.queries = static_cast<uint64_t>(clients) * queries_per_client;
+  result.errors = errors.load();
+  result.partials = partials.load();
+  for (double latency : latencies) result.total_latency += latency;
+  for (const Histogram& hist : client_hists) {
+    result.latency_us.Merge(hist.Snapshot());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--shard-server-child") == 0) {
+    return RunShardServerChild(argc, argv);
+  }
+  BenchContext ctx = MakeContext(argc, argv);
+  auto cl = CommandLine::Parse(argc, argv);
+  const int clients = static_cast<int>(cl->GetInt("clients", 2));
+  const int queries_per_client =
+      static_cast<int>(cl->GetInt("queries_per_client", 12));
+  const uint32_t pages = static_cast<uint32_t>(cl->GetInt("pages", 8));
+  const uint32_t shard_page_size =
+      static_cast<uint32_t>(cl->GetInt("shard_page_size", 512));
+  // Much higher default than the common 30µs: on a small CI machine the
+  // serialized CPU work would otherwise swamp the overlapped I/O sleeps
+  // that the multi-process speedup comes from (the emulated device is a
+  // slow disk rather than the FlashSSD the other benches model).
+  const uint32_t read_us =
+      static_cast<uint32_t>(cl->GetInt("read_us", 500));
+  const uint32_t write_us = static_cast<uint32_t>(
+      cl->GetInt("write_us", kDefaultWriteMicros));
+
+  Banner("shard_throughput",
+         "Closed-loop COUNT clients against opt_router fanning out over "
+         "{1,2,4} spawned shard servers; every merged answer checked "
+         "against the in-memory truth.");
+
+  RmatOptions rmat;
+  rmat.scale = 12 - std::min(ctx.scale_shift, 3);
+  rmat.edge_factor = 8;
+  rmat.seed = 77;
+  const CSRGraph g = GenerateRmat(rmat);
+  const uint64_t truth = BruteForceTriangleCount(g);
+  std::printf("graph: %u vertices, %llu edges, %llu triangles\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              static_cast<unsigned long long>(truth));
+
+  TablePrinter table({"shards", "workers", "qps", "mean_lat_ms", "p50_ms",
+                      "p95_ms", "p99_ms", "speedup", "max_pages",
+                      "repl_bytes", "ghosts", "errors"});
+  std::vector<std::string> json_lines;
+  bool ok = true;
+  int config = 0;
+  double single_qps[2] = {0.0, 0.0};  // per router-worker column
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    int column = 0;
+    for (uint32_t workers : {4u, 8u}) {
+      const std::string prefix = ctx.work_dir + "/shard_bench_" +
+                                 std::to_string(config++);
+      const RunResult r =
+          RunConfig(g, truth, prefix, shards, workers, clients,
+                    queries_per_client, pages, shard_page_size, read_us,
+                    write_us);
+      const double qps = r.seconds > 0 ? r.queries / r.seconds : 0.0;
+      if (shards == 1) single_qps[column] = qps;
+      const double speedup =
+          single_qps[column] > 0 ? qps / single_qps[column] : 0.0;
+      const double mean_latency_ms =
+          r.queries > 0 ? r.total_latency / r.queries * 1e3 : 0.0;
+      table.AddRow({std::to_string(shards), std::to_string(workers),
+                    TablePrinter::Fmt(qps, 1),
+                    TablePrinter::Fmt(mean_latency_ms, 2),
+                    TablePrinter::Fmt(r.latency_us.P50() / 1e3, 2),
+                    TablePrinter::Fmt(r.latency_us.P95() / 1e3, 2),
+                    TablePrinter::Fmt(r.latency_us.P99() / 1e3, 2),
+                    TablePrinter::Fmt(speedup, 2),
+                    TablePrinter::Fmt(uint64_t{r.max_shard_pages}),
+                    TablePrinter::Fmt(r.replicated_bytes),
+                    TablePrinter::Fmt(r.ghost_triangles),
+                    std::to_string(r.errors)});
+      char line[768];
+      std::snprintf(
+          line, sizeof(line),
+          "{\"experiment\":\"shard_throughput\",\"shards\":%u,"
+          "\"router_workers\":%u,\"clients\":%d,\"queries\":%llu,"
+          "\"qps\":%.2f,\"mean_latency_ms\":%.3f,\"p50_latency_ms\":%.3f,"
+          "\"p95_latency_ms\":%.3f,\"p99_latency_ms\":%.3f,"
+          "\"speedup_vs_single\":%.3f,\"max_shard_pages\":%u,"
+          "\"replicated_bytes\":%llu,"
+          "\"ghost_triangles\":%llu,\"partials\":%llu,\"errors\":%llu}",
+          shards, workers, clients,
+          static_cast<unsigned long long>(r.queries), qps,
+          mean_latency_ms, r.latency_us.P50() / 1e3,
+          r.latency_us.P95() / 1e3, r.latency_us.P99() / 1e3, speedup,
+          r.max_shard_pages,
+          static_cast<unsigned long long>(r.replicated_bytes),
+          static_cast<unsigned long long>(r.ghost_triangles),
+          static_cast<unsigned long long>(r.partials),
+          static_cast<unsigned long long>(r.errors));
+      std::printf("JSON %s\n", line);
+      json_lines.emplace_back(line);
+      if (r.errors != 0 || r.partials != 0) ok = false;
+      ++column;
+    }
+  }
+  table.Print();
+
+  if (cl.ok() && cl->Has("json_out")) {
+    std::ofstream out(cl->GetString("json_out"));
+    out << "[\n";
+    for (size_t i = 0; i < json_lines.size(); ++i) {
+      out << "  " << json_lines[i]
+          << (i + 1 < json_lines.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+  }
+  return ok ? 0 : 1;
+}

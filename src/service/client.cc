@@ -5,6 +5,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -80,6 +81,18 @@ Status OptClient::ConnectUnix(const std::string& path) {
     return status;
   }
   fd_ = fd;
+  return Status::OK();
+}
+
+Status OptClient::SetRecvTimeoutMillis(uint64_t millis) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(millis / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((millis % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError(std::string("setsockopt(SO_RCVTIMEO): ") +
+                           std::strerror(errno));
+  }
   return Status::OK();
 }
 
@@ -259,6 +272,19 @@ Result<SubscribeCountResult> OptClient::SubscribeCount(
   SubscribeCountResult result;
   OPT_RETURN_IF_ERROR(DecodeSubscribeCountResult(reply.payload, &result));
   return result;
+}
+
+Result<ShardStatsResult> OptClient::ShardStats() {
+  OPT_RETURN_IF_ERROR(SendRequest(MessageType::kShardStatsRequest, {}));
+  WireMessage reply;
+  OPT_RETURN_IF_ERROR(ReadReply(&reply));
+  if (reply.type == MessageType::kError) return ErrorFromReply(reply);
+  if (reply.type != MessageType::kShardStatsResult) {
+    return UnexpectedReply(reply);
+  }
+  ShardStatsResult stats;
+  OPT_RETURN_IF_ERROR(DecodeShardStatsResult(reply.payload, &stats));
+  return stats;
 }
 
 Status OptClient::LoadGraph(const std::string& name,

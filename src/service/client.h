@@ -36,6 +36,12 @@ class OptClient {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Bounds every subsequent socket read (SO_RCVTIMEO); a reply that
+  /// stalls longer surfaces as IOError instead of hanging the caller
+  /// forever. 0 restores blocking reads. The router uses this so a
+  /// wedged shard cannot pin a fan-out worker.
+  Status SetRecvTimeoutMillis(uint64_t millis);
+
   /// COUNT: server-side errors come back as their original Status code.
   Result<CountResult> Count(const std::string& graph,
                             const ClientQueryOptions& options = {});
@@ -83,6 +89,10 @@ class OptClient {
   Result<SubscribeCountResult> SubscribeCount(const std::string& graph,
                                               uint64_t after_epoch,
                                               uint64_t timeout_millis);
+
+  /// SHARD_STATS: per-shard breakdown from a router. A plain opt_server
+  /// answers NotSupported.
+  Result<ShardStatsResult> ShardStats();
 
   /// Flight-recorder tail from the most recent server ERROR reply on
   /// this client (degraded queries ship their event log with the

@@ -299,6 +299,11 @@ void OptServer::HandleConnection(int fd) {
       case MessageType::kSubscribeCountRequest:
         status = HandleSubscribe(fd, message);
         break;
+      case MessageType::kShardStatsRequest:
+        status = SendError(
+            fd, Status::NotSupported(
+                    "SHARD_STATS is answered by opt_router, not opt_server"));
+        break;
       default:
         status = SendError(
             fd, Status::InvalidArgument(

@@ -142,6 +142,8 @@ std::string EncodeCountResult(const CountResult& result) {
   PutU64(&payload, result.pool_hits);
   PutU64(&payload, result.pages_read);
   PutU32(&payload, result.iterations);
+  PutU64(&payload, result.partial_shards);
+  PutU32(&payload, result.num_shards);
   return payload;
 }
 
@@ -152,7 +154,13 @@ Status DecodeCountResult(std::string_view payload, CountResult* out) {
   OPT_RETURN_IF_ERROR(reader.GetU8(&out->source));
   OPT_RETURN_IF_ERROR(reader.GetU64(&out->pool_hits));
   OPT_RETURN_IF_ERROR(reader.GetU64(&out->pages_read));
-  return reader.GetU32(&out->iterations);
+  OPT_RETURN_IF_ERROR(reader.GetU32(&out->iterations));
+  // Pre-router frames end here; the sharding tail decodes as "complete".
+  out->partial_shards = 0;
+  out->num_shards = 0;
+  if (reader.AtEnd()) return Status::OK();
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->partial_shards));
+  return reader.GetU32(&out->num_shards);
 }
 
 std::string EncodeLoadGraphRequest(const LoadGraphRequest& request) {
@@ -213,6 +221,8 @@ std::string EncodeMutateResult(const MutateResult& result) {
   PutDouble(&payload, result.seconds);
   payload.push_back(static_cast<char>(result.approx_valid));
   PutDouble(&payload, result.approx_triangles);
+  PutU64(&payload, result.partial_shards);
+  PutU32(&payload, result.num_shards);
   return payload;
 }
 
@@ -227,7 +237,12 @@ Status DecodeMutateResult(std::string_view payload, MutateResult* out) {
   OPT_RETURN_IF_ERROR(reader.GetU64(&out->edges_applied));
   OPT_RETURN_IF_ERROR(reader.GetDouble(&out->seconds));
   OPT_RETURN_IF_ERROR(reader.GetU8(&out->approx_valid));
-  return reader.GetDouble(&out->approx_triangles);
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->approx_triangles));
+  out->partial_shards = 0;
+  out->num_shards = 0;
+  if (reader.AtEnd()) return Status::OK();
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->partial_shards));
+  return reader.GetU32(&out->num_shards);
 }
 
 std::string EncodeSubscribeCountRequest(
@@ -258,6 +273,8 @@ std::string EncodeSubscribeCountResult(const SubscribeCountResult& result) {
   PutU64(&payload, result.edges_removed);
   payload.push_back(static_cast<char>(result.approx_valid));
   PutDouble(&payload, result.approx_triangles);
+  PutU64(&payload, result.partial_shards);
+  PutU32(&payload, result.num_shards);
   return payload;
 }
 
@@ -274,7 +291,12 @@ Status DecodeSubscribeCountResult(std::string_view payload,
   OPT_RETURN_IF_ERROR(reader.GetU64(&out->edges_added));
   OPT_RETURN_IF_ERROR(reader.GetU64(&out->edges_removed));
   OPT_RETURN_IF_ERROR(reader.GetU8(&out->approx_valid));
-  return reader.GetDouble(&out->approx_triangles);
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->approx_triangles));
+  out->partial_shards = 0;
+  out->num_shards = 0;
+  if (reader.AtEnd()) return Status::OK();
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->partial_shards));
+  return reader.GetU32(&out->num_shards);
 }
 
 std::string EncodeError(const Status& status) {
@@ -419,13 +441,20 @@ std::string EncodeListEnd(const ListEnd& end) {
   std::string payload;
   PutU64(&payload, end.triangles);
   PutDouble(&payload, end.seconds);
+  PutU64(&payload, end.partial_shards);
+  PutU32(&payload, end.num_shards);
   return payload;
 }
 
 Status DecodeListEnd(std::string_view payload, ListEnd* out) {
   PayloadReader reader(payload);
   OPT_RETURN_IF_ERROR(reader.GetU64(&out->triangles));
-  return reader.GetDouble(&out->seconds);
+  OPT_RETURN_IF_ERROR(reader.GetDouble(&out->seconds));
+  out->partial_shards = 0;
+  out->num_shards = 0;
+  if (reader.AtEnd()) return Status::OK();
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->partial_shards));
+  return reader.GetU32(&out->num_shards);
 }
 
 std::string EncodeStatsResult(const StatsResult& stats) {
@@ -481,6 +510,68 @@ Status DecodeStatsResult(std::string_view payload, StatsResult* out) {
     OPT_RETURN_IF_ERROR(reader.GetString(&counter.name));
     OPT_RETURN_IF_ERROR(reader.GetU64(&counter.value));
     out->counters.push_back(std::move(counter));
+  }
+  return Status::OK();
+}
+
+std::string EncodeShardStatsResult(const ShardStatsResult& stats) {
+  std::string payload;
+  PutString(&payload, stats.graph);
+  PutU32(&payload, static_cast<uint32_t>(stats.shards.size()));
+  for (const ShardStatsEntry& shard : stats.shards) {
+    PutU32(&payload, shard.id);
+    PutString(&payload, shard.address);
+    payload.push_back(static_cast<char>(shard.healthy));
+    PutU64(&payload, shard.pid);
+    PutU32(&payload, shard.range_lo);
+    PutU32(&payload, shard.range_hi);
+    PutU64(&payload, shard.epoch);
+    PutU64(&payload, shard.restarts);
+    PutU64(&payload, shard.requests);
+    PutU64(&payload, shard.failures);
+    PutU64(&payload, shard.retries);
+    PutU64(&payload, shard.ghost_triangles);
+    PutDouble(&payload, shard.latency_p50_micros);
+    PutDouble(&payload, shard.latency_p95_micros);
+    PutDouble(&payload, shard.latency_p99_micros);
+  }
+  return payload;
+}
+
+Status DecodeShardStatsResult(std::string_view payload,
+                              ShardStatsResult* out) {
+  PayloadReader reader(payload);
+  OPT_RETURN_IF_ERROR(reader.GetString(&out->graph));
+  uint32_t count;
+  OPT_RETURN_IF_ERROR(reader.GetU32(&count));
+  out->shards.clear();
+  // Like DecodeMutateRequest: bound the claimed count by the bytes that
+  // could possibly back it (each entry is ≥ 94 bytes) before reserving.
+  if (count > reader.remaining() / 94) {
+    return Status::Corruption("shard stats claims " + std::to_string(count) +
+                              " shards but only " +
+                              std::to_string(reader.remaining()) +
+                              " payload bytes follow");
+  }
+  out->shards.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ShardStatsEntry shard;
+    OPT_RETURN_IF_ERROR(reader.GetU32(&shard.id));
+    OPT_RETURN_IF_ERROR(reader.GetString(&shard.address));
+    OPT_RETURN_IF_ERROR(reader.GetU8(&shard.healthy));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&shard.pid));
+    OPT_RETURN_IF_ERROR(reader.GetU32(&shard.range_lo));
+    OPT_RETURN_IF_ERROR(reader.GetU32(&shard.range_hi));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&shard.epoch));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&shard.restarts));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&shard.requests));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&shard.failures));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&shard.retries));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&shard.ghost_triangles));
+    OPT_RETURN_IF_ERROR(reader.GetDouble(&shard.latency_p50_micros));
+    OPT_RETURN_IF_ERROR(reader.GetDouble(&shard.latency_p95_micros));
+    OPT_RETURN_IF_ERROR(reader.GetDouble(&shard.latency_p99_micros));
+    out->shards.push_back(std::move(shard));
   }
   return Status::OK();
 }

@@ -42,6 +42,9 @@ enum class MessageType : uint8_t {
   /// Long-poll on the graph's epoch; answered with kSubscribeCountResult
   /// when the epoch advances past `after_epoch` or the timeout elapses.
   kSubscribeCountRequest = 8,
+  /// Router-only: per-shard health/latency breakdown (empty payload).
+  /// Plain opt_server answers kError(NotSupported).
+  kShardStatsRequest = 9,
   // Responses.
   kCountResult = 64,
   kListBatch = 65,
@@ -52,6 +55,7 @@ enum class MessageType : uint8_t {
   kProfileResult = 70,
   kMutateResult = 71,
   kSubscribeCountResult = 72,
+  kShardStatsResult = 73,
 };
 
 struct WireMessage {
@@ -74,6 +78,12 @@ struct CountResult {
   uint64_t pool_hits = 0;
   uint64_t pages_read = 0;
   uint32_t iterations = 0;
+  /// Sharded-router tail (appended on the wire; absent from plain
+  /// opt_server frames and decoded as zero). Bit i set means shard i
+  /// failed and its contribution is missing from `triangles` — 0 is a
+  /// complete answer. `num_shards` sizes the mask (0 = unsharded).
+  uint64_t partial_shards = 0;
+  uint32_t num_shards = 0;
 };
 
 struct LoadGraphRequest {
@@ -97,6 +107,10 @@ struct MutateResult {
   double seconds = 0;
   uint8_t approx_valid = 0;  // sampling estimator enabled and untainted
   double approx_triangles = 0;
+  /// Router tail: shards whose sub-batch did NOT commit (their edges are
+  /// retryable verbatim — per-shard batches stay all-or-nothing).
+  uint64_t partial_shards = 0;
+  uint32_t num_shards = 0;
 };
 
 struct SubscribeCountRequest {
@@ -122,6 +136,10 @@ struct SubscribeCountResult {
   uint64_t edges_removed = 0;
   uint8_t approx_valid = 0;
   double approx_triangles = 0;
+  /// Router tail: shards whose snapshot could not be fetched (their
+  /// contribution is missing from the merged totals).
+  uint64_t partial_shards = 0;
+  uint32_t num_shards = 0;
 };
 
 /// STATS reply. The legacy `text` field (newline-separated key=value
@@ -208,6 +226,35 @@ struct ListBatch {
 struct ListEnd {
   uint64_t triangles = 0;
   double seconds = 0;
+  /// Router tail: see CountResult.
+  uint64_t partial_shards = 0;
+  uint32_t num_shards = 0;
+};
+
+/// SHARD_STATS reply: one entry per shard with the router-side view —
+/// address, liveness, vertex range, epoch, request/failure/retry totals,
+/// and latency quantiles measured at the router (micros).
+struct ShardStatsEntry {
+  uint32_t id = 0;
+  std::string address;  // host:port
+  uint8_t healthy = 0;
+  uint64_t pid = 0;  // 0 when attached to an externally managed process
+  VertexId range_lo = 0;
+  VertexId range_hi = 0;  // exclusive
+  uint64_t epoch = 0;     // restart-monotonic virtual epoch
+  uint64_t restarts = 0;
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+  uint64_t retries = 0;
+  uint64_t ghost_triangles = 0;
+  double latency_p50_micros = 0;
+  double latency_p95_micros = 0;
+  double latency_p99_micros = 0;
+};
+
+struct ShardStatsResult {
+  std::string graph;
+  std::vector<ShardStatsEntry> shards;
 };
 
 // ---- payload primitives ----
@@ -280,6 +327,10 @@ Status DecodeListEnd(std::string_view payload, ListEnd* out);
 std::string EncodeStatsResult(const StatsResult& stats);
 /// Tolerates payloads that end after `text` (pre-registry servers).
 Status DecodeStatsResult(std::string_view payload, StatsResult* out);
+
+std::string EncodeShardStatsResult(const ShardStatsResult& stats);
+Status DecodeShardStatsResult(std::string_view payload,
+                              ShardStatsResult* out);
 
 // ---- framed socket I/O ----
 /// Writes [len][type][payload] with a retry loop (EINTR, short writes).

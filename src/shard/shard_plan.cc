@@ -1,0 +1,251 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "baselines/inmemory.h"
+#include "core/triangle_sink.h"
+#include "graph/builder.h"
+#include "storage/graph_store.h"
+
+namespace opt {
+
+namespace {
+
+constexpr char kManifestMagic[] = "opt_shard_manifest v1";
+
+// The partial_shards wire mask is a u64.
+constexpr uint32_t kMaxShards = 64;
+
+}  // namespace
+
+uint64_t ShardManifest::ghost_triangles_total() const {
+  uint64_t total = 0;
+  for (const ShardInfo& shard : shards) total += shard.ghost_triangles;
+  return total;
+}
+
+uint64_t ShardManifest::replicated_bytes() const {
+  uint64_t total = 0;
+  for (const ShardInfo& shard : shards) {
+    total += shard.closure_edges * 2 * sizeof(VertexId);
+  }
+  return total;
+}
+
+uint32_t ShardManifest::OwnerOf(VertexId v) const {
+  for (const ShardInfo& shard : shards) {
+    if (v < shard.range_hi) return shard.id;
+  }
+  return shards.empty() ? 0 : shards.back().id;
+}
+
+std::string ShardManifest::ToString() const {
+  std::ostringstream out;
+  out << kManifestMagic << "\n";
+  out << "graph " << graph << "\n";
+  out << "page_size " << page_size << "\n";
+  out << "num_vertices " << num_vertices << "\n";
+  out << "num_edges " << num_edges << "\n";
+  out << "num_shards " << shards.size() << "\n";
+  for (const ShardInfo& shard : shards) {
+    // base_path comes last so it may contain spaces.
+    out << "shard " << shard.id << " " << shard.range_lo << " "
+        << shard.range_hi << " " << shard.owned_edges << " "
+        << shard.closure_edges << " " << shard.ghost_triangles << " "
+        << shard.num_pages << " " << shard.base_path << "\n";
+  }
+  return out.str();
+}
+
+Result<ShardManifest> ShardManifest::Parse(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    return Status::Corruption("shard manifest: bad magic line");
+  }
+  ShardManifest manifest;
+  uint32_t declared_shards = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "graph") {
+      std::getline(fields, manifest.graph);
+      if (!manifest.graph.empty() && manifest.graph.front() == ' ') {
+        manifest.graph.erase(0, 1);
+      }
+    } else if (key == "page_size") {
+      fields >> manifest.page_size;
+    } else if (key == "num_vertices") {
+      fields >> manifest.num_vertices;
+    } else if (key == "num_edges") {
+      fields >> manifest.num_edges;
+    } else if (key == "num_shards") {
+      fields >> declared_shards;
+    } else if (key == "shard") {
+      ShardInfo shard;
+      fields >> shard.id >> shard.range_lo >> shard.range_hi >>
+          shard.owned_edges >> shard.closure_edges >>
+          shard.ghost_triangles >> shard.num_pages;
+      if (fields.fail()) {
+        return Status::Corruption("shard manifest: bad shard line: " + line);
+      }
+      std::getline(fields, shard.base_path);
+      if (!shard.base_path.empty() && shard.base_path.front() == ' ') {
+        shard.base_path.erase(0, 1);
+      }
+      if (shard.base_path.empty()) {
+        return Status::Corruption("shard manifest: shard " +
+                                  std::to_string(shard.id) +
+                                  " missing base path");
+      }
+      manifest.shards.push_back(std::move(shard));
+    } else {
+      return Status::Corruption("shard manifest: unknown key: " + key);
+    }
+  }
+  if (manifest.shards.empty() ||
+      manifest.shards.size() != declared_shards) {
+    return Status::Corruption("shard manifest: shard count mismatch");
+  }
+  if (manifest.shards.size() > kMaxShards) {
+    return Status::Corruption("shard manifest: more than 64 shards");
+  }
+  // Ranges must tile [0, num_vertices) in shard-id order.
+  VertexId expected_lo = 0;
+  for (uint32_t i = 0; i < manifest.shards.size(); ++i) {
+    const ShardInfo& shard = manifest.shards[i];
+    if (shard.id != i || shard.range_lo != expected_lo ||
+        shard.range_hi < shard.range_lo) {
+      return Status::Corruption("shard manifest: ranges are not contiguous");
+    }
+    expected_lo = shard.range_hi;
+  }
+  if (expected_lo != manifest.num_vertices) {
+    return Status::Corruption(
+        "shard manifest: ranges do not cover the vertex space");
+  }
+  return manifest;
+}
+
+Status ShardManifest::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot write manifest: " + path);
+  out << ToString();
+  out.close();
+  if (!out) return Status::IOError("short write to manifest: " + path);
+  return Status::OK();
+}
+
+Result<ShardManifest> ShardManifest::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read manifest: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Parse(text.str());
+}
+
+std::vector<VertexId> ComputeRangeEnds(const CSRGraph& g,
+                                       uint32_t num_shards) {
+  // Identical to the range rule in SimulateAKM so the simulator stays an
+  // executable model of the real partitioner.
+  const VertexId n = g.num_vertices();
+  const uint64_t total = g.num_directed_edges();
+  const uint64_t share = std::max<uint64_t>(1, total / num_shards);
+  std::vector<VertexId> range_end;
+  uint64_t acc = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    acc += g.degree(v);
+    if (acc >= share && range_end.size() + 1 < num_shards) {
+      range_end.push_back(v + 1);
+      acc = 0;
+    }
+  }
+  // Tiny graphs may not trip the threshold num_shards - 1 times;
+  // trailing shards come out empty rather than missing.
+  while (range_end.size() < num_shards) range_end.push_back(n);
+  return range_end;
+}
+
+Result<ShardManifest> PartitionGraph(const CSRGraph& g, Env* env,
+                                     const std::string& graph_name,
+                                     const std::string& out_prefix,
+                                     const ShardPlanOptions& options) {
+  if (options.num_shards == 0 || options.num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "num_shards must be in [1, 64] (the partial mask is 64 bits)");
+  }
+  const std::vector<VertexId> ends = ComputeRangeEnds(g, options.num_shards);
+
+  ShardManifest manifest;
+  manifest.graph = graph_name;
+  manifest.page_size = options.page_size;
+  manifest.num_vertices = g.num_vertices();
+  manifest.num_edges = g.num_directed_edges() / 2;
+
+  VertexId lo = 0;
+  for (uint32_t i = 0; i < options.num_shards; ++i) {
+    const VertexId hi = ends[i];
+    std::vector<Edge> edges;
+    std::vector<Edge> closure;
+    std::unordered_set<uint64_t> closure_seen;
+    for (VertexId u = lo; u < hi; ++u) {
+      const auto succ = g.Successors(u);
+      for (VertexId v : succ) edges.emplace_back(u, v);
+      // Closure: wedges (u; v, w) with both arms past range_hi close a
+      // triangle iff (v, w) is a global edge; that edge must be present
+      // locally for the shard to count (u, v, w). Quadratic in the
+      // boundary-successor count per vertex — the same wedge work a
+      // vertex-iterator pays, just restricted to the boundary.
+      const auto first_hi =
+          std::lower_bound(succ.begin(), succ.end(), hi);
+      for (auto v_it = first_hi; v_it != succ.end(); ++v_it) {
+        for (auto w_it = v_it + 1; w_it != succ.end(); ++w_it) {
+          if (!g.HasEdge(*v_it, *w_it)) continue;
+          const uint64_t key =
+              (static_cast<uint64_t>(*v_it) << 32) | *w_it;
+          if (closure_seen.insert(key).second) {
+            closure.emplace_back(*v_it, *w_it);
+          }
+        }
+      }
+    }
+
+    ShardInfo shard;
+    shard.id = i;
+    shard.range_lo = lo;
+    shard.range_hi = hi;
+    shard.owned_edges = edges.size();
+    shard.closure_edges = closure.size();
+    shard.base_path = out_prefix + ".shard" + std::to_string(i);
+
+    // Ghost triangles live entirely inside the closure edge set; count
+    // them offline so the router can subtract.
+    {
+      CSRGraph closure_graph = GraphBuilder::FromEdges(closure);
+      CountingSink ghosts;
+      EdgeIteratorInMemory(closure_graph, &ghosts);
+      shard.ghost_triangles = ghosts.count();
+    }
+
+    edges.insert(edges.end(), closure.begin(), closure.end());
+    CSRGraph shard_graph = GraphBuilder::FromEdges(std::move(edges));
+    OPT_RETURN_IF_ERROR(GraphStore::Create(shard_graph, env,
+                                           shard.base_path,
+                                           {options.page_size}));
+    OPT_ASSIGN_OR_RETURN(auto store,
+                         GraphStore::Open(env, shard.base_path));
+    shard.num_pages = store->num_pages();
+
+    manifest.shards.push_back(std::move(shard));
+    lo = hi;
+  }
+  return manifest;
+}
+
+}  // namespace opt

@@ -1,0 +1,106 @@
+// Shard planning: splits one graph into N contiguous vertex-range shards
+// whose per-shard COUNTs merge back to the exact global answer.
+//
+// Ownership is by minimum endpoint: shard i owns the contiguous range
+// [range_lo, range_hi) and every edge (u, v), u < v, with u in the
+// range. Each shard's store additionally carries *closure* edges —
+// edges (v, w) with both endpoints past range_hi where some owned u is
+// adjacent to both — so the triangle (u, v, w) is locally countable.
+// All shard edges are real global edges, so every local triangle is a
+// real global triangle; the only double counting is "ghost" triangles
+// lying entirely inside the closure edge set (e.g. the three high
+// vertices of a K4 whose apex is owned). The partitioner counts those
+// offline and records them in the manifest; the router subtracts them,
+// making the merged COUNT exact:
+//
+//   global triangles = sum_i(shard_i COUNT) - sum_i(ghost_i)
+//
+// LIST needs no correction: the router keeps a record (u, v, {w..})
+// only from the shard owning u, which drops ghosts automatically.
+//
+// Ranges are balanced by adjacency volume with the same rule as
+// distsim's SimulateAKM, which makes the simulator's partitioning an
+// executable model for the real thing (asserted in tests/test_shard.cc).
+#ifndef OPT_SHARD_SHARD_PLAN_H_
+#define OPT_SHARD_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "storage/env.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct ShardPlanOptions {
+  uint32_t num_shards = 4;
+  uint32_t page_size = kDefaultPageSize;
+};
+
+struct ShardInfo {
+  uint32_t id = 0;
+  VertexId range_lo = 0;
+  VertexId range_hi = 0;  // exclusive
+  std::string base_path;
+  uint64_t owned_edges = 0;    // undirected edges with min endpoint owned
+  uint64_t closure_edges = 0;  // replicated (v, w) edges past range_hi
+  uint64_t ghost_triangles = 0;
+  uint32_t num_pages = 0;
+};
+
+struct ShardManifest {
+  std::string graph;  // name every shard serves the store under
+  uint32_t page_size = kDefaultPageSize;
+  VertexId num_vertices = 0;
+  uint64_t num_edges = 0;  // undirected, across all shards (no closure)
+  std::vector<ShardInfo> shards;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards.size());
+  }
+
+  uint64_t ghost_triangles_total() const;
+
+  /// Bytes of replicated adjacency (closure edges), for comparison with
+  /// the AKM surrogate-list shuffle volume.
+  uint64_t replicated_bytes() const;
+
+  /// Shard owning vertex `v`. Ids past the last range clamp to the last
+  /// shard so mutation routing stays deterministic (the shard rejects
+  /// out-of-range ids itself).
+  uint32_t OwnerOf(VertexId v) const;
+
+  /// Shard owning edge {u, v}: the owner of the smaller endpoint.
+  uint32_t OwnerOfEdge(VertexId u, VertexId v) const {
+    return OwnerOf(u < v ? u : v);
+  }
+
+  std::string ToString() const;
+  static Result<ShardManifest> Parse(std::string_view text);
+
+  Status Save(const std::string& path) const;
+  static Result<ShardManifest> Load(const std::string& path);
+};
+
+/// Exclusive range ends for `num_shards` contiguous vertex ranges
+/// balanced by adjacency volume — the SimulateAKM rule. Always returns
+/// exactly `num_shards` entries, the last equal to g.num_vertices()
+/// (trailing shards may be empty on tiny graphs).
+std::vector<VertexId> ComputeRangeEnds(const CSRGraph& g,
+                                       uint32_t num_shards);
+
+/// Partitions `g` into per-shard GraphStores at
+/// `<out_prefix>.shard<i>`(.pages/.meta) plus a manifest (not yet
+/// saved; callers typically Save() it to `<out_prefix>.manifest`).
+Result<ShardManifest> PartitionGraph(const CSRGraph& g, Env* env,
+                                     const std::string& graph_name,
+                                     const std::string& out_prefix,
+                                     const ShardPlanOptions& options = {});
+
+}  // namespace opt
+
+#endif  // OPT_SHARD_SHARD_PLAN_H_

@@ -1,0 +1,364 @@
+#include "shard/shard_set.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "service/client.h"
+#include "util/metrics.h"
+
+namespace opt {
+
+namespace {
+
+uint64_t NowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Extracts the value of "graph.<name>.epoch=" from a STATS text blob.
+bool ParseEpochLine(const std::string& text, const std::string& graph,
+                    uint64_t* epoch) {
+  const std::string needle = "graph." + graph + ".epoch=";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *epoch = std::strtoull(text.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+ShardSet::ShardSet(ShardManifest manifest, ShardSetOptions options)
+    : manifest_(std::move(manifest)), options_(std::move(options)) {
+  shards_.resize(manifest_.num_shards());
+}
+
+ShardSet::~ShardSet() { Stop(); }
+
+Status ShardSet::Spawn() {
+  if (options_.command.empty()) {
+    return Status::InvalidArgument("Spawn() needs a command template");
+  }
+  spawn_mode_ = true;
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    const Status status = SpawnOne(i);
+    if (!status.ok()) {
+      Stop();
+      return status;
+    }
+  }
+  StartMonitor();
+  return Status::OK();
+}
+
+Status ShardSet::Attach(std::vector<ShardEndpoint> endpoints) {
+  if (endpoints.size() != num_shards()) {
+    return Status::InvalidArgument(
+        "endpoint count does not match the manifest shard count");
+  }
+  spawn_mode_ = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (uint32_t i = 0; i < num_shards(); ++i) {
+      shards_[i].endpoint = std::move(endpoints[i]);
+      shards_[i].generation = 1;
+    }
+  }
+  StartMonitor();
+  return Status::OK();
+}
+
+Status ShardSet::SpawnOne(uint32_t i) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+
+  std::vector<std::string> args = options_.command;
+  args.push_back("--port");
+  args.push_back("0");
+  args.push_back("--graph");
+  args.push_back(manifest_.graph + "=" + manifest_.shards[i].base_path);
+  args.insert(args.end(), options_.extra_args.begin(),
+              options_.extra_args.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    return Status::IOError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (child == 0) {
+    // Child: die with the supervisor, route stdout into the pipe, exec.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    ::execvp(argv[0], argv.data());
+    ::_exit(127);
+  }
+  ::close(pipefd[1]);
+
+  // Parse "listening on 127.0.0.1:<port>" with a deadline.
+  const uint64_t deadline = NowMillis() + options_.spawn_timeout_ms;
+  std::string buffer;
+  long port = -1;
+  while (port < 0) {
+    const uint64_t now = NowMillis();
+    if (now >= deadline) break;
+    pollfd pfd{pipefd[0], POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(deadline - now));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;
+    char chunk[256];
+    const ssize_t n = ::read(pipefd[0], chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF: the child died before listening
+    buffer.append(chunk, static_cast<size_t>(n));
+    const size_t pos = buffer.find("listening on 127.0.0.1:");
+    if (pos != std::string::npos) {
+      const size_t digits = pos + std::strlen("listening on 127.0.0.1:");
+      const size_t eol = buffer.find('\n', digits);
+      if (eol != std::string::npos) {
+        port = std::strtol(buffer.c_str() + digits, nullptr, 10);
+      }
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    ::kill(child, SIGKILL);
+    int ignored;
+    ::waitpid(child, &ignored, 0);
+    ::close(pipefd[0]);
+    return Status::Unavailable("shard " + std::to_string(i) +
+                               " did not report a listening port");
+  }
+  // Keep the read end open (the child would take SIGPIPE on a closed
+  // stdout) but non-blocking so the monitor can drain it.
+  ::fcntl(pipefd[0], F_SETFL, O_NONBLOCK);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Shard& shard = shards_[i];
+  shard.pid = child;
+  shard.stdout_fd = pipefd[0];
+  shard.endpoint = {"127.0.0.1", static_cast<uint16_t>(port)};
+  shard.healthy = false;  // the next probe confirms
+  ++shard.generation;
+  return Status::OK();
+}
+
+void ShardSet::StartMonitor() {
+  stopping_.store(false);
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+void ShardSet::MonitorLoop() {
+  while (!stopping_.load()) {
+    if (spawn_mode_) ReapAndRespawn();
+    for (uint32_t i = 0; i < num_shards() && !stopping_.load(); ++i) {
+      ProbeShard(i);
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    health_cv_.wait_for(lock,
+                        std::chrono::milliseconds(options_.probe_interval_ms),
+                        [this] { return stopping_.load(); });
+  }
+}
+
+void ShardSet::ReapAndRespawn() {
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    pid_t pid;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      Shard& shard = shards_[i];
+      if (shard.stdout_fd >= 0) {
+        // Drain anything the child printed so the pipe never fills.
+        char sink[512];
+        while (::read(shard.stdout_fd, sink, sizeof(sink)) > 0) {
+        }
+      }
+      pid = shard.pid;
+    }
+    if (pid > 0) {
+      int wstatus;
+      if (::waitpid(pid, &wstatus, WNOHANG) == pid) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Shard& shard = shards_[i];
+        shard.pid = 0;
+        shard.healthy = false;
+        // Fold the dead incarnation's epoch into the offset so the
+        // restart-monotonic epoch never regresses.
+        shard.epoch_offset += shard.last_epoch;
+        shard.last_epoch = 0;
+        if (shard.stdout_fd >= 0) {
+          ::close(shard.stdout_fd);
+          shard.stdout_fd = -1;
+        }
+      }
+    }
+    bool respawn;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      respawn = shards_[i].pid == 0 && options_.restart_on_exit &&
+                !stopping_.load();
+    }
+    if (respawn && SpawnOne(i).ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++shards_[i].restarts;
+      Metrics().GetCounter("shardset.restarts")->Increment();
+    }
+  }
+}
+
+void ShardSet::ProbeShard(uint32_t i) {
+  ShardEndpoint ep;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ep = shards_[i].endpoint;
+  }
+  if (ep.port == 0) return;
+  bool ok = false;
+  uint64_t observed_epoch = 0;
+  bool have_epoch = false;
+  OptClient client;
+  if (client.ConnectTcp(ep.host, ep.port).ok()) {
+    (void)client.SetRecvTimeoutMillis(options_.probe_recv_timeout_ms);
+    auto stats = client.Stats();
+    if (stats.ok()) {
+      ok = true;
+      have_epoch = ParseEpochLine(*stats, manifest_.graph, &observed_epoch);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Shard& shard = shards_[i];
+  shard.healthy = ok;
+  if (ok) {
+    shard.probed_ok_once = true;
+    if (have_epoch) {
+      shard.last_epoch = std::max(shard.last_epoch, observed_epoch);
+    }
+    health_cv_.notify_all();
+  }
+}
+
+void ShardSet::KillAll() {
+  std::vector<pid_t> pids;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Shard& shard : shards_) {
+      if (shard.pid > 0) pids.push_back(shard.pid);
+      shard.pid = 0;
+      shard.healthy = false;
+      if (shard.stdout_fd >= 0) {
+        ::close(shard.stdout_fd);
+        shard.stdout_fd = -1;
+      }
+    }
+  }
+  for (pid_t pid : pids) ::kill(pid, SIGTERM);
+  const uint64_t deadline = NowMillis() + 2000;
+  for (pid_t pid : pids) {
+    for (;;) {
+      int wstatus;
+      const pid_t reaped = ::waitpid(pid, &wstatus, WNOHANG);
+      if (reaped == pid || (reaped < 0 && errno == ECHILD)) break;
+      if (NowMillis() >= deadline) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &wstatus, 0);
+        break;
+      }
+      ::usleep(10 * 1000);
+    }
+  }
+}
+
+void ShardSet::Stop() {
+  if (stopping_.exchange(true)) {
+    if (monitor_.joinable()) monitor_.join();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    health_cv_.notify_all();
+  }
+  if (monitor_.joinable()) monitor_.join();
+  if (spawn_mode_) KillAll();
+}
+
+ShardEndpoint ShardSet::endpoint(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_[shard].endpoint;
+}
+
+bool ShardSet::healthy(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_[shard].healthy;
+}
+
+pid_t ShardSet::pid(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_[shard].pid;
+}
+
+uint64_t ShardSet::restarts(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_[shard].restarts;
+}
+
+uint64_t ShardSet::total_restarts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.restarts;
+  return total;
+}
+
+uint64_t ShardSet::generation(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_[shard].generation;
+}
+
+void ShardSet::NoteEpoch(uint32_t shard, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_[shard].last_epoch = std::max(shards_[shard].last_epoch, epoch);
+}
+
+uint64_t ShardSet::epoch(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_[shard].epoch_offset + shards_[shard].last_epoch;
+}
+
+uint64_t ShardSet::virtual_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.epoch_offset + shard.last_epoch;
+  }
+  return total;
+}
+
+bool ShardSet::WaitHealthy(uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return health_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [this] {
+                               for (const Shard& shard : shards_) {
+                                 if (!shard.healthy) return false;
+                               }
+                               return true;
+                             });
+}
+
+}  // namespace opt

@@ -1,0 +1,137 @@
+// ShardSet: lifecycle manager for the N shard opt_server processes
+// behind a router. Two modes:
+//
+//   Spawn()  — fork/exec one server per shard from an argv template,
+//              parse "listening on 127.0.0.1:<port>" from the child's
+//              stdout, supervise with waitpid, and respawn crashed
+//              shards (a respawned shard reloads its base store; the
+//              in-memory delta overlay of the dead process is gone).
+//   Attach() — adopt already-running servers at fixed endpoints; no
+//              process supervision, health comes from the STATS probe.
+//
+// A monitor thread health-checks every shard via STATS with a bounded
+// receive timeout and tracks per-shard epochs from the
+// "graph.<name>.epoch=" stats line. Epochs are *restart-monotonic*:
+// when a shard dies its last observed epoch is folded into an offset,
+// so epoch(shard) never goes backwards across respawns and the
+// router's virtual epoch (sum over shards) stays monotonic.
+#ifndef OPT_SHARD_SHARD_SET_H_
+#define OPT_SHARD_SHARD_SET_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shard/shard_plan.h"
+#include "util/status.h"
+
+namespace opt {
+
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct ShardSetOptions {
+  /// Spawn mode: argv prefix to exec per shard (binary first). ShardSet
+  /// appends "--port 0 --graph <name>=<base_path>" plus `extra_args`.
+  /// The binary must print opt_server's "listening on 127.0.0.1:<port>"
+  /// line on stdout.
+  std::vector<std::string> command;
+  std::vector<std::string> extra_args;
+  bool restart_on_exit = true;
+  uint32_t spawn_timeout_ms = 15000;
+  uint32_t probe_interval_ms = 200;
+  uint64_t probe_recv_timeout_ms = 2000;
+};
+
+class ShardSet {
+ public:
+  ShardSet(ShardManifest manifest, ShardSetOptions options = {});
+  ~ShardSet();
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  /// Spawns one server process per manifest shard and starts the
+  /// monitor. Fails (and kills anything already spawned) if any shard
+  /// does not report a listening port within spawn_timeout_ms.
+  Status Spawn();
+
+  /// Adopts running servers, one endpoint per manifest shard, and
+  /// starts the monitor (probe-only).
+  Status Attach(std::vector<ShardEndpoint> endpoints);
+
+  /// Stops the monitor and, in spawn mode, SIGTERMs (then SIGKILLs)
+  /// every child. Idempotent; also run by the destructor.
+  void Stop();
+
+  const ShardManifest& manifest() const { return manifest_; }
+  uint32_t num_shards() const { return manifest_.num_shards(); }
+
+  ShardEndpoint endpoint(uint32_t shard) const;
+  bool healthy(uint32_t shard) const;
+  /// 0 in attach mode.
+  pid_t pid(uint32_t shard) const;
+  uint64_t restarts(uint32_t shard) const;
+  uint64_t total_restarts() const;
+  /// Bumps on every respawn; connection pools use it to drop stale
+  /// sockets to the previous incarnation.
+  uint64_t generation(uint32_t shard) const;
+
+  /// Records an epoch observed in a reply from `shard` (mutations and
+  /// subscribes carry them); keeps the per-shard maximum.
+  void NoteEpoch(uint32_t shard, uint64_t epoch);
+  /// Restart-monotonic epoch: accumulated offset + last observed.
+  uint64_t epoch(uint32_t shard) const;
+  /// Sum over shards — the router's virtual epoch.
+  uint64_t virtual_epoch() const;
+
+  /// Blocks until every shard has passed at least one health probe or
+  /// the deadline expires; returns false on timeout.
+  bool WaitHealthy(uint64_t timeout_ms);
+
+ private:
+  struct Shard {
+    ShardEndpoint endpoint;
+    pid_t pid = 0;
+    int stdout_fd = -1;  // kept open (and drained) so the child never
+                         // takes SIGPIPE writing to stdout
+    bool healthy = false;
+    bool probed_ok_once = false;
+    uint64_t restarts = 0;
+    uint64_t generation = 0;
+    uint64_t epoch_offset = 0;
+    uint64_t last_epoch = 0;
+  };
+
+  /// Fork/execs shard `i` and parses its port. Called without the lock
+  /// held (port parsing can take a while); publishes under the lock.
+  Status SpawnOne(uint32_t i);
+  void StartMonitor();
+  void MonitorLoop();
+  void ProbeShard(uint32_t i);
+  void ReapAndRespawn();
+  void KillAll();
+
+  const ShardManifest manifest_;
+  const ShardSetOptions options_;
+  bool spawn_mode_ = false;
+
+  mutable std::mutex mutex_;
+  std::condition_variable health_cv_;
+  std::vector<Shard> shards_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread monitor_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_SHARD_SHARD_SET_H_

@@ -1,7 +1,13 @@
 // Command-line client for opt_server.
 //
+// Works against a single opt_server or an opt_router: router replies
+// carry a `partial_shards` mask, printed after the result (exit code 3
+// on a partial answer), and `--op shard-stats` asks a router for its
+// per-shard breakdown.
+//
 //   opt_client (--port N [--host 127.0.0.1] | --unix /path.sock) \
-//       --op count|list|stats|load|profile|add-edges|remove-edges|subscribe \
+//       --op count|list|stats|load|profile|add-edges|remove-edges| \
+//            subscribe|shard-stats \
 //       [--graph NAME] \
 //       [--pages N] [--threads N] [--deadline_ms N] \
 //       [--path /graph/base]     (load: store base path) \
@@ -175,6 +181,55 @@ void PrintMutateResult(const MutateResult& m) {
   }
 }
 
+/// Renders a router CountResult-style partial mask: which shards are
+/// missing from the answer. Prints nothing against an unsharded server
+/// (num_shards == 0).
+void PrintPartialShards(uint64_t mask, uint32_t num_shards) {
+  if (num_shards == 0) return;
+  if (mask == 0) {
+    std::printf("shards: %u/%u answered (complete)\n", num_shards,
+                num_shards);
+    return;
+  }
+  std::string failed;
+  uint32_t failures = 0;
+  for (uint32_t i = 0; i < num_shards && i < 64; ++i) {
+    if (mask & (1ull << i)) {
+      if (!failed.empty()) failed += ",";
+      failed += std::to_string(i);
+      ++failures;
+    }
+  }
+  std::printf("shards: %u/%u answered (PARTIAL — missing shard%s %s)\n",
+              num_shards - failures, num_shards, failures == 1 ? "" : "s",
+              failed.c_str());
+}
+
+/// SHARD_STATS table: the router's per-shard health/latency breakdown.
+void PrintShardStats(const ShardStatsResult& stats) {
+  std::printf("graph: %s  shards: %zu\n", stats.graph.c_str(),
+              stats.shards.size());
+  TablePrinter table({"shard", "address", "healthy", "range", "epoch",
+                      "restarts", "reqs", "fails", "retries", "ghosts",
+                      "p50us", "p95us", "p99us"});
+  for (const ShardStatsEntry& entry : stats.shards) {
+    table.AddRow({TablePrinter::Fmt(uint64_t{entry.id}), entry.address,
+                  entry.healthy ? "yes" : "NO",
+                  "[" + TablePrinter::Fmt(uint64_t{entry.range_lo}) + "," +
+                      TablePrinter::Fmt(uint64_t{entry.range_hi}) + ")",
+                  TablePrinter::Fmt(entry.epoch),
+                  TablePrinter::Fmt(entry.restarts),
+                  TablePrinter::Fmt(entry.requests),
+                  TablePrinter::Fmt(entry.failures),
+                  TablePrinter::Fmt(entry.retries),
+                  TablePrinter::Fmt(entry.ghost_triangles),
+                  TablePrinter::Fmt(entry.latency_p50_micros, 1),
+                  TablePrinter::Fmt(entry.latency_p95_micros, 1),
+                  TablePrinter::Fmt(entry.latency_p99_micros, 1)});
+  }
+  table.Print();
+}
+
 /// Degraded queries ship their flight-recorder tail with the error;
 /// print it so the failure explains itself at the terminal.
 void PrintErrorWithEvents(const Status& status, const OptClient& client) {
@@ -207,7 +262,7 @@ int main(int argc, char** argv) {
   auto op = cl->GetChoice(
       "op",
       {"count", "list", "stats", "load", "profile", "add-edges",
-       "remove-edges", "subscribe"},
+       "remove-edges", "subscribe", "shard-stats"},
       "count");
   if (!op.ok()) {
     std::fprintf(stderr, "%s\n", op.status().ToString().c_str());
@@ -248,7 +303,8 @@ int main(int argc, char** argv) {
     std::printf("pool_hits: %llu  pages_read: %llu\n",
                 static_cast<unsigned long long>(result->pool_hits),
                 static_cast<unsigned long long>(result->pages_read));
-    return 0;
+    PrintPartialShards(result->partial_shards, result->num_shards);
+    return result->partial_shards != 0 ? 3 : 0;
   }
 
   if (*op == "profile") {
@@ -289,7 +345,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "triangles: %llu  seconds: %.6f\n",
                  static_cast<unsigned long long>(result->triangles),
                  result->seconds);
-    return 0;
+    PrintPartialShards(result->partial_shards, result->num_shards);
+    return result->partial_shards != 0 ? 3 : 0;
   }
 
   if (*op == "add-edges" || *op == "remove-edges") {
@@ -309,7 +366,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     PrintMutateResult(*result);
-    return 0;
+    PrintPartialShards(result->partial_shards, result->num_shards);
+    return result->partial_shards != 0 ? 3 : 0;
   }
 
   if (*op == "subscribe") {
@@ -340,6 +398,17 @@ int main(int argc, char** argv) {
       std::printf("approx_triangles (streamed edges): %.1f\n",
                   result->approx_triangles);
     }
+    PrintPartialShards(result->partial_shards, result->num_shards);
+    return result->partial_shards != 0 ? 3 : 0;
+  }
+
+  if (*op == "shard-stats") {
+    auto result = client.ShardStats();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    PrintShardStats(*result);
     return 0;
   }
 

@@ -1,0 +1,162 @@
+// Fan-out query router for a sharded graph: speaks the opt_server wire
+// protocol to clients and forwards COUNT/LIST/STATS/ADD_EDGES/
+// REMOVE_EDGES/SUBSCRIBE_COUNT to the shard servers named by a
+// graph_partition manifest, merging the answers (exact COUNT via ghost
+// subtraction; see src/shard/router.h for the per-op semantics and the
+// partial_shards degradation contract).
+//
+//   opt_router --manifest /path/prefix.manifest \
+//       (--spawn /path/to/opt_server | --attach host:port,host:port,...) \
+//       [--port N] [--workers N] [--shard_deadline_ms N] \
+//       [--retry_attempts N] [--no_restart] \
+//       [--shard_arg FLAG ...]   (extra flags for spawned shards)
+//
+// --spawn forks one opt_server per shard (ephemeral ports, supervised
+// and respawned on crash unless --no_restart); --attach adopts running
+// servers, one endpoint per shard in manifest order. Extra positional
+// arguments are passed through to every spawned shard (e.g. --no_cache
+// after a bare `--`). --port 0 binds an ephemeral port, printed as
+// "listening on 127.0.0.1:<port>" exactly like opt_server so the same
+// scripts drive both. Runs until SIGINT/SIGTERM.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "shard/router.h"
+#include "shard/shard_plan.h"
+#include "shard/shard_set.h"
+#include "util/cli.h"
+#include "util/logging.h"
+
+using namespace opt;
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+/// Parses "host:port,host:port,..." (bare "port" means 127.0.0.1).
+Status ParseEndpoints(const std::string& text,
+                      std::vector<ShardEndpoint>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    ShardEndpoint endpoint;
+    const size_t colon = item.rfind(':');
+    const std::string port_text =
+        colon == std::string::npos ? item : item.substr(colon + 1);
+    if (colon != std::string::npos) endpoint.host = item.substr(0, colon);
+    const long port = std::strtol(port_text.c_str(), nullptr, 10);
+    if (port <= 0 || port > 65535) {
+      return Status::InvalidArgument("bad endpoint '" + item + "'");
+    }
+    endpoint.port = static_cast<uint16_t>(port);
+    out->push_back(std::move(endpoint));
+    pos = end + 1;
+  }
+  if (out->empty()) return Status::InvalidArgument("--attach is empty");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok() || !cl->Has("manifest") ||
+      (cl->Has("spawn") == cl->Has("attach"))) {
+    std::fprintf(stderr,
+                 "usage: %s --manifest /path.manifest "
+                 "(--spawn /path/opt_server | --attach host:port,...) "
+                 "[--port N] [--workers N] [--shard_deadline_ms N] "
+                 "[--retry_attempts N] [--no_restart] [shard flags...]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto manifest = ShardManifest::Load(cl->GetString("manifest"));
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "%s\n", manifest.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "manifest: graph '%s', %u shards, %llu ghosts\n",
+               manifest->graph.c_str(), manifest->num_shards(),
+               static_cast<unsigned long long>(
+                   manifest->ghost_triangles_total()));
+
+  ShardSetOptions set_options;
+  set_options.restart_on_exit = !cl->GetBool("no_restart", false);
+  const bool spawn = cl->Has("spawn");
+  if (spawn) {
+    set_options.command = {cl->GetString("spawn")};
+    // Positionals (after a bare `--` or anywhere) pass through to every
+    // spawned shard server.
+    for (const std::string& arg : cl->positional()) {
+      set_options.extra_args.push_back(arg);
+    }
+  }
+  ShardSet shards(*manifest, set_options);
+  Status status;
+  if (spawn) {
+    status = shards.Spawn();
+  } else {
+    std::vector<ShardEndpoint> endpoints;
+    status = ParseEndpoints(cl->GetString("attach"), &endpoints);
+    if (status.ok()) status = shards.Attach(std::move(endpoints));
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (!shards.WaitHealthy(15000)) {
+    std::fprintf(stderr, "not every shard passed a health probe in 15s\n");
+    shards.Stop();
+    return 1;
+  }
+  for (uint32_t i = 0; i < shards.num_shards(); ++i) {
+    const ShardEndpoint endpoint = shards.endpoint(i);
+    std::fprintf(stderr, "shard %u: %s:%u [%u,%u)\n", i,
+                 endpoint.host.c_str(), endpoint.port,
+                 manifest->shards[i].range_lo,
+                 manifest->shards[i].range_hi);
+  }
+
+  RouterOptions router_options;
+  router_options.workers =
+      static_cast<uint32_t>(cl->GetInt("workers", 8));
+  router_options.shard_deadline_ms =
+      static_cast<uint64_t>(cl->GetInt("shard_deadline_ms", 30000));
+  router_options.connect_retry.max_attempts =
+      static_cast<uint32_t>(cl->GetInt("retry_attempts", 6));
+  QueryRouter router(&shards, router_options);
+  status = router.ListenTcp(static_cast<uint16_t>(cl->GetInt("port", 0)));
+  if (status.ok()) status = router.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    shards.Stop();
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u\n", router.bound_port());
+  std::fflush(stdout);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (!g_stop) sigsuspend(&empty);
+
+  std::fprintf(stderr, "shutting down\n");
+  router.Stop();
+  shards.Stop();
+  return 0;
+}
