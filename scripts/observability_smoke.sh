@@ -9,11 +9,20 @@
 # file is Chrome trace_event JSON containing OPT phase spans and the
 # profiler's overlap counter tracks.
 #
+# Then the distributed phase: partitions the graph into a 2-shard fleet
+# behind opt_router, scrapes BOTH Prometheus endpoints (server and
+# router — windowed rates, fleet-merged histograms, per-shard up
+# gauges), runs `opt_client --op trace` through the router, and asserts
+# the merged fleet trace is valid JSON carrying spans from at least two
+# distinct pids. The merged trace is left at $TRACE_ARTIFACT_DIR (if
+# set) for CI artifact upload.
+#
 #   scripts/observability_smoke.sh [BUILD_DIR]    (default: build)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-for bin in tools/graph_gen tools/opt_server tools/opt_client; do
+for bin in tools/graph_gen tools/graph_partition tools/opt_server \
+           tools/opt_client tools/opt_router; do
   if [[ ! -x "$BUILD_DIR/$bin" ]]; then
     echo "missing $BUILD_DIR/$bin — build the '$(basename "$bin")' target first" >&2
     exit 2
@@ -24,14 +33,26 @@ WORK_DIR="$(mktemp -d)"
 SOCK="$WORK_DIR/opt.sock"
 TRACE="$WORK_DIR/trace.json"
 SERVER_PID=""
+ROUTER_PID=""
 cleanup() {
-  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill "$SERVER_PID" 2>/dev/null || true
-    wait "$SERVER_PID" 2>/dev/null || true
-  fi
+  for pid in "$ROUTER_PID" "$SERVER_PID"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$WORK_DIR"
 }
 trap cleanup EXIT
+
+# GET the body of a local URL (no curl dependency in minimal images).
+scrape() {
+  python3 - "$1" <<'EOF'
+import sys, urllib.request
+with urllib.request.urlopen(sys.argv[1], timeout=10) as r:
+    sys.stdout.write(r.read().decode())
+EOF
+}
 
 echo "== generating graph store"
 "$BUILD_DIR/tools/graph_gen" --model rmat --scale 12 --edge_factor 16 \
@@ -43,7 +64,7 @@ echo "== starting opt_server (metrics dump + tracing on)"
 # their trace spans), not just the in-memory fast path.
 OPT_LOG_LEVEL=info "$BUILD_DIR/tools/opt_server" --unix "$SOCK" \
   --graph "smoke=$WORK_DIR/g" --workers 2 --default_pages 8 \
-  --metrics-dump-interval 1 --trace-out "$TRACE" \
+  --metrics-dump-interval 1 --metrics-port 0 --trace-out "$TRACE" \
   --profile-out "$WORK_DIR/profiles.jsonl" \
   > "$WORK_DIR/server.out" 2> "$WORK_DIR/server.err" &
 SERVER_PID=$!
@@ -111,6 +132,25 @@ grep -q "metrics dump" "$WORK_DIR/server.err" || {
   exit 1
 }
 
+echo "== scraping the server's Prometheus endpoint"
+SERVER_METRICS_PORT="$(sed -n 's|metrics on http://127.0.0.1:\([0-9]*\)/metrics|\1|p' "$WORK_DIR/server.out")"
+[[ -n "$SERVER_METRICS_PORT" ]] || {
+  echo "FAIL: opt_server did not announce a metrics port" >&2
+  cat "$WORK_DIR/server.out" >&2; exit 1; }
+# Two scrapes a second apart so the window sampler has >= 2 snapshots
+# and the per-second rate gauges appear.
+scrape "http://127.0.0.1:$SERVER_METRICS_PORT/metrics" > /dev/null
+sleep 1.2
+SERVER_SCRAPE="$(scrape "http://127.0.0.1:$SERVER_METRICS_PORT/metrics")"
+for key in "# TYPE" "pool_fetch_lookups" "_per_sec" \
+           "opt_metrics_window_seconds" "opt_graph_pages{graph=\"smoke\"}" \
+           "query_latency_us{quantile="; do
+  grep -qF "$key" <<< "$SERVER_SCRAPE" || {
+    echo "FAIL: server scrape missing '$key'" >&2
+    echo "$SERVER_SCRAPE" >&2; exit 1; }
+done
+echo "server scrape OK ($(wc -l <<< "$SERVER_SCRAPE") lines)"
+
 echo "== shutting down and checking trace"
 kill "$SERVER_PID"
 wait "$SERVER_PID" || true
@@ -135,5 +175,76 @@ counters = sum(1 for e in events if e.get("ph") == "C")
 print(f"trace OK: {len(events)} events ({counters} counter samples), "
       f"spans include {sorted(required)}")
 EOF
+
+echo "== distributed phase: 2-shard fleet behind opt_router"
+"$BUILD_DIR/tools/graph_partition" --store "$WORK_DIR/g" \
+  --output "$WORK_DIR/fleet" --shards 2 --graph g > /dev/null
+
+OPT_LOG_LEVEL=info "$BUILD_DIR/tools/opt_router" \
+  --manifest "$WORK_DIR/fleet.manifest" \
+  --spawn "$BUILD_DIR/tools/opt_server" --port 0 --metrics-port 0 \
+  > "$WORK_DIR/router.out" 2> "$WORK_DIR/router.err" &
+ROUTER_PID=$!
+
+ROUTER_PORT=""
+for _ in $(seq 1 100); do
+  ROUTER_PORT="$(sed -n 's|listening on 127.0.0.1:\([0-9]*\)|\1|p' "$WORK_DIR/router.out")"
+  [[ -n "$ROUTER_PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$ROUTER_PORT" ]] || {
+  echo "FAIL: router did not come up" >&2; cat "$WORK_DIR/router.err" >&2; exit 1; }
+ROUTER_METRICS_PORT="$(sed -n 's|metrics on http://127.0.0.1:\([0-9]*\)/metrics|\1|p' "$WORK_DIR/router.out")"
+[[ -n "$ROUTER_METRICS_PORT" ]] || {
+  echo "FAIL: router did not announce a metrics port" >&2
+  cat "$WORK_DIR/router.out" >&2; exit 1; }
+
+echo "== merged COUNT + traced COUNT through the router"
+"$BUILD_DIR/tools/opt_client" --port "$ROUTER_PORT" --op count --graph g
+MERGED_TRACE="$WORK_DIR/fleet_trace.json"
+"$BUILD_DIR/tools/opt_client" --port "$ROUTER_PORT" --op trace --graph g \
+  --out "$MERGED_TRACE"
+
+echo "== scraping the router's fleet Prometheus endpoint"
+ROUTER_SCRAPE="$(scrape "http://127.0.0.1:$ROUTER_METRICS_PORT/metrics")"
+for key in "opt_shard_up{shard=\"0\"} 1" "opt_shard_up{shard=\"1\"} 1" \
+           "# TYPE fleet_" "_count"; do
+  grep -qF "$key" <<< "$ROUTER_SCRAPE" || {
+    echo "FAIL: router scrape missing '$key'" >&2
+    echo "$ROUTER_SCRAPE" >&2; exit 1; }
+done
+echo "router scrape OK ($(wc -l <<< "$ROUTER_SCRAPE") lines)"
+
+echo "== checking the merged fleet trace"
+python3 - "$MERGED_TRACE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+pids = {e["pid"] for e in events if e.get("ph") == "X"}
+if len(pids) < 2:
+    sys.exit(f"FAIL: merged trace has spans from {len(pids)} pid(s) — "
+             "expected the router plus at least one shard")
+names = {e["name"] for e in events}
+for required in ("router.count", "rpc.count", "query.count"):
+    if required not in names:
+        sys.exit(f"FAIL: merged trace missing '{required}' spans; has {sorted(names)}")
+flows = sum(1 for e in events if e.get("ph") in ("s", "f"))
+if flows == 0:
+    sys.exit("FAIL: merged trace has no cross-process flow arrows")
+print(f"fleet trace OK: {len(events)} events from {len(pids)} pids, "
+      f"{flows} flow endpoints")
+EOF
+
+# Preserve the merged trace for CI artifact upload.
+if [[ -n "${TRACE_ARTIFACT_DIR:-}" ]]; then
+  mkdir -p "$TRACE_ARTIFACT_DIR"
+  cp "$MERGED_TRACE" "$TRACE_ARTIFACT_DIR/fleet_trace.json"
+  echo "merged trace copied to $TRACE_ARTIFACT_DIR/fleet_trace.json"
+fi
+
+kill "$ROUTER_PID"
+wait "$ROUTER_PID" 2>/dev/null || true
+ROUTER_PID=""
 
 echo "observability smoke: PASS"

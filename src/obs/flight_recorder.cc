@@ -1,6 +1,7 @@
 #include "obs/flight_recorder.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace opt {
 
@@ -94,10 +95,18 @@ std::vector<FlightEvent> FlightRecorder::Tail(size_t max_events) const {
   return out;
 }
 
-std::string FlightRecorder::Render(const std::vector<FlightEvent>& events) {
+std::string FlightRecorder::Render(const std::vector<FlightEvent>& events,
+                                   uint64_t trace_id) {
+  std::string prefix = "  ";
+  if (trace_id != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "  [trace=%016llx] ",
+                  static_cast<unsigned long long>(trace_id));
+    prefix = buf;
+  }
   std::string out;
   for (const FlightEvent& e : events) {
-    out += "  +" + std::to_string(e.t_micros) + "us " +
+    out += prefix + "+" + std::to_string(e.t_micros) + "us " +
            FlightEventTypeName(e.type);
     switch (e.type) {
       case FlightEventType::kFetchHit:

@@ -73,8 +73,21 @@ class FlightRecorder {
   /// Microseconds since this recorder was constructed (steady clock).
   uint64_t NowMicros() const;
 
-  /// Human-readable multi-line rendering, e.g. for the log.
-  static std::string Render(const std::vector<FlightEvent>& events);
+  /// Distributed-tracing correlation: the owning query's propagated
+  /// trace id (0 = untraced). Set once by the scheduler when the query
+  /// starts; readable concurrently by whoever renders the tail.
+  void set_trace_id(uint64_t trace_id) {
+    trace_id_.store(trace_id, std::memory_order_relaxed);
+  }
+  uint64_t trace_id() const {
+    return trace_id_.load(std::memory_order_relaxed);
+  }
+
+  /// Human-readable multi-line rendering, e.g. for the log. With a
+  /// nonzero trace id, every line carries a [trace=<hex>] prefix so log
+  /// greps and the assembled trace tree correlate.
+  static std::string Render(const std::vector<FlightEvent>& events,
+                            uint64_t trace_id = 0);
 
  private:
   struct Slot {
@@ -88,6 +101,7 @@ class FlightRecorder {
   const size_t capacity_;  // power of two
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> next_{0};  // ticket counter
+  std::atomic<uint64_t> trace_id_{0};
   const std::chrono::steady_clock::time_point origin_;
 };
 

@@ -1,0 +1,161 @@
+#include "obs/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace opt {
+
+namespace {
+
+void WriteAll(int fd, const std::string& data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // scrape responses are best-effort
+  }
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::function<std::string()> body)
+    : body_(std::move(body)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& handler : handlers) {
+    if (handler.joinable()) handler.join();
+  }
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  for (;;) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+      ::close(fd);
+      return;
+    }
+    // Scrapes are rare (seconds apart); reap finished handlers lazily
+    // by joining everything each time the list grows past a handful.
+    if (handlers_.size() > 8) {
+      for (std::thread& handler : handlers_) {
+        if (handler.joinable()) handler.join();
+      }
+      handlers_.clear();
+    }
+    handlers_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // Read until the end of the request head (or 4 KiB, whichever first);
+  // only the request line matters.
+  std::string head;
+  char buf[1024];
+  while (head.size() < 4096 &&
+         head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      head.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  const bool is_get = head.compare(0, 4, "GET ") == 0;
+  const size_t path_end = head.find(' ', 4);
+  const std::string path =
+      is_get && path_end != std::string::npos ? head.substr(4, path_end - 4)
+                                              : std::string();
+  std::string response;
+  if (path == "/metrics" || path == "/") {
+    const std::string body = body_();
+    response = "HTTP/1.0 200 OK\r\n"
+               "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+               "Content-Length: " + std::to_string(body.size()) +
+               "\r\nConnection: close\r\n\r\n" + body;
+  } else {
+    const std::string body = "not found; scrape /metrics\n";
+    response = "HTTP/1.0 404 Not Found\r\n"
+               "Content-Type: text/plain\r\nContent-Length: " +
+               std::to_string(body.size()) +
+               "\r\nConnection: close\r\n\r\n" + body;
+  }
+  WriteAll(fd, response);
+  ::shutdown(fd, SHUT_WR);
+  ::close(fd);
+}
+
+}  // namespace opt

@@ -1,0 +1,56 @@
+// Minimal plain-HTTP scrape endpoint for the Prometheus exposition
+// text: one listener thread, one short-lived handler thread per
+// connection, GET /metrics answered with whatever the body callback
+// renders at scrape time. Deliberately not a web server — no keep-alive,
+// no TLS, no routing beyond /metrics — just enough for `curl` and a
+// Prometheus scrape job against `opt_server --metrics-port` /
+// `opt_router --metrics-port`.
+#ifndef OPT_OBS_METRICS_HTTP_H_
+#define OPT_OBS_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace opt {
+
+class MetricsHttpServer {
+ public:
+  /// `body` is invoked per scrape on the handler thread; it must be
+  /// thread-safe (registry snapshots are).
+  explicit MetricsHttpServer(std::function<std::string()> body);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and
+  /// starts the accept loop.
+  Status Start(uint16_t port);
+  /// Actual bound port once Start succeeded.
+  uint16_t port() const { return port_; }
+  /// Stops accepting and joins every handler. Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  const std::function<std::string()> body_;
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mutex_;
+  std::vector<std::thread> handlers_;
+  bool stopped_ = false;
+};
+
+}  // namespace opt
+
+#endif  // OPT_OBS_METRICS_HTTP_H_

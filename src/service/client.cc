@@ -21,6 +21,16 @@ Status UnexpectedReply(const WireMessage& message) {
                             std::to_string(static_cast<int>(message.type)));
 }
 
+/// Stamps the caller's ambient trace context onto an outgoing request,
+/// so any request issued under a TraceSpan (router fan-out workers,
+/// traced tools) links the remote side into the same tree.
+template <typename Request>
+void AttachTraceContext(Request* request) {
+  const TraceContext context = CurrentTraceContext();
+  request->trace_id = context.trace_id;
+  request->parent_span_id = context.span_id;
+}
+
 }  // namespace
 
 OptClient::~OptClient() { Close(); }
@@ -106,6 +116,7 @@ void OptClient::Close() {
 Status OptClient::SendRequest(MessageType type, std::string_view payload) {
   if (fd_ < 0) return Status::InvalidArgument("client not connected");
   last_error_events_.clear();
+  last_error_trace_id_ = 0;
   return WriteMessage(fd_, type, payload);
 }
 
@@ -114,6 +125,7 @@ Status OptClient::ErrorFromReply(const WireMessage& message) {
   const Status decode = DecodeError(message.payload, &error);
   if (!decode.ok()) return decode;
   last_error_events_ = std::move(error.events);
+  last_error_trace_id_ = error.trace_id;
   return error.ToStatus();
 }
 
@@ -132,6 +144,7 @@ Result<CountResult> OptClient::Count(const std::string& graph,
   request.memory_pages = options.memory_pages;
   request.num_threads = options.num_threads;
   request.deadline_millis = options.deadline_millis;
+  AttachTraceContext(&request);
   OPT_RETURN_IF_ERROR(SendRequest(MessageType::kCountRequest,
                                   EncodeQueryRequest(request)));
   WireMessage reply;
@@ -150,6 +163,7 @@ Result<ProfileResult> OptClient::Profile(const std::string& graph,
   request.memory_pages = options.memory_pages;
   request.num_threads = options.num_threads;
   request.deadline_millis = options.deadline_millis;
+  AttachTraceContext(&request);
   OPT_RETURN_IF_ERROR(SendRequest(MessageType::kProfileRequest,
                                   EncodeQueryRequest(request)));
   WireMessage reply;
@@ -172,6 +186,7 @@ Result<ListEnd> OptClient::List(
   request.memory_pages = options.memory_pages;
   request.num_threads = options.num_threads;
   request.deadline_millis = options.deadline_millis;
+  AttachTraceContext(&request);
   OPT_RETURN_IF_ERROR(SendRequest(MessageType::kListRequest,
                                   EncodeQueryRequest(request)));
   for (;;) {
@@ -226,6 +241,7 @@ Result<MutateResult> OptClient::AddEdges(
   MutateRequest request;
   request.graph = graph;
   request.edges = edges;
+  AttachTraceContext(&request);
   OPT_RETURN_IF_ERROR(SendRequest(MessageType::kAddEdgesRequest,
                                   EncodeMutateRequest(request)));
   WireMessage reply;
@@ -243,6 +259,7 @@ Result<MutateResult> OptClient::RemoveEdges(
   MutateRequest request;
   request.graph = graph;
   request.edges = edges;
+  AttachTraceContext(&request);
   OPT_RETURN_IF_ERROR(SendRequest(MessageType::kRemoveEdgesRequest,
                                   EncodeMutateRequest(request)));
   WireMessage reply;
@@ -261,6 +278,7 @@ Result<SubscribeCountResult> OptClient::SubscribeCount(
   request.graph = graph;
   request.after_epoch = after_epoch;
   request.timeout_millis = timeout_millis;
+  AttachTraceContext(&request);
   OPT_RETURN_IF_ERROR(SendRequest(MessageType::kSubscribeCountRequest,
                                   EncodeSubscribeCountRequest(request)));
   WireMessage reply;
@@ -271,6 +289,22 @@ Result<SubscribeCountResult> OptClient::SubscribeCount(
   }
   SubscribeCountResult result;
   OPT_RETURN_IF_ERROR(DecodeSubscribeCountResult(reply.payload, &result));
+  return result;
+}
+
+Result<TracePullResult> OptClient::TracePull(bool drain) {
+  TracePullRequest request;
+  request.drain = drain ? 1 : 0;
+  OPT_RETURN_IF_ERROR(SendRequest(MessageType::kTracePullRequest,
+                                  EncodeTracePullRequest(request)));
+  WireMessage reply;
+  OPT_RETURN_IF_ERROR(ReadReply(&reply));
+  if (reply.type == MessageType::kError) return ErrorFromReply(reply);
+  if (reply.type != MessageType::kTracePullResult) {
+    return UnexpectedReply(reply);
+  }
+  TracePullResult result;
+  OPT_RETURN_IF_ERROR(DecodeTracePullResult(reply.payload, &result));
   return result;
 }
 

@@ -94,6 +94,12 @@ class OptClient {
   /// answers NotSupported.
   Result<ShardStatsResult> ShardStats();
 
+  /// TRACE_PULL: drains (or, with drain=false, peeks) the peer's
+  /// bounded span ring. Against a router the reply carries the router's
+  /// section plus one per shard, ready for AssembleTrace(). Servers
+  /// predating the op answer NotSupported.
+  Result<TracePullResult> TracePull(bool drain = true);
+
   /// Flight-recorder tail from the most recent server ERROR reply on
   /// this client (degraded queries ship their event log with the
   /// error). Cleared at the start of every request; empty when the last
@@ -101,6 +107,10 @@ class OptClient {
   const std::vector<FlightEvent>& last_error_events() const {
     return last_error_events_;
   }
+
+  /// Trace id carried by the most recent server ERROR reply (0 when the
+  /// request was untraced or the server predates tracing).
+  uint64_t last_error_trace_id() const { return last_error_trace_id_; }
 
  private:
   Status SendRequest(MessageType type, std::string_view payload);
@@ -111,6 +121,7 @@ class OptClient {
 
   int fd_ = -1;
   std::vector<FlightEvent> last_error_events_;
+  uint64_t last_error_trace_id_ = 0;
 };
 
 }  // namespace opt

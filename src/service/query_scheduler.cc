@@ -1,6 +1,7 @@
 #include "service/query_scheduler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "core/iterator_model.h"
@@ -20,6 +21,17 @@ std::shared_future<QueryResult> ImmediateResult(QueryResult result) {
 
 const char* KindName(QueryKind kind) {
   return kind == QueryKind::kList ? "LIST" : "COUNT";
+}
+
+/// `[trace=<hex>] ` prefix for Warn-level log lines tied to a traced
+/// request; empty when the request was untraced so existing log
+/// consumers see unchanged output.
+std::string TraceTag(uint64_t trace_id) {
+  if (trace_id == 0) return std::string();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "[trace=%016llx] ",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf);
 }
 
 }  // namespace
@@ -177,6 +189,7 @@ std::shared_future<QueryResult> QueryScheduler::Submit(
   }
   auto task = std::make_shared<Task>();
   task->spec = spec;
+  task->trace = CurrentTraceContext();
   task->coalesce_key = coalescable ? key : std::string();
   task->deadline = deadline;
   task->has_deadline = has_deadline;
@@ -225,7 +238,8 @@ MutationResult QueryScheduler::ApplyDelta(const std::string& graph,
     result.degraded = result.status.IsUnavailable();
     if (result.degraded) {
       delta_degraded_counter_->Increment();
-      OPT_LOG(Warn) << "degraded mutation: graph=" << graph
+      OPT_LOG(Warn) << TraceTag(span.trace_id())
+                    << "degraded mutation: graph=" << graph
                     << " status=" << result.status.ToString()
                     << " (batch NOT applied; retry verbatim)";
     } else if (result.status.IsInvalidArgument()) {
@@ -282,7 +296,8 @@ void QueryScheduler::Finish(const std::shared_ptr<Task>& task,
                     latency_us > options_.slow_query_millis * 1000;
   if (slow) {
     slow_query_counter_->Increment();
-    OPT_LOG(Warn) << "slow query: graph=" << task->spec.graph
+    OPT_LOG(Warn) << TraceTag(task->trace.trace_id)
+                  << "slow query: graph=" << task->spec.graph
                   << " kind=" << KindName(task->spec.kind)
                   << " queue_wait_ms=" << queue_wait_us / 1e3
                   << " exec_ms=" << exec_us / 1e3
@@ -323,6 +338,10 @@ void QueryScheduler::Finish(const std::shared_ptr<Task>& task,
 }
 
 QueryResult QueryScheduler::Execute(Task* task) {
+  // Worker threads have no ambient trace context of their own; rehydrate
+  // the submitter's so the execute span parents under the request span
+  // even across the queue hop.
+  TraceContextScope remote(task->trace);
   TraceSpan query_span("service", "query.execute",
                        CurrentTraceRecorder() != nullptr
                            ? "\"graph\":\"" + JsonEscape(task->spec.graph) +
@@ -367,6 +386,7 @@ QueryResult QueryScheduler::Execute(Task* task) {
   // Every query gets a flight recorder (events are two relaxed stores);
   // its tail is only materialized when the query comes back degraded.
   FlightRecorder recorder(256);
+  recorder.set_trace_id(query_span.trace_id());
   opt.flight = &recorder;
   opt.profile = task->spec.profile;
   opt.profile_period_micros = options_.profile_period_micros;
@@ -391,12 +411,14 @@ QueryResult QueryScheduler::Execute(Task* task) {
     // The degraded response ships its own postmortem: the event tail
     // rides the wire and the log gets a copy.
     result.flight_events = recorder.Tail(64);
-    OPT_LOG(Warn) << "degraded query: graph=" << task->spec.graph
+    OPT_LOG(Warn) << TraceTag(query_span.trace_id())
+                  << "degraded query: graph=" << task->spec.graph
                   << " status=" << status.ToString()
                   << " flight recorder tail ("
                   << result.flight_events.size() << " of "
                   << recorder.total_recorded() << " events):\n"
-                  << FlightRecorder::Render(result.flight_events);
+                  << FlightRecorder::Render(result.flight_events,
+                                            query_span.trace_id());
   }
   result.profiled = run_stats.profiled;
   if (run_stats.profiled) result.overlap = run_stats.overlap;

@@ -40,6 +40,7 @@
 #include "service/result_cache.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace opt {
 
@@ -195,6 +196,10 @@ class QueryScheduler {
 
   struct Task {
     QuerySpec spec;
+    /// Ambient trace context at submission time, reinstalled on the
+    /// worker thread so query.execute parents under the request span.
+    /// Coalesced waiters share the first submitter's trace.
+    TraceContext trace;
     std::string coalesce_key;  // empty → never coalesced
     Clock::time_point deadline{};  // meaningful iff has_deadline
     bool has_deadline = false;

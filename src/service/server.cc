@@ -71,10 +71,14 @@ Status SendError(int fd, const Status& status) {
   return WriteMessage(fd, MessageType::kError, EncodeError(status));
 }
 
-/// Degraded queries ship their flight-recorder tail with the error.
+/// Degraded queries ship their flight-recorder tail with the error,
+/// plus the request's trace id so the client can line the events up
+/// with the distributed trace.
 Status SendError(int fd, const Status& status,
-                 const std::vector<FlightEvent>& events) {
-  return WriteMessage(fd, MessageType::kError, EncodeError(status, events));
+                 const std::vector<FlightEvent>& events,
+                 uint64_t trace_id) {
+  return WriteMessage(fd, MessageType::kError,
+                      EncodeError(status, events, trace_id));
 }
 
 QuerySpec SpecFromRequest(const QueryRequest& request, QueryKind kind) {
@@ -299,6 +303,9 @@ void OptServer::HandleConnection(int fd) {
       case MessageType::kSubscribeCountRequest:
         status = HandleSubscribe(fd, message);
         break;
+      case MessageType::kTracePullRequest:
+        status = HandleTracePull(fd, message);
+        break;
       case MessageType::kShardStatsRequest:
         status = SendError(
             fd, Status::NotSupported(
@@ -319,6 +326,7 @@ Status OptServer::HandleCount(int fd, const WireMessage& message) {
   QueryRequest request;
   Status status = DecodeQueryRequest(message.payload, &request);
   if (!status.ok()) return SendError(fd, status);
+  TraceContextScope remote({request.trace_id, request.parent_span_id});
   TraceSpan query_span("service", "query.count",
                        CurrentTraceRecorder() != nullptr
                            ? "\"graph\":\"" + JsonEscape(request.graph) + "\""
@@ -326,7 +334,8 @@ Status OptServer::HandleCount(int fd, const WireMessage& message) {
   const QueryResult result =
       scheduler_->Run(SpecFromRequest(request, QueryKind::kCount));
   if (!result.status.ok()) {
-    return SendError(fd, result.status, result.flight_events);
+    return SendError(fd, result.status, result.flight_events,
+                     query_span.trace_id());
   }
   return WriteMessage(fd, MessageType::kCountResult,
                       EncodeCountResult(CountResultFrom(result)));
@@ -336,6 +345,7 @@ Status OptServer::HandleProfile(int fd, const WireMessage& message) {
   QueryRequest request;
   Status status = DecodeQueryRequest(message.payload, &request);
   if (!status.ok()) return SendError(fd, status);
+  TraceContextScope remote({request.trace_id, request.parent_span_id});
   TraceSpan query_span("service", "query.profile",
                        CurrentTraceRecorder() != nullptr
                            ? "\"graph\":\"" + JsonEscape(request.graph) + "\""
@@ -344,7 +354,8 @@ Status OptServer::HandleProfile(int fd, const WireMessage& message) {
   spec.profile = true;
   const QueryResult result = scheduler_->Run(spec);
   if (!result.status.ok()) {
-    return SendError(fd, result.status, result.flight_events);
+    return SendError(fd, result.status, result.flight_events,
+                     query_span.trace_id());
   }
   const ProfileResult profile = ProfileResultFrom(result);
   AppendProfileLine(profile, request.graph);
@@ -356,6 +367,7 @@ Status OptServer::HandleList(int fd, const WireMessage& message) {
   QueryRequest request;
   Status status = DecodeQueryRequest(message.payload, &request);
   if (!status.ok()) return SendError(fd, status);
+  TraceContextScope remote({request.trace_id, request.parent_span_id});
   TraceSpan query_span("service", "query.list",
                        CurrentTraceRecorder() != nullptr
                            ? "\"graph\":\"" + JsonEscape(request.graph) + "\""
@@ -366,7 +378,8 @@ Status OptServer::HandleList(int fd, const WireMessage& message) {
   const QueryResult result = scheduler_->Run(spec);
   OPT_RETURN_IF_ERROR(sink.Finish());
   if (!result.status.ok()) {
-    return SendError(fd, result.status, result.flight_events);
+    return SendError(fd, result.status, result.flight_events,
+                     query_span.trace_id());
   }
   ListEnd end;
   end.triangles = result.triangles;
@@ -487,6 +500,7 @@ Status OptServer::HandleMutate(int fd, const WireMessage& message,
   MutateRequest request;
   Status status = DecodeMutateRequest(message.payload, &request);
   if (!status.ok()) return SendError(fd, status);
+  TraceContextScope remote({request.trace_id, request.parent_span_id});
   TraceSpan span("service",
                  kind == DeltaKind::kAdd ? "delta.add" : "delta.remove",
                  CurrentTraceRecorder() != nullptr
@@ -511,6 +525,11 @@ Status OptServer::HandleSubscribe(int fd, const WireMessage& message) {
   SubscribeCountRequest request;
   Status status = DecodeSubscribeCountRequest(message.payload, &request);
   if (!status.ok()) return SendError(fd, status);
+  TraceContextScope remote({request.trace_id, request.parent_span_id});
+  TraceSpan span("service", "subscribe.count",
+                 CurrentTraceRecorder() != nullptr
+                     ? "\"graph\":\"" + JsonEscape(request.graph) + "\""
+                     : std::string());
   GraphRegistry* registry = scheduler_->registry();
   auto state = registry->DeltaState(request.graph);
   if (!state.ok()) return SendError(fd, state.status());
@@ -573,6 +592,27 @@ void OptServer::PrimeLoop() {
     lock.lock();
     prime_pending_.erase(graph);
   }
+}
+
+Status OptServer::HandleTracePull(int fd, const WireMessage& message) {
+  TracePullRequest request;
+  Status status = DecodeTracePullRequest(message.payload, &request);
+  if (!status.ok()) return SendError(fd, status);
+  TracePullResult result;
+  if (TraceRecorder* recorder = CurrentTraceRecorder()) {
+    ProcessTrace section;
+    section.pid = static_cast<uint64_t>(::getpid());
+    section.label = "opt_server";
+    section.unix_origin_micros = recorder->unix_origin_micros();
+    section.events =
+        request.drain != 0 ? recorder->Drain() : recorder->Events();
+    section.dropped_spans = recorder->dropped();
+    result.processes.push_back(std::move(section));
+  }
+  // Tracing off: an empty section list tells the puller "nothing here"
+  // rather than erroring, so fleet pulls degrade per process.
+  return WriteMessage(fd, MessageType::kTracePullResult,
+                      EncodeTracePullResult(result));
 }
 
 Status OptServer::HandleLoadGraph(int fd, const WireMessage& message) {

@@ -72,6 +72,10 @@ class OptServer {
   Status HandleLoadGraph(int fd, const WireMessage& message);
   Status HandleMutate(int fd, const WireMessage& message, DeltaKind kind);
   Status HandleSubscribe(int fd, const WireMessage& message);
+  /// Drains (or peeks) the process-wide span ring into one
+  /// ProcessTrace section. Routers pull these from every shard and
+  /// assemble the fleet-wide trace; see AssembleTrace().
+  Status HandleTracePull(int fd, const WireMessage& message);
   /// Queues a background COUNT to learn `graph`'s base triangle count
   /// (deduplicated while one is already queued or running). SUBSCRIBE
   /// never pays a full count's latency on the connection thread — it

@@ -123,6 +123,8 @@ std::string EncodeQueryRequest(const QueryRequest& request) {
   PutU32(&payload, request.memory_pages);
   PutU32(&payload, request.num_threads);
   PutU64(&payload, request.deadline_millis);
+  PutU64(&payload, request.trace_id);
+  PutU64(&payload, request.parent_span_id);
   return payload;
 }
 
@@ -131,7 +133,13 @@ Status DecodeQueryRequest(std::string_view payload, QueryRequest* out) {
   OPT_RETURN_IF_ERROR(reader.GetString(&out->graph));
   OPT_RETURN_IF_ERROR(reader.GetU32(&out->memory_pages));
   OPT_RETURN_IF_ERROR(reader.GetU32(&out->num_threads));
-  return reader.GetU64(&out->deadline_millis);
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->deadline_millis));
+  // Pre-tracing frames end here and decode as untraced.
+  out->trace_id = 0;
+  out->parent_span_id = 0;
+  if (reader.AtEnd()) return Status::OK();
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->trace_id));
+  return reader.GetU64(&out->parent_span_id);
 }
 
 std::string EncodeCountResult(const CountResult& result) {
@@ -185,6 +193,8 @@ std::string EncodeMutateRequest(const MutateRequest& request) {
     PutU32(&payload, u);
     PutU32(&payload, v);
   }
+  PutU64(&payload, request.trace_id);
+  PutU64(&payload, request.parent_span_id);
   return payload;
 }
 
@@ -209,7 +219,11 @@ Status DecodeMutateRequest(std::string_view payload, MutateRequest* out) {
     OPT_RETURN_IF_ERROR(reader.GetU32(&v));
     out->edges.emplace_back(u, v);
   }
-  return Status::OK();
+  out->trace_id = 0;
+  out->parent_span_id = 0;
+  if (reader.AtEnd()) return Status::OK();
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->trace_id));
+  return reader.GetU64(&out->parent_span_id);
 }
 
 std::string EncodeMutateResult(const MutateResult& result) {
@@ -251,6 +265,8 @@ std::string EncodeSubscribeCountRequest(
   PutString(&payload, request.graph);
   PutU64(&payload, request.after_epoch);
   PutU64(&payload, request.timeout_millis);
+  PutU64(&payload, request.trace_id);
+  PutU64(&payload, request.parent_span_id);
   return payload;
 }
 
@@ -259,7 +275,12 @@ Status DecodeSubscribeCountRequest(std::string_view payload,
   PayloadReader reader(payload);
   OPT_RETURN_IF_ERROR(reader.GetString(&out->graph));
   OPT_RETURN_IF_ERROR(reader.GetU64(&out->after_epoch));
-  return reader.GetU64(&out->timeout_millis);
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->timeout_millis));
+  out->trace_id = 0;
+  out->parent_span_id = 0;
+  if (reader.AtEnd()) return Status::OK();
+  OPT_RETURN_IF_ERROR(reader.GetU64(&out->trace_id));
+  return reader.GetU64(&out->parent_span_id);
 }
 
 std::string EncodeSubscribeCountResult(const SubscribeCountResult& result) {
@@ -304,7 +325,8 @@ std::string EncodeError(const Status& status) {
 }
 
 std::string EncodeError(const Status& status,
-                        const std::vector<FlightEvent>& events) {
+                        const std::vector<FlightEvent>& events,
+                        uint64_t trace_id) {
   std::string payload;
   PutU32(&payload, static_cast<uint32_t>(status.code()));
   PutString(&payload, status.message());
@@ -315,6 +337,7 @@ std::string EncodeError(const Status& status,
     PutU64(&payload, event.a);
     PutU64(&payload, event.b);
   }
+  PutU64(&payload, trace_id);
   return payload;
 }
 
@@ -323,6 +346,7 @@ Status DecodeError(std::string_view payload, ErrorResult* out) {
   OPT_RETURN_IF_ERROR(reader.GetU32(&out->code));
   OPT_RETURN_IF_ERROR(reader.GetString(&out->message));
   out->events.clear();
+  out->trace_id = 0;
   // A payload ending here came from a server predating the flight
   // recorder — code + message are the whole answer.
   if (reader.AtEnd()) return Status::OK();
@@ -339,7 +363,10 @@ Status DecodeError(std::string_view payload, ErrorResult* out) {
     OPT_RETURN_IF_ERROR(reader.GetU64(&event.b));
     out->events.push_back(event);
   }
-  return Status::OK();
+  // Pre-tracing servers end after the flight events.
+  out->trace_id = 0;
+  if (reader.AtEnd()) return Status::OK();
+  return reader.GetU64(&out->trace_id);
 }
 
 std::string EncodeProfileResult(const ProfileResult& result) {
@@ -572,6 +599,100 @@ Status DecodeShardStatsResult(std::string_view payload,
     OPT_RETURN_IF_ERROR(reader.GetDouble(&shard.latency_p95_micros));
     OPT_RETURN_IF_ERROR(reader.GetDouble(&shard.latency_p99_micros));
     out->shards.push_back(std::move(shard));
+  }
+  return Status::OK();
+}
+
+std::string EncodeTracePullRequest(const TracePullRequest& request) {
+  std::string payload;
+  payload.push_back(static_cast<char>(request.drain));
+  return payload;
+}
+
+Status DecodeTracePullRequest(std::string_view payload,
+                              TracePullRequest* out) {
+  PayloadReader reader(payload);
+  out->drain = 1;
+  if (reader.AtEnd()) return Status::OK();
+  return reader.GetU8(&out->drain);
+}
+
+std::string EncodeTracePullResult(const TracePullResult& result) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(result.processes.size()));
+  for (const ProcessTrace& process : result.processes) {
+    PutU64(&payload, process.pid);
+    PutString(&payload, process.label);
+    PutU64(&payload, process.unix_origin_micros);
+    PutU64(&payload, process.dropped_spans);
+    PutU32(&payload, static_cast<uint32_t>(process.events.size()));
+    for (const TraceEvent& event : process.events) {
+      PutString(&payload, event.name);
+      PutString(&payload, event.category);
+      payload.push_back(event.phase);
+      PutU64(&payload, event.ts_micros);
+      PutU64(&payload, event.dur_micros);
+      PutU32(&payload, event.tid);
+      PutU64(&payload, event.trace_id);
+      PutU64(&payload, event.span_id);
+      PutU64(&payload, event.parent_span_id);
+      PutString(&payload, event.args_json);
+    }
+  }
+  return payload;
+}
+
+Status DecodeTracePullResult(std::string_view payload,
+                             TracePullResult* out) {
+  PayloadReader reader(payload);
+  uint32_t num_processes;
+  OPT_RETURN_IF_ERROR(reader.GetU32(&num_processes));
+  out->processes.clear();
+  // Hostile-count bound (cf. DecodeMutateRequest): a process section is
+  // at least 32 bytes even with an empty label and no events.
+  if (num_processes > reader.remaining() / 32) {
+    return Status::Corruption("trace pull claims " +
+                              std::to_string(num_processes) +
+                              " processes but only " +
+                              std::to_string(reader.remaining()) +
+                              " payload bytes follow");
+  }
+  out->processes.reserve(num_processes);
+  for (uint32_t p = 0; p < num_processes; ++p) {
+    ProcessTrace process;
+    OPT_RETURN_IF_ERROR(reader.GetU64(&process.pid));
+    OPT_RETURN_IF_ERROR(reader.GetString(&process.label));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&process.unix_origin_micros));
+    OPT_RETURN_IF_ERROR(reader.GetU64(&process.dropped_spans));
+    uint32_t num_events;
+    OPT_RETURN_IF_ERROR(reader.GetU32(&num_events));
+    // Each encoded event is ≥ 57 bytes (three length-prefixed strings
+    // plus the fixed fields); bound before reserving.
+    if (num_events > reader.remaining() / 57) {
+      return Status::Corruption("trace section claims " +
+                                std::to_string(num_events) +
+                                " events but only " +
+                                std::to_string(reader.remaining()) +
+                                " payload bytes follow");
+    }
+    process.events.reserve(num_events);
+    for (uint32_t i = 0; i < num_events; ++i) {
+      TraceEvent event;
+      OPT_RETURN_IF_ERROR(reader.GetString(&event.name));
+      OPT_RETURN_IF_ERROR(reader.GetString(&event.category));
+      uint8_t phase;
+      OPT_RETURN_IF_ERROR(reader.GetU8(&phase));
+      event.phase = static_cast<char>(phase);
+      OPT_RETURN_IF_ERROR(reader.GetU64(&event.ts_micros));
+      OPT_RETURN_IF_ERROR(reader.GetU64(&event.dur_micros));
+      OPT_RETURN_IF_ERROR(reader.GetU32(&event.tid));
+      OPT_RETURN_IF_ERROR(reader.GetU64(&event.trace_id));
+      OPT_RETURN_IF_ERROR(reader.GetU64(&event.span_id));
+      OPT_RETURN_IF_ERROR(reader.GetU64(&event.parent_span_id));
+      OPT_RETURN_IF_ERROR(reader.GetString(&event.args_json));
+      process.events.push_back(std::move(event));
+    }
+    out->processes.push_back(std::move(process));
   }
   return Status::OK();
 }

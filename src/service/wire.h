@@ -22,6 +22,7 @@
 #include "core/triangle.h"
 #include "obs/flight_recorder.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace opt {
 
@@ -45,6 +46,11 @@ enum class MessageType : uint8_t {
   /// Router-only: per-shard health/latency breakdown (empty payload).
   /// Plain opt_server answers kError(NotSupported).
   kShardStatsRequest = 9,
+  /// Drains the process's bounded trace-span ring; answered with
+  /// kTracePullResult. A router fans the pull out and concatenates its
+  /// shards' sections after its own, so one pull at the front door
+  /// collects the whole fleet.
+  kTracePullRequest = 10,
   // Responses.
   kCountResult = 64,
   kListBatch = 65,
@@ -56,6 +62,7 @@ enum class MessageType : uint8_t {
   kMutateResult = 71,
   kSubscribeCountResult = 72,
   kShardStatsResult = 73,
+  kTracePullResult = 74,
 };
 
 struct WireMessage {
@@ -69,6 +76,12 @@ struct QueryRequest {
   uint32_t memory_pages = 0;    // 0 = server default
   uint32_t num_threads = 0;     // 0 = server default
   uint64_t deadline_millis = 0; // 0 = none
+  /// Distributed-tracing tail (appended on the wire like the router's
+  /// partial_shards trick): the request tree's id and the caller's
+  /// span. Old servers read the fixed fields and ignore the trailing
+  /// bytes; old clients send none and both decode as zero (untraced).
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 struct CountResult {
@@ -97,6 +110,9 @@ struct LoadGraphRequest {
 struct MutateRequest {
   std::string graph;
   std::vector<std::pair<VertexId, VertexId>> edges;
+  /// Trace tail — see QueryRequest.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 struct MutateResult {
@@ -121,6 +137,9 @@ struct SubscribeCountRequest {
   /// Long-poll budget; the reply carries `timed_out` when it elapsed
   /// without an epoch advance.
   uint64_t timeout_millis = 0;
+  /// Trace tail — see QueryRequest.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 struct SubscribeCountResult {
@@ -179,6 +198,10 @@ struct ErrorResult {
   /// Appended after `message` on the wire: old clients decode code +
   /// message and ignore the tail; old servers simply send none.
   std::vector<FlightEvent> events;
+  /// Second tail: the failed request's trace id (0 = untraced), so the
+  /// terminal error, its flight-recorder postmortem, the [trace=...]
+  /// log lines, and the assembled trace tree all correlate.
+  uint64_t trace_id = 0;
 
   Status ToStatus() const {
     return Status(static_cast<StatusCode>(code), message);
@@ -257,6 +280,20 @@ struct ShardStatsResult {
   std::vector<ShardStatsEntry> shards;
 };
 
+/// TRACE_PULL request: `drain` (the default) empties the ring so spans
+/// are reported exactly once across repeated pulls; 0 peeks.
+struct TracePullRequest {
+  uint8_t drain = 1;
+};
+
+/// TRACE_PULL reply: one ProcessTrace section per process. A plain
+/// opt_server sends exactly one (itself, or zero when tracing is off);
+/// a router sends its own followed by every shard's, relabelled
+/// "shard<i>", ready for AssembleTrace().
+struct TracePullResult {
+  std::vector<ProcessTrace> processes;
+};
+
 // ---- payload primitives ----
 void PutU32(std::string* dst, uint32_t value);
 void PutU64(std::string* dst, uint64_t value);
@@ -308,11 +345,14 @@ Status DecodeSubscribeCountResult(std::string_view payload,
                                   SubscribeCountResult* out);
 
 std::string EncodeError(const Status& status);
-/// With a flight-recorder tail appended (degraded queries).
+/// With a flight-recorder tail appended (degraded queries) and the
+/// request's trace id (0 = untraced) after it.
 std::string EncodeError(const Status& status,
-                        const std::vector<FlightEvent>& events);
+                        const std::vector<FlightEvent>& events,
+                        uint64_t trace_id = 0);
 /// Tolerates payloads that end after `message` (pre-flight-recorder
-/// servers): `events` is left empty.
+/// servers leave `events` empty) or after `events` (pre-tracing servers
+/// leave `trace_id` zero).
 Status DecodeError(std::string_view payload, ErrorResult* out);
 
 std::string EncodeProfileResult(const ProfileResult& result);
@@ -331,6 +371,13 @@ Status DecodeStatsResult(std::string_view payload, StatsResult* out);
 std::string EncodeShardStatsResult(const ShardStatsResult& stats);
 Status DecodeShardStatsResult(std::string_view payload,
                               ShardStatsResult* out);
+
+std::string EncodeTracePullRequest(const TracePullRequest& request);
+Status DecodeTracePullRequest(std::string_view payload,
+                              TracePullRequest* out);
+
+std::string EncodeTracePullResult(const TracePullResult& result);
+Status DecodeTracePullResult(std::string_view payload, TracePullResult* out);
 
 // ---- framed socket I/O ----
 /// Writes [len][type][payload] with a retry loop (EINTR, short writes).

@@ -11,11 +11,15 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <sstream>
 #include <thread>
 #include <utility>
+
+#include "util/logging.h"
+#include "util/trace.h"
 
 namespace opt {
 
@@ -23,6 +27,17 @@ namespace {
 
 Status SendError(int fd, const Status& status) {
   return WriteMessage(fd, MessageType::kError, EncodeError(status));
+}
+
+/// `[trace=<hex>] ` prefix for Warn lines tied to a traced request
+/// (mirrors the scheduler's tag so one grep follows a request across
+/// both processes); empty for untraced requests.
+std::string TraceTag(uint64_t trace_id) {
+  if (trace_id == 0) return std::string();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "[trace=%016llx] ",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf);
 }
 
 uint64_t NowMicros() {
@@ -214,6 +229,9 @@ void QueryRouter::HandleConnection(int fd) {
       case MessageType::kSubscribeCountRequest:
         status = HandleSubscribe(fd, message);
         break;
+      case MessageType::kTracePullRequest:
+        status = HandleTracePull(fd, message);
+        break;
       case MessageType::kProfileRequest:
         status = SendError(
             fd, Status::NotSupported(
@@ -346,6 +364,17 @@ Status QueryRouter::HandleCount(int fd, const WireMessage& message) {
   }
   Metrics().GetCounter("router.requests")->Increment();
   Metrics().GetCounter("router.fanouts")->Increment();
+  TraceContextScope remote({request.trace_id, request.parent_span_id});
+  TraceSpan router_span("router", "router.count",
+                        CurrentTraceRecorder() != nullptr
+                            ? "\"graph\":\"" + JsonEscape(request.graph) +
+                                  "\""
+                            : std::string());
+  // Fan-out workers are other threads: hand them the router span's
+  // context explicitly so each per-shard rpc span parents under it (and
+  // the shard-side spans, via the client's auto-attached context, under
+  // the rpc span — one tree across processes).
+  const TraceContext fan_ctx{router_span.trace_id(), router_span.span_id()};
 
   QueryRequest sub = request;
   sub.deadline_millis = EffectiveDeadline(request.deadline_millis);
@@ -359,7 +388,11 @@ Status QueryRouter::HandleCount(int fd, const WireMessage& message) {
   std::vector<ShardOutcome> outcomes;
   FanOut(
       targets,
-      [this, &sub, &sub_options](uint32_t shard, ShardOutcome* outcome) {
+      [this, &sub, &sub_options, fan_ctx](uint32_t shard,
+                                          ShardOutcome* outcome) {
+        TraceContextScope scope(fan_ctx);
+        TraceSpan rpc_span("router", "rpc.count",
+                           "\"shard\":" + std::to_string(shard));
         auto conn = AcquireConn(shard);
         if (!conn.ok()) {
           outcome->status = conn.status();
@@ -398,11 +431,16 @@ Status QueryRouter::HandleCount(int fd, const WireMessage& message) {
     Metrics().GetCounter("router.failures")->Increment();
     const std::string first =
         outcomes.empty() ? std::string("none") : outcomes[0].status.message();
+    OPT_LOG(Warn) << TraceTag(router_span.trace_id())
+                  << "COUNT failed on every shard; first: " << first;
     return SendError(
         fd, Status::Unavailable("all shards failed; first: " + first));
   }
   if (merged.partial_shards != 0) {
     Metrics().GetCounter("router.partial")->Increment();
+    OPT_LOG(Warn) << TraceTag(router_span.trace_id())
+                  << "partial COUNT: failed shard mask=0x" << std::hex
+                  << merged.partial_shards << std::dec;
   }
   return WriteMessage(fd, MessageType::kCountResult,
                       EncodeCountResult(merged));
@@ -416,6 +454,12 @@ Status QueryRouter::HandleList(int fd, const WireMessage& message) {
     return SendError(fd, check);
   }
   Metrics().GetCounter("router.requests")->Increment();
+  TraceContextScope remote({request.trace_id, request.parent_span_id});
+  TraceSpan router_span("router", "router.list",
+                        CurrentTraceRecorder() != nullptr
+                            ? "\"graph\":\"" + JsonEscape(request.graph) +
+                                  "\""
+                            : std::string());
 
   ClientQueryOptions sub_options;
   sub_options.memory_pages = request.memory_pages;
@@ -435,6 +479,8 @@ Status QueryRouter::HandleList(int fd, const WireMessage& message) {
        ++i) {
     const ShardInfo& info = manifest.shards[i];
     const uint64_t start = NowMicros();
+    TraceSpan rpc_span("router", "rpc.list",
+                       "\"shard\":" + std::to_string(i));
     auto conn = AcquireConn(i);
     Status shard_status;
     if (!conn.ok()) {
@@ -495,6 +541,14 @@ Status QueryRouter::HandleMutate(int fd, const WireMessage& message,
     return SendError(fd, check);
   }
   Metrics().GetCounter("router.requests")->Increment();
+  TraceContextScope remote({request.trace_id, request.parent_span_id});
+  TraceSpan router_span("router",
+                        add ? "router.delta.add" : "router.delta.remove",
+                        CurrentTraceRecorder() != nullptr
+                            ? "\"graph\":\"" + JsonEscape(request.graph) +
+                                  "\""
+                            : std::string());
+  const TraceContext fan_ctx{router_span.trace_id(), router_span.span_id()};
 
   const ShardManifest& manifest = shards_->manifest();
   std::vector<std::vector<std::pair<VertexId, VertexId>>> batches(
@@ -513,8 +567,12 @@ Status QueryRouter::HandleMutate(int fd, const WireMessage& message,
   std::vector<ShardOutcome> outcomes;
   FanOut(
       targets,
-      [this, &request, &batches, add](uint32_t shard,
-                                      ShardOutcome* outcome) {
+      [this, &request, &batches, add, fan_ctx](uint32_t shard,
+                                               ShardOutcome* outcome) {
+        TraceContextScope scope(fan_ctx);
+        TraceSpan rpc_span("router", add ? "rpc.delta.add"
+                                         : "rpc.delta.remove",
+                           "\"shard\":" + std::to_string(shard));
         auto conn = AcquireConn(shard);
         if (!conn.ok()) {
           outcome->status = conn.status();
@@ -557,6 +615,9 @@ Status QueryRouter::HandleMutate(int fd, const WireMessage& message,
   }
   if (succeeded == 0) {
     Metrics().GetCounter("router.failures")->Increment();
+    OPT_LOG(Warn) << TraceTag(router_span.trace_id())
+                  << "mutation failed on every targeted shard: "
+                  << first_failure.ToString();
     return SendError(fd, first_failure);
   }
   // The merged epoch is the router's virtual epoch: the sum of
@@ -577,6 +638,13 @@ Status QueryRouter::HandleSubscribe(int fd, const WireMessage& message) {
     return SendError(fd, check);
   }
   Metrics().GetCounter("router.requests")->Increment();
+  TraceContextScope remote({request.trace_id, request.parent_span_id});
+  TraceSpan router_span("router", "router.subscribe",
+                        CurrentTraceRecorder() != nullptr
+                            ? "\"graph\":\"" + JsonEscape(request.graph) +
+                                  "\""
+                            : std::string());
+  const TraceContext fan_ctx{router_span.trace_id(), router_span.span_id()};
 
   const ShardManifest& manifest = shards_->manifest();
   std::vector<uint32_t> targets(shards_->num_shards());
@@ -591,7 +659,11 @@ Status QueryRouter::HandleSubscribe(int fd, const WireMessage& message) {
     // its pooled connection for the whole timeout.
     std::vector<ShardOutcome> outcomes;
     FanOut(targets,
-           [this, &request](uint32_t shard, ShardOutcome* outcome) {
+           [this, &request, fan_ctx](uint32_t shard,
+                                     ShardOutcome* outcome) {
+             TraceContextScope scope(fan_ctx);
+             TraceSpan rpc_span("router", "rpc.subscribe",
+                                "\"shard\":" + std::to_string(shard));
              auto conn = AcquireConn(shard);
              if (!conn.ok()) {
                outcome->status = conn.status();
@@ -769,6 +841,110 @@ Status QueryRouter::HandleShardStats(int fd) {
   }
   return WriteMessage(fd, MessageType::kShardStatsResult,
                       EncodeShardStatsResult(result));
+}
+
+Status QueryRouter::HandleTracePull(int fd, const WireMessage& message) {
+  TracePullRequest request;
+  Status status = DecodeTracePullRequest(message.payload, &request);
+  if (!status.ok()) return SendError(fd, status);
+  Metrics().GetCounter("router.requests")->Increment();
+
+  std::vector<uint32_t> targets(shards_->num_shards());
+  for (uint32_t i = 0; i < targets.size(); ++i) targets[i] = i;
+  std::vector<ShardOutcome> outcomes;
+  FanOut(targets,
+         [this, &request](uint32_t shard, ShardOutcome* outcome) {
+           auto conn = AcquireConn(shard);
+           if (!conn.ok()) {
+             outcome->status = conn.status();
+             return;
+           }
+           auto pulled = conn->client.TracePull(request.drain != 0);
+           outcome->status = pulled.status();
+           if (pulled.ok()) outcome->trace = std::move(*pulled);
+           ReleaseConn(shard, std::move(*conn), pulled.status().ok());
+         },
+         &outcomes);
+
+  TracePullResult merged;
+  // The router's own section first, then each shard's, relabelled by
+  // shard id (a shard reports itself as "opt_server"; the router knows
+  // which slot it answered from). Unreachable shards just contribute no
+  // section — the assembled trace is partial, not an error.
+  if (TraceRecorder* recorder = CurrentTraceRecorder()) {
+    ProcessTrace section;
+    section.pid = static_cast<uint64_t>(::getpid());
+    section.label = "router";
+    section.unix_origin_micros = recorder->unix_origin_micros();
+    section.events =
+        request.drain != 0 ? recorder->Drain() : recorder->Events();
+    section.dropped_spans = recorder->dropped();
+    merged.processes.push_back(std::move(section));
+  }
+  for (uint32_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].status.ok()) continue;
+    for (ProcessTrace& section : outcomes[i].trace.processes) {
+      section.label = "shard" + std::to_string(i);
+      merged.processes.push_back(std::move(section));
+    }
+  }
+  return WriteMessage(fd, MessageType::kTracePullResult,
+                      EncodeTracePullResult(merged));
+}
+
+std::string QueryRouter::FleetPrometheus() {
+  std::vector<uint32_t> targets(shards_->num_shards());
+  for (uint32_t i = 0; i < targets.size(); ++i) targets[i] = i;
+  std::vector<ShardOutcome> outcomes;
+  FanOut(targets,
+         [this](uint32_t shard, ShardOutcome* outcome) {
+           auto conn = AcquireConn(shard);
+           if (!conn.ok()) {
+             outcome->status = conn.status();
+             return;
+           }
+           auto stats = conn->client.StatsFull();
+           outcome->status = stats.status();
+           if (stats.ok()) outcome->stats = std::move(*stats);
+           ReleaseConn(shard, std::move(*conn), stats.status().ok());
+         },
+         &outcomes);
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, std::vector<StatsHistogram>> histograms;
+  for (const ShardOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) continue;
+    for (const StatsCounter& counter : outcome.stats.counters) {
+      counters[counter.name] += counter.value;
+    }
+    for (const StatsHistogram& histogram : outcome.stats.histograms) {
+      histograms[histogram.name].push_back(histogram);
+    }
+  }
+
+  std::ostringstream out;
+  out << "# TYPE opt_shard_up gauge\n";
+  for (uint32_t i = 0; i < shards_->num_shards(); ++i) {
+    out << "opt_shard_up{shard=\"" << i << "\"} "
+        << (shards_->healthy(i) ? 1 : 0) << '\n';
+  }
+  for (const auto& [name, value] : counters) {
+    const std::string fleet = SanitizeMetricName("fleet." + name);
+    out << "# TYPE " << fleet << " counter\n"
+        << fleet << ' ' << value << '\n';
+  }
+  for (const auto& [name, parts] : histograms) {
+    const StatsHistogram merged = MergeHistograms(name, parts);
+    const std::string fleet = SanitizeMetricName("fleet." + name);
+    out << "# TYPE " << fleet << " summary\n";
+    out << fleet << "{quantile=\"0.5\"} " << merged.p50 << '\n';
+    out << fleet << "{quantile=\"0.95\"} " << merged.p95 << '\n';
+    out << fleet << "{quantile=\"0.99\"} " << merged.p99 << '\n';
+    out << fleet << "_sum "
+        << merged.mean * static_cast<double>(merged.count) << '\n';
+    out << fleet << "_count " << merged.count << '\n';
+  }
+  return out.str();
 }
 
 }  // namespace opt

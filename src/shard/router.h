@@ -82,6 +82,13 @@ class QueryRouter {
   void Stop();
   uint16_t bound_port() const { return bound_port_; }
 
+  /// Fleet view for the Prometheus scrape endpoint: count-weight-merged
+  /// histograms pulled live from every reachable shard (same
+  /// approximation as STATS) plus per-shard `opt_shard_up` health
+  /// gauges. The caller (opt_router --metrics-port) concatenates this
+  /// with the router's own registry exposition.
+  std::string FleetPrometheus();
+
  private:
   struct PooledConn {
     OptClient client;
@@ -95,6 +102,7 @@ class QueryRouter {
     MutateResult mutate;
     SubscribeCountResult subscribe;
     StatsResult stats;
+    TracePullResult trace;
     uint64_t micros = 0;
   };
 
@@ -106,6 +114,10 @@ class QueryRouter {
   Status HandleShardStats(int fd);
   Status HandleMutate(int fd, const WireMessage& message, bool add);
   Status HandleSubscribe(int fd, const WireMessage& message);
+  /// Merges the router's own span ring with every shard's (TRACE_PULL
+  /// fan-out): one section per process, shards relabelled "shard<i>",
+  /// ready for AssembleTrace() on the client.
+  Status HandleTracePull(int fd, const WireMessage& message);
 
   Status CheckGraph(const std::string& graph) const;
 

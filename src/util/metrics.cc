@@ -93,6 +93,43 @@ std::string MetricsRegistry::ExposeText() const {
   return out;
 }
 
+std::string MetricsRegistry::ExposePrometheus() const {
+  std::string out;
+  char line[320];
+  for (const auto& [name, value] : Counters()) {
+    const std::string san = SanitizeMetricName(name);
+    std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %llu\n",
+                  san.c_str(), san.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : Gauges()) {
+    const std::string san = SanitizeMetricName(name);
+    std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %lld\n",
+                  san.c_str(), san.c_str(), static_cast<long long>(value));
+    out += line;
+  }
+  for (const HistogramEntry& entry : Histograms()) {
+    const HistogramSnapshot& s = entry.snapshot;
+    const std::string san = SanitizeMetricName(entry.name);
+    // Summary: quantile-labelled samples plus _sum/_count. The exact
+    // sum isn't tracked per-bucket, so _sum is mean × count — exact in
+    // aggregate, which is all Prometheus rate math needs.
+    std::snprintf(line, sizeof(line),
+                  "# TYPE %s summary\n"
+                  "%s{quantile=\"0.5\"} %.2f\n"
+                  "%s{quantile=\"0.95\"} %.2f\n"
+                  "%s{quantile=\"0.99\"} %.2f\n"
+                  "%s_sum %.2f\n%s_count %llu\n",
+                  san.c_str(), san.c_str(), s.P50(), san.c_str(), s.P95(),
+                  san.c_str(), s.P99(), san.c_str(),
+                  s.Mean() * static_cast<double>(s.count), san.c_str(),
+                  static_cast<unsigned long long>(s.count));
+    out += line;
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
@@ -104,6 +141,189 @@ MetricsRegistry& Metrics() {
   // in the process stay valid through static destruction.
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || c == '_' || c == ':' || (digit && i > 0)) {
+      out += c;
+    } else if (digit) {  // leading digit
+      out += '_';
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 >= value.size()) {
+      out += value[i];
+      continue;
+    }
+    ++i;
+    switch (value[i]) {
+      case 'n': out += '\n'; break;
+      case '\\': out += '\\'; break;
+      case '"': out += '"'; break;
+      default:  // unknown escape: keep both bytes
+        out += '\\';
+        out += value[i];
+    }
+  }
+  return out;
+}
+
+MetricsWindow::MetricsWindow(MetricsRegistry* registry, size_t slots)
+    : registry_(registry), slots_(slots < 2 ? 2 : slots) {}
+
+MetricsWindow::~MetricsWindow() { Stop(); }
+
+void MetricsWindow::Start(uint64_t interval_millis) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+  }
+  SampleNow();  // anchor the window immediately
+  sampler_ = std::thread([this, interval_millis] {
+    SamplerLoop(interval_millis);
+  });
+}
+
+void MetricsWindow::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  stop_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void MetricsWindow::SamplerLoop(uint64_t interval_millis) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (running_) {
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(interval_millis),
+                      [this] { return !running_; });
+    if (!running_) break;
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+void MetricsWindow::SampleNow() {
+  Sample sample;
+  sample.at = std::chrono::steady_clock::now();
+  sample.counters = registry_->Counters();  // already name-sorted
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < slots_) {
+    ring_.push_back(std::move(sample));
+    next_ = ring_.size() % slots_;
+    return;
+  }
+  ring_[next_] = std::move(sample);
+  next_ = (next_ + 1) % slots_;
+  wrapped_ = true;
+}
+
+bool MetricsWindow::WindowLocked(const Sample** oldest,
+                                 const Sample** newest) const {
+  if (ring_.size() < 2) return false;
+  if (!wrapped_ && ring_.size() < slots_) {
+    *oldest = &ring_.front();
+    *newest = &ring_.back();
+    return true;
+  }
+  *oldest = &ring_[next_ % ring_.size()];
+  *newest = &ring_[(next_ + ring_.size() - 1) % ring_.size()];
+  return true;
+}
+
+std::vector<MetricsWindow::Rate> MetricsWindow::Rates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Sample* oldest = nullptr;
+  const Sample* newest = nullptr;
+  std::vector<Rate> out;
+  if (!WindowLocked(&oldest, &newest)) return out;
+  const double seconds =
+      std::chrono::duration<double>(newest->at - oldest->at).count();
+  if (seconds <= 0.0) return out;
+  // Both samples are name-sorted; merge-join them. A counter absent
+  // from the old sample registered mid-window: its baseline is 0.
+  size_t i = 0;
+  out.reserve(newest->counters.size());
+  for (const auto& [name, value] : newest->counters) {
+    while (i < oldest->counters.size() && oldest->counters[i].first < name) {
+      ++i;
+    }
+    uint64_t base = 0;
+    if (i < oldest->counters.size() && oldest->counters[i].first == name) {
+      base = oldest->counters[i].second;
+    }
+    const uint64_t delta = value >= base ? value - base : 0;
+    out.push_back({name, delta, static_cast<double>(delta) / seconds,
+                   seconds});
+  }
+  return out;
+}
+
+bool MetricsWindow::WindowedRatio(const std::string& numerator,
+                                  const std::string& denominator,
+                                  double* out) const {
+  uint64_t num = 0;
+  uint64_t den = 0;
+  for (const Rate& rate : Rates()) {
+    if (rate.name == numerator) num = rate.delta;
+    if (rate.name == denominator) den = rate.delta;
+  }
+  if (den == 0) return false;
+  *out = static_cast<double>(num) / static_cast<double>(den);
+  return true;
+}
+
+std::string MetricsWindow::ExposePrometheus() const {
+  const std::vector<Rate> rates = Rates();
+  std::string out;
+  if (rates.empty()) return out;
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "# TYPE opt_metrics_window_seconds gauge\n"
+                "opt_metrics_window_seconds %.3f\n",
+                rates.front().window_seconds);
+  out += line;
+  for (const Rate& rate : rates) {
+    const std::string san = SanitizeMetricName(rate.name) + "_per_sec";
+    std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %.3f\n",
+                  san.c_str(), san.c_str(), rate.per_second);
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace opt

@@ -23,11 +23,14 @@
 #define OPT_UTIL_METRICS_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -107,6 +110,13 @@ class MetricsRegistry {
   /// name.count / .min / .max / .mean / .p50 / .p95 / .p99 lines.
   std::string ExposeText() const;
 
+  /// Prometheus exposition-format text: every name sanitized via
+  /// SanitizeMetricName, counters/gauges as `# TYPE` + sample lines,
+  /// histograms as summaries (quantile-labelled samples plus _sum and
+  /// _count). This is what the `--metrics-port` HTTP scrape endpoint
+  /// serves.
+  std::string ExposePrometheus() const;
+
   /// Zeroes every counter and histogram (gauges keep their last value).
   /// For tests and bench runs that need a clean slate; the registered
   /// metric objects stay valid.
@@ -121,6 +131,81 @@ class MetricsRegistry {
 
 /// The process-wide registry (leaked singleton — see file comment).
 MetricsRegistry& Metrics();
+
+/// Maps an internal dotted metric name ("graph.g.rmat-20.vertices") to a
+/// legal Prometheus identifier ([a-zA-Z_:][a-zA-Z0-9_:]*): '.' and '-'
+/// and any other illegal byte become '_', and a leading digit gets a
+/// '_' prefix.
+std::string SanitizeMetricName(const std::string& name);
+
+/// Escapes a value for use inside a Prometheus label ("k=\"v\""):
+/// backslash, double-quote, and newline get backslash escapes.
+/// UnescapeLabelValue inverts it exactly (round-trip tested).
+std::string EscapeLabelValue(const std::string& value);
+std::string UnescapeLabelValue(const std::string& value);
+
+/// Periodic-snapshot ring over a registry's counters, turning monotonic
+/// totals into windowed rates (qps, pages/s, hit-rate deltas). Either
+/// run the built-in sampler thread (Start/Stop) or drive sampling by
+/// hand with SampleNow() — tests do the latter for determinism.
+///
+/// The window is [oldest retained sample, newest sample]; with `slots`
+/// samples at `interval_millis` spacing the rates smooth over roughly
+/// slots × interval of history.
+class MetricsWindow {
+ public:
+  explicit MetricsWindow(MetricsRegistry* registry, size_t slots = 64);
+  ~MetricsWindow();
+
+  MetricsWindow(const MetricsWindow&) = delete;
+  MetricsWindow& operator=(const MetricsWindow&) = delete;
+
+  /// Spawns the sampler thread. Idempotent.
+  void Start(uint64_t interval_millis);
+  void Stop();
+
+  /// Takes one snapshot of every registered counter right now.
+  void SampleNow();
+
+  struct Rate {
+    std::string name;    // raw registry name
+    uint64_t delta = 0;  // increase across the window
+    double per_second = 0.0;
+    double window_seconds = 0.0;
+  };
+  /// Per-counter rates across the retained window (empty until two
+  /// samples exist). Counters that appeared mid-window rate from their
+  /// first observed value.
+  std::vector<Rate> Rates() const;
+
+  /// Windowed ratio delta(num)/delta(den) — e.g. a cache hit rate over
+  /// the last window rather than since process start. False when fewer
+  /// than two samples exist or delta(den) == 0.
+  bool WindowedRatio(const std::string& numerator,
+                     const std::string& denominator, double* out) const;
+
+  /// Prometheus lines for every windowed rate: `<san>_per_sec <value>`
+  /// gauges plus `opt_metrics_window_seconds`.
+  std::string ExposePrometheus() const;
+
+ private:
+  struct Sample {
+    std::chrono::steady_clock::time_point at;
+    std::vector<std::pair<std::string, uint64_t>> counters;  // name-sorted
+  };
+  void SamplerLoop(uint64_t interval_millis);
+  bool WindowLocked(const Sample** oldest, const Sample** newest) const;
+
+  MetricsRegistry* const registry_;
+  const size_t slots_;
+  mutable std::mutex mutex_;
+  std::vector<Sample> ring_;
+  size_t next_ = 0;
+  bool wrapped_ = false;
+  std::thread sampler_;
+  bool running_ = false;
+  std::condition_variable stop_cv_;
+};
 
 }  // namespace opt
 

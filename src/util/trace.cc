@@ -1,7 +1,13 @@
 #include "util/trace.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <utility>
+
+#include "util/metrics.h"
 
 namespace opt {
 
@@ -9,12 +15,77 @@ namespace {
 
 std::atomic<TraceRecorder*> g_recorder{nullptr};
 
+thread_local TraceContext g_context;
+
 /// Small dense thread ids so Perfetto rows read "thread 1..N" instead of
 /// hashed pthread handles.
 uint32_t ThisThreadId() {
   static std::atomic<uint32_t> next{1};
   thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+/// splitmix64 — cheap, well-mixed, and deterministic per (pid, seq), so
+/// ids are unique across the cooperating processes of one fleet without
+/// coordination.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t NewId() {
+  static std::atomic<uint64_t> seq{1};
+  const uint64_t n = seq.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t id =
+      Mix64((static_cast<uint64_t>(::getpid()) << 32) ^ n);
+  return id == 0 ? 1 : id;
+}
+
+void AppendIdArgs(std::string* out, const TraceEvent& event) {
+  if (event.trace_id == 0 && event.span_id == 0 &&
+      event.parent_span_id == 0) {
+    return;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "\"trace_id\":\"%016llx\",\"span_id\":\"%016llx\","
+                "\"parent_span_id\":\"%016llx\"",
+                static_cast<unsigned long long>(event.trace_id),
+                static_cast<unsigned long long>(event.span_id),
+                static_cast<unsigned long long>(event.parent_span_id));
+  if (!out->empty()) *out += ',';
+  *out += buf;
+}
+
+void AppendEventJson(std::string* out, const TraceEvent& event,
+                     uint64_t pid, uint64_t ts_micros) {
+  char buf[160];
+  *out += "{\"name\":\"" + JsonEscape(event.name) + "\",\"cat\":\"" +
+          JsonEscape(event.category) + "\",\"ph\":\"";
+  *out += event.phase;
+  *out += '"';
+  std::snprintf(buf, sizeof(buf), ",\"pid\":%llu,\"tid\":%u,\"ts\":%llu",
+                static_cast<unsigned long long>(pid), event.tid,
+                static_cast<unsigned long long>(ts_micros));
+  *out += buf;
+  if (event.phase == 'X') {
+    std::snprintf(buf, sizeof(buf), ",\"dur\":%llu",
+                  static_cast<unsigned long long>(event.dur_micros));
+    *out += buf;
+  }
+  if (event.phase == 'i') *out += ",\"s\":\"t\"";  // thread-scoped instant
+  std::string args = event.args_json;
+  AppendIdArgs(&args, event);
+  *out += ",\"args\":{" + args + "}}";
+}
+
+uint64_t UnixNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -53,8 +124,22 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
+TraceContext CurrentTraceContext() { return g_context; }
+
+TraceContextScope::TraceContextScope(TraceContext context)
+    : saved_(g_context) {
+  g_context = context;
+}
+
+TraceContextScope::~TraceContextScope() { g_context = saved_; }
+
+uint64_t NewTraceId() { return NewId(); }
+uint64_t NewSpanId() { return NewId(); }
+
 TraceRecorder::TraceRecorder(size_t max_events)
-    : max_events_(max_events), start_(std::chrono::steady_clock::now()) {}
+    : max_events_(std::max<size_t>(max_events, 1)),
+      start_(std::chrono::steady_clock::now()),
+      unix_origin_micros_(UnixNowMicros()) {}
 
 uint64_t TraceRecorder::NowMicros() const {
   return static_cast<uint64_t>(
@@ -65,16 +150,25 @@ uint64_t TraceRecorder::NowMicros() const {
 
 void TraceRecorder::Record(TraceEvent event) {
   event.tid = ThisThreadId();
+  static Counter* dropped_metric =
+      Metrics().GetCounter("trace.dropped_spans");
   std::lock_guard<std::mutex> lock(mutex_);
-  if (events_.size() >= max_events_) {
-    ++dropped_;
+  if (events_.size() < max_events_) {
+    events_.push_back(std::move(event));
     return;
   }
-  events_.push_back(std::move(event));
+  // Ring full: overwrite the oldest slot, keep the newest window.
+  events_[next_] = std::move(event);
+  next_ = (next_ + 1) % max_events_;
+  wrapped_ = true;
+  ++dropped_;
+  dropped_metric->Increment();
 }
 
 void TraceRecorder::RecordComplete(std::string name, const char* category,
                                    uint64_t ts_micros, uint64_t dur_micros,
+                                   uint64_t trace_id, uint64_t span_id,
+                                   uint64_t parent_span_id,
                                    std::string args_json) {
   TraceEvent event;
   event.name = std::move(name);
@@ -82,6 +176,9 @@ void TraceRecorder::RecordComplete(std::string name, const char* category,
   event.phase = 'X';
   event.ts_micros = ts_micros;
   event.dur_micros = dur_micros;
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.parent_span_id = parent_span_id;
   event.args_json = std::move(args_json);
   Record(std::move(event));
 }
@@ -93,6 +190,8 @@ void TraceRecorder::RecordInstant(std::string name, const char* category,
   event.category = category;
   event.phase = 'i';
   event.ts_micros = NowMicros();
+  event.trace_id = g_context.trace_id;
+  event.parent_span_id = g_context.span_id;
   event.args_json = std::move(args_json);
   Record(std::move(event));
 }
@@ -108,9 +207,30 @@ void TraceRecorder::RecordCounter(std::string name, const char* category,
   Record(std::move(event));
 }
 
+std::vector<TraceEvent> TraceRecorder::SnapshotLocked() const {
+  if (!wrapped_) return events_;
+  // Unroll the ring oldest-first: [next_, end) then [0, next_).
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  out.insert(out.end(), events_.begin() + static_cast<long>(next_),
+             events_.end());
+  out.insert(out.end(), events_.begin(),
+             events_.begin() + static_cast<long>(next_));
+  return out;
+}
+
 std::vector<TraceEvent> TraceRecorder::Events() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return events_;
+  return SnapshotLocked();
+}
+
+std::vector<TraceEvent> TraceRecorder::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out = SnapshotLocked();
+  events_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  return out;
 }
 
 size_t TraceRecorder::dropped() const {
@@ -120,27 +240,13 @@ size_t TraceRecorder::dropped() const {
 
 std::string TraceRecorder::ToJson() const {
   const std::vector<TraceEvent> events = Events();
+  const uint64_t pid = static_cast<uint64_t>(::getpid());
   std::string out = "{\"traceEvents\":[";
-  char buf[128];
   bool first = true;
   for (const TraceEvent& event : events) {
     if (!first) out += ',';
     first = false;
-    out += "{\"name\":\"" + JsonEscape(event.name) + "\",\"cat\":\"" +
-           JsonEscape(event.category) + "\",\"ph\":\"";
-    out += event.phase;
-    out += '"';
-    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%u,\"ts\":%llu",
-                  event.tid,
-                  static_cast<unsigned long long>(event.ts_micros));
-    out += buf;
-    if (event.phase == 'X') {
-      std::snprintf(buf, sizeof(buf), ",\"dur\":%llu",
-                    static_cast<unsigned long long>(event.dur_micros));
-      out += buf;
-    }
-    if (event.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
-    out += ",\"args\":{" + event.args_json + "}}";
+    AppendEventJson(&out, event, pid, event.ts_micros);
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;
@@ -160,6 +266,87 @@ Status TraceRecorder::WriteJson(const std::string& path) const {
   return Status::OK();
 }
 
+std::string AssembleTrace(const std::vector<ProcessTrace>& parts) {
+  // Shared time axis: the earliest process origin is t=0; each event's
+  // timestamp is its process origin offset plus its local trace clock.
+  uint64_t t0 = 0;
+  bool have_t0 = false;
+  for (const ProcessTrace& part : parts) {
+    if (!have_t0 || part.unix_origin_micros < t0) {
+      t0 = part.unix_origin_micros;
+      have_t0 = true;
+    }
+  }
+
+  struct SpanSite {
+    size_t part;
+    const TraceEvent* event;
+    uint64_t ts;  // rebased
+  };
+  std::map<uint64_t, SpanSite> spans_by_id;
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[192];
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const ProcessTrace& part = parts[p];
+    // Perfetto process row label.
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%llu,"
+                  "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                  static_cast<unsigned long long>(part.pid),
+                  JsonEscape(part.label).c_str());
+    out += buf;
+    const uint64_t base = part.unix_origin_micros - t0;
+    for (const TraceEvent& event : part.events) {
+      const uint64_t ts = base + event.ts_micros;
+      out += ',';
+      AppendEventJson(&out, event, part.pid, ts);
+      if (event.phase == 'X' && event.span_id != 0) {
+        spans_by_id[event.span_id] = {p, &event, ts};
+      }
+    }
+  }
+  // Cross-process flow arrows: for every span whose parent lives in a
+  // different process, draw parent → child. The flow id is the child's
+  // span id (unique), the 's' anchors inside the parent slice, the 'f'
+  // ("bp":"e") anchors at the child slice's start.
+  for (const auto& [span_id, child] : spans_by_id) {
+    const uint64_t parent_id = child.event->parent_span_id;
+    if (parent_id == 0) continue;
+    auto it = spans_by_id.find(parent_id);
+    if (it == spans_by_id.end()) continue;
+    const SpanSite& parent = it->second;
+    if (parts[parent.part].pid == parts[child.part].pid) continue;
+    // 's' must sit inside the parent slice; the child started after the
+    // parent did (clock skew aside), so clamp into the parent's window.
+    uint64_t s_ts = child.ts;
+    const uint64_t parent_end = parent.ts + parent.event->dur_micros;
+    if (s_ts < parent.ts) s_ts = parent.ts;
+    if (s_ts > parent_end) s_ts = parent_end;
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"rpc\",\"cat\":\"flow\",\"ph\":\"s\","
+                  "\"id\":\"%llx\",\"pid\":%llu,\"tid\":%u,\"ts\":%llu}",
+                  static_cast<unsigned long long>(span_id),
+                  static_cast<unsigned long long>(parts[parent.part].pid),
+                  parent.event->tid,
+                  static_cast<unsigned long long>(s_ts));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"rpc\",\"cat\":\"flow\",\"ph\":\"f\","
+                  "\"bp\":\"e\",\"id\":\"%llx\",\"pid\":%llu,\"tid\":%u,"
+                  "\"ts\":%llu}",
+                  static_cast<unsigned long long>(span_id),
+                  static_cast<unsigned long long>(parts[child.part].pid),
+                  child.event->tid,
+                  static_cast<unsigned long long>(child.ts));
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
 void StartTracing(TraceRecorder* recorder) {
   g_recorder.store(recorder, std::memory_order_release);
 }
@@ -173,18 +360,35 @@ TraceRecorder* CurrentTraceRecorder() {
 TraceSpan::TraceSpan(const char* category, std::string name,
                      std::string args_json)
     : recorder_(CurrentTraceRecorder()),
+      parent_(g_context),
       category_(category),
       name_(std::move(name)),
       args_json_(std::move(args_json)) {
+  // Span bookkeeping runs when there is a local recorder *or* an
+  // ambient propagated trace — the latter keeps parent/child linkage
+  // intact through processes that aren't recording locally. With
+  // neither, the span is inert (one atomic load + a TLS read).
+  active_ = recorder_ != nullptr || parent_.trace_id != 0;
+  if (!active_) return;
+  context_.trace_id = parent_.trace_id;
+  context_.span_id = NewSpanId();
+  g_context = context_;
   if (recorder_ != nullptr) start_micros_ = recorder_->NowMicros();
 }
 
 TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  g_context = parent_;
   if (recorder_ == nullptr) return;
   const uint64_t end = recorder_->NowMicros();
   recorder_->RecordComplete(std::move(name_), category_, start_micros_,
-                            end - start_micros_, std::move(args_json_));
+                            end - start_micros_, context_.trace_id,
+                            context_.span_id, parent_.span_id,
+                            std::move(args_json_));
 }
+
+uint64_t TraceSpan::trace_id() const { return context_.trace_id; }
+uint64_t TraceSpan::span_id() const { return context_.span_id; }
 
 void TraceInstant(const char* category, std::string name,
                   std::string args_json) {

@@ -1,7 +1,13 @@
-// Observability-layer tests: metrics registry semantics, trace recorder
-// JSON output (syntactic validity + span nesting per thread), and the
-// scheduler's slow-query log.
+// Observability-layer tests: metrics registry semantics, Prometheus
+// exposition (name sanitization, label escaping, windowed rates, the
+// HTTP scrape endpoint), trace recorder JSON output (syntactic validity
+// + span nesting per thread), distributed-trace assembly, and the
+// scheduler's slow-query log with [trace=...] correlation tags.
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cctype>
@@ -13,6 +19,7 @@
 #include <vector>
 
 #include "graph/builder.h"
+#include "obs/metrics_http.h"
 #include "service/graph_registry.h"
 #include "service/query_scheduler.h"
 #include "storage/env.h"
@@ -90,108 +97,146 @@ TEST(MetricsRegistry, GlobalRegistryIsProcessWide) {
 }
 
 // ---------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(Prometheus, SanitizeMetricNameProducesLegalIdentifiers) {
+  // Dotted/dashed internal names map onto [a-zA-Z_:][a-zA-Z0-9_:]*.
+  EXPECT_EQ(SanitizeMetricName("pool.fetch.hits"), "pool_fetch_hits");
+  EXPECT_EQ(SanitizeMetricName("graph.g.rmat-20.vertices"),
+            "graph_g_rmat_20_vertices");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName("ok_name:sub"), "ok_name:sub");
+  EXPECT_EQ(SanitizeMetricName("spaces and/slashes"),
+            "spaces_and_slashes");
+  // Idempotent: sanitizing a sanitized name is a no-op.
+  const std::string once = SanitizeMetricName("a.b-c d");
+  EXPECT_EQ(SanitizeMetricName(once), once);
+}
+
+TEST(Prometheus, LabelValueEscapeRoundTrips) {
+  const std::vector<std::string> values = {
+      "",
+      "g",
+      "g.rmat-20",
+      "quote\"inside",
+      "back\\slash",
+      "line\nbreak",
+      "all\\three\"at\nonce",
+      "trailing\\",
+  };
+  for (const std::string& value : values) {
+    const std::string escaped = EscapeLabelValue(value);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << value;
+    EXPECT_EQ(UnescapeLabelValue(escaped), value) << escaped;
+  }
+}
+
+TEST(Prometheus, ExposePrometheusRendersTypedFamilies) {
+  MetricsRegistry registry;
+  registry.GetCounter("prom.test-counter")->Increment(7);
+  registry.GetGauge("prom.gauge")->Set(-3);
+  registry.GetHistogram("prom.latency-us")->Record(100);
+  registry.GetHistogram("prom.latency-us")->Record(300);
+  const std::string text = registry.ExposePrometheus();
+  EXPECT_NE(text.find("# TYPE prom_test_counter counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("prom_test_counter 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("prom_gauge -3"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE prom_latency_us summary"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("prom_latency_us{quantile=\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("prom_latency_us_count 2"), std::string::npos)
+      << text;
+  // Raw (unsanitized) spellings must not leak into the exposition.
+  EXPECT_EQ(text.find("prom.test-counter"), std::string::npos) << text;
+}
+
+TEST(MetricsWindowRates, ManualSamplesYieldWindowedRates) {
+  MetricsRegistry registry;
+  Counter* requests = registry.GetCounter("win.requests");
+  Counter* hits = registry.GetCounter("win.hits");
+  MetricsWindow window(&registry, /*slots=*/8);
+  EXPECT_TRUE(window.Rates().empty());  // one sample is not a window
+
+  window.SampleNow();
+  requests->Increment(100);
+  hits->Increment(25);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  window.SampleNow();
+
+  const std::vector<MetricsWindow::Rate> rates = window.Rates();
+  uint64_t requests_delta = 0;
+  double requests_per_sec = 0;
+  for (const MetricsWindow::Rate& rate : rates) {
+    if (rate.name == "win.requests") {
+      requests_delta = rate.delta;
+      requests_per_sec = rate.per_second;
+      EXPECT_GT(rate.window_seconds, 0.0);
+    }
+  }
+  EXPECT_EQ(requests_delta, 100u);
+  EXPECT_GT(requests_per_sec, 0.0);
+
+  double hit_rate = 0;
+  ASSERT_TRUE(window.WindowedRatio("win.hits", "win.requests", &hit_rate));
+  EXPECT_DOUBLE_EQ(hit_rate, 0.25);
+  // Ratio with a zero-delta denominator reports false, not inf.
+  double bogus = 0;
+  EXPECT_FALSE(window.WindowedRatio("win.hits", "win.absent", &bogus));
+
+  const std::string text = window.ExposePrometheus();
+  EXPECT_NE(text.find("win_requests_per_sec"), std::string::npos) << text;
+  EXPECT_NE(text.find("opt_metrics_window_seconds"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsHttp, ServesScrapeBodyAndRejectsUnknownPaths) {
+  MetricsHttpServer server(
+      [] { return std::string("# TYPE x counter\nx 1\n"); });
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_NE(server.port(), 0);
+
+  auto fetch = [&](const std::string& request_line) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string request = request_line + "\r\n\r\n";
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string reply;
+    char buffer[1024];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+      reply.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return reply;
+  };
+
+  const std::string ok = fetch("GET /metrics HTTP/1.0");
+  EXPECT_NE(ok.find("200"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("text/plain"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("# TYPE x counter\nx 1\n"), std::string::npos) << ok;
+
+  const std::string missing = fetch("GET /nope HTTP/1.0");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------
 // Trace recorder
-
-/// Minimal JSON syntax checker (objects, arrays, strings, numbers,
-/// true/false/null) — enough to prove the trace file parses.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool Valid() {
-    SkipSpace();
-    if (!Value()) return false;
-    SkipSpace();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return Object();
-      case '[': return Array();
-      case '"': return String();
-      case 't': return Literal("true");
-      case 'f': return Literal("false");
-      case 'n': return Literal("null");
-      default: return Number();
-    }
-  }
-  bool Object() {
-    ++pos_;  // '{'
-    SkipSpace();
-    if (Peek() == '}') { ++pos_; return true; }
-    for (;;) {
-      SkipSpace();
-      if (!String()) return false;
-      SkipSpace();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipSpace();
-      if (!Value()) return false;
-      SkipSpace();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool Array() {
-    ++pos_;  // '['
-    SkipSpace();
-    if (Peek() == ']') { ++pos_; return true; }
-    for (;;) {
-      SkipSpace();
-      if (!Value()) return false;
-      SkipSpace();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-      }
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool Number() {
-    const size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' ||
-            text_[pos_] == 'E' || text_[pos_] == '+' ||
-            text_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-  bool Literal(const char* word) {
-    const size_t len = std::string(word).size();
-    if (text_.compare(pos_, len, word) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
 
 TEST(Trace, DisabledTracingRecordsNothing) {
   ASSERT_EQ(CurrentTraceRecorder(), nullptr);
@@ -241,7 +286,7 @@ TEST(Trace, SpansNestAndSerializeToValidJson) {
   EXPECT_GT(inner->dur_micros, 0u);
 
   const std::string json = recorder.ToJson();
-  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_TRUE(testutil::JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
@@ -282,7 +327,7 @@ TEST(Trace, ConcurrentSpansKeepPerThreadNesting) {
           << "events " << i << " and " << j << " partially overlap";
     }
   }
-  EXPECT_TRUE(JsonChecker(recorder.ToJson()).Valid());
+  EXPECT_TRUE(testutil::JsonChecker(recorder.ToJson()).Valid());
 }
 
 TEST(Trace, EventCapDropsInsteadOfGrowing) {
@@ -292,7 +337,7 @@ TEST(Trace, EventCapDropsInsteadOfGrowing) {
   StopTracing();
   EXPECT_EQ(recorder.Events().size(), 4u);
   EXPECT_EQ(recorder.dropped(), 6u);
-  EXPECT_TRUE(JsonChecker(recorder.ToJson()).Valid());
+  EXPECT_TRUE(testutil::JsonChecker(recorder.ToJson()).Valid());
 }
 
 TEST(Trace, WriteJsonRoundTripsThroughDisk) {
@@ -313,7 +358,104 @@ TEST(Trace, WriteJsonRoundTripsThroughDisk) {
   }
   std::fclose(file);
   EXPECT_EQ(contents, recorder.ToJson());
-  EXPECT_TRUE(JsonChecker(contents).Valid()) << contents;
+  EXPECT_TRUE(testutil::JsonChecker(contents).Valid()) << contents;
+}
+
+TEST(Trace, DrainEmptiesTheRingAndKeepsTheDroppedTotal) {
+  TraceRecorder recorder(/*max_events=*/4);
+  StartTracing(&recorder);
+  for (int i = 0; i < 10; ++i) TraceInstant("test", "e");
+  const std::vector<TraceEvent> drained = recorder.Drain();
+  EXPECT_EQ(drained.size(), 4u);
+  EXPECT_TRUE(recorder.Events().empty());
+  EXPECT_EQ(recorder.dropped(), 6u);  // survives the drain
+  // The ring keeps recording after a drain (TRACE_PULL is repeatable).
+  TraceInstant("test", "after");
+  StopTracing();
+  ASSERT_EQ(recorder.Events().size(), 1u);
+  EXPECT_EQ(recorder.Events()[0].name, "after");
+}
+
+TEST(Trace, SpanIdsPropagateThroughContextScopes) {
+  TraceRecorder recorder;
+  StartTracing(&recorder);
+  const uint64_t trace_id = NewTraceId();
+  ASSERT_NE(trace_id, 0u);
+  uint64_t parent_id = 0;
+  {
+    TraceContextScope remote({trace_id, 0});
+    TraceSpan parent("test", "parent");
+    EXPECT_EQ(parent.trace_id(), trace_id);
+    parent_id = parent.span_id();
+    ASSERT_NE(parent_id, 0u);
+    TraceSpan child("test", "child");
+    EXPECT_EQ(child.trace_id(), trace_id);
+    EXPECT_NE(child.span_id(), parent_id);
+  }
+  EXPECT_EQ(CurrentTraceContext().trace_id, 0u);  // scope restored
+  StopTracing();
+
+  const TraceEvent* child_event = nullptr;
+  for (const TraceEvent& event : recorder.Events()) {
+    if (event.name == "child") child_event = &event;
+  }
+  ASSERT_NE(child_event, nullptr);
+  EXPECT_EQ(child_event->trace_id, trace_id);
+  EXPECT_EQ(child_event->parent_span_id, parent_id);
+}
+
+TEST(Trace, AssembleTraceDrawsFlowsAcrossProcessBoundaries) {
+  // Hand-built two-process dump: a router rpc span (pid 10) parents a
+  // shard query span (pid 20) in the same request tree.
+  ProcessTrace router;
+  router.pid = 10;
+  router.label = "router";
+  router.unix_origin_micros = 1000;
+  TraceEvent rpc;
+  rpc.name = "rpc.count";
+  rpc.category = "router";
+  rpc.phase = 'X';
+  rpc.ts_micros = 5;
+  rpc.dur_micros = 500;
+  rpc.tid = 1;
+  rpc.trace_id = 0xbeef;
+  rpc.span_id = 0x100;
+  router.events.push_back(rpc);
+
+  ProcessTrace shard;
+  shard.pid = 20;
+  shard.label = "shard0";
+  shard.unix_origin_micros = 1200;  // later-born process, rebased
+  TraceEvent query;
+  query.name = "query.count";
+  query.category = "service";
+  query.phase = 'X';
+  query.ts_micros = 50;
+  query.dur_micros = 300;
+  query.tid = 2;
+  query.trace_id = 0xbeef;
+  query.span_id = 0x200;
+  query.parent_span_id = 0x100;  // the router's rpc span
+  shard.events.push_back(query);
+
+  const std::string json = AssembleTrace({router, shard});
+  EXPECT_TRUE(testutil::JsonChecker(json).Valid()) << json;
+  // One process_name row per process.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"router\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard0\""), std::string::npos);
+  // The cross-process parent/child pair produced a flow arrow.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << json;
+
+  // Same-process parent/child draws no arrow: move the child into the
+  // router process and the flow events disappear.
+  ProcessTrace solo = router;
+  TraceEvent local_child = query;
+  solo.events.push_back(local_child);
+  const std::string solo_json = AssembleTrace({solo});
+  EXPECT_TRUE(testutil::JsonChecker(solo_json).Valid()) << solo_json;
+  EXPECT_EQ(solo_json.find("\"ph\":\"s\""), std::string::npos) << solo_json;
 }
 
 // ---------------------------------------------------------------------
@@ -449,6 +591,52 @@ TEST(SlowQueryLog, QueueWaitIsReportedSeparately) {
   ASSERT_TRUE(second_result.status.ok());
   EXPECT_GT(second_result.queue_seconds, 0.0);
   first.wait();
+}
+
+TEST(SlowQueryLog, SlowQueryLineCarriesTheRequestTraceTag) {
+  // A traced request's slow-query warning leads with [trace=<hex>] so
+  // log lines grep-correlate with the assembled trace tree. The tag
+  // rides the ambient context captured at Submit — no recorder needed.
+  Env* env = Env::Default();
+  GraphRegistry registry(env);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.slow_query_millis = 1;
+  QueryScheduler scheduler(&registry, options);
+  ASSERT_TRUE(
+      scheduler.LoadGraph("k5", MaterializeTriangleStore(env, "tag")).ok());
+
+  LogCapture capture;
+  SleepySink sink;
+  QuerySpec spec;
+  spec.graph = "k5";
+  spec.kind = QueryKind::kList;
+  spec.list_sink = &sink;
+  {
+    TraceContextScope scope({0xabc123, 0});
+    const QueryResult result = scheduler.Run(spec);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  }
+
+  bool found = false;
+  for (const auto& [level, line] : capture.lines()) {
+    if (line.find("slow query") == std::string::npos) continue;
+    found = true;
+    EXPECT_NE(line.find("[trace=0000000000abc123]"), std::string::npos)
+        << line;
+  }
+  EXPECT_TRUE(found);
+
+  // Untraced requests keep the old spelling — no empty [trace=] stub.
+  LogCapture untraced_capture;
+  SleepySink untraced_sink;
+  QuerySpec untraced = spec;
+  untraced.list_sink = &untraced_sink;
+  ASSERT_TRUE(scheduler.Run(untraced).status.ok());
+  for (const auto& [level, line] : untraced_capture.lines()) {
+    if (line.find("slow query") == std::string::npos) continue;
+    EXPECT_EQ(line.find("[trace="), std::string::npos) << line;
+  }
 }
 
 }  // namespace

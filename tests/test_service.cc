@@ -178,13 +178,201 @@ TEST(Wire, ProfileResultRoundTrip) {
 }
 
 TEST(Wire, TruncatedPayloadsAreCorruption) {
-  const std::string payload = EncodeQueryRequest({"g", 1, 2, 3});
+  QueryRequest request{"g", 1, 2, 3};
+  request.trace_id = 0x1111222233334444ull;
+  request.parent_span_id = 0x5555666677778888ull;
+  const std::string payload = EncodeQueryRequest(request);
+  // The last 16 bytes are the trace tail; a cut exactly at its start is
+  // a valid frame from a pre-tracing client (ids decode as zero). Every
+  // other cut is corruption.
+  const size_t tail_start = payload.size() - 16;
   for (size_t cut = 0; cut < payload.size(); ++cut) {
     QueryRequest decoded;
     const Status s =
         DecodeQueryRequest(payload.substr(0, cut), &decoded);
-    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "cut=" << cut;
+    if (cut == tail_start) {
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(decoded.graph, "g");
+      EXPECT_EQ(decoded.trace_id, 0u);
+      EXPECT_EQ(decoded.parent_span_id, 0u);
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kCorruption) << "cut=" << cut;
+    }
   }
+}
+
+TEST(Wire, RequestTraceTailsRoundTripAndOldFramesDecodeAsUntraced) {
+  // New encoder → new decoder: the ids survive.
+  QueryRequest query{"g", 8, 2, 1000};
+  query.trace_id = 0xabcdef0123456789ull;
+  query.parent_span_id = 0x42ull;
+  QueryRequest query_decoded;
+  ASSERT_TRUE(
+      DecodeQueryRequest(EncodeQueryRequest(query), &query_decoded).ok());
+  EXPECT_EQ(query_decoded.trace_id, query.trace_id);
+  EXPECT_EQ(query_decoded.parent_span_id, query.parent_span_id);
+
+  MutateRequest mutate;
+  mutate.graph = "g";
+  mutate.edges = {{1, 2}, {3, 4}};
+  mutate.trace_id = 7;
+  mutate.parent_span_id = 9;
+  MutateRequest mutate_decoded;
+  ASSERT_TRUE(
+      DecodeMutateRequest(EncodeMutateRequest(mutate), &mutate_decoded)
+          .ok());
+  EXPECT_EQ(mutate_decoded.edges, mutate.edges);
+  EXPECT_EQ(mutate_decoded.trace_id, 7u);
+  EXPECT_EQ(mutate_decoded.parent_span_id, 9u);
+
+  SubscribeCountRequest subscribe;
+  subscribe.graph = "g";
+  subscribe.after_epoch = 3;
+  subscribe.timeout_millis = 50;
+  subscribe.trace_id = 11;
+  subscribe.parent_span_id = 13;
+  SubscribeCountRequest subscribe_decoded;
+  ASSERT_TRUE(DecodeSubscribeCountRequest(
+                  EncodeSubscribeCountRequest(subscribe),
+                  &subscribe_decoded)
+                  .ok());
+  EXPECT_EQ(subscribe_decoded.after_epoch, 3u);
+  EXPECT_EQ(subscribe_decoded.trace_id, 11u);
+  EXPECT_EQ(subscribe_decoded.parent_span_id, 13u);
+
+  // Old frame → new decoder: chop the 16-byte tail off each encoding;
+  // decode succeeds with zeroed ids and intact fixed fields.
+  auto chop = [](std::string payload) {
+    payload.resize(payload.size() - 16);
+    return payload;
+  };
+  QueryRequest old_query;
+  ASSERT_TRUE(
+      DecodeQueryRequest(chop(EncodeQueryRequest(query)), &old_query).ok());
+  EXPECT_EQ(old_query.memory_pages, 8u);
+  EXPECT_EQ(old_query.trace_id, 0u);
+  EXPECT_EQ(old_query.parent_span_id, 0u);
+  MutateRequest old_mutate;
+  ASSERT_TRUE(
+      DecodeMutateRequest(chop(EncodeMutateRequest(mutate)), &old_mutate)
+          .ok());
+  EXPECT_EQ(old_mutate.edges, mutate.edges);
+  EXPECT_EQ(old_mutate.trace_id, 0u);
+  SubscribeCountRequest old_subscribe;
+  ASSERT_TRUE(DecodeSubscribeCountRequest(
+                  chop(EncodeSubscribeCountRequest(subscribe)),
+                  &old_subscribe)
+                  .ok());
+  EXPECT_EQ(old_subscribe.timeout_millis, 50u);
+  EXPECT_EQ(old_subscribe.trace_id, 0u);
+
+  // New frame → old decoder: a pre-tracing peer reads the fixed fields
+  // and must see no leftover bytes it would misparse as its own tail —
+  // the tail is strictly appended, so the fixed prefix is byte-identical.
+  QueryRequest untraced = query;
+  untraced.trace_id = 0;
+  untraced.parent_span_id = 0;
+  const std::string new_frame = EncodeQueryRequest(query);
+  const std::string old_frame = EncodeQueryRequest(untraced);
+  ASSERT_EQ(new_frame.size(), old_frame.size());
+  EXPECT_EQ(new_frame.substr(0, new_frame.size() - 16),
+            old_frame.substr(0, old_frame.size() - 16));
+}
+
+TEST(Wire, ErrorTraceIdTailRoundTripsAndToleratesOldFrames) {
+  // New encoder carries events + trace id; both decode.
+  std::vector<FlightEvent> events;
+  events.push_back({1000, FlightEventType::kIoRetry, 2, 1});
+  ErrorResult decoded;
+  ASSERT_TRUE(DecodeError(EncodeError(Status::Unavailable("degraded"),
+                                      events, 0xfeedface0000ull),
+                          &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.code, static_cast<uint32_t>(StatusCode::kUnavailable));
+  ASSERT_EQ(decoded.events.size(), 1u);
+  EXPECT_EQ(decoded.trace_id, 0xfeedface0000ull);
+
+  // Frame ending after events (pre-tracing server): trace_id zero.
+  std::string no_trace_tail =
+      EncodeError(Status::Unavailable("degraded"), events, 0x1234ull);
+  no_trace_tail.resize(no_trace_tail.size() - 8);
+  ErrorResult no_trace_decoded;
+  ASSERT_TRUE(DecodeError(no_trace_tail, &no_trace_decoded).ok());
+  ASSERT_EQ(no_trace_decoded.events.size(), 1u);
+  EXPECT_EQ(no_trace_decoded.trace_id, 0u);
+}
+
+TEST(Wire, TracePullRoundTrip) {
+  TracePullRequest request;
+  request.drain = 0;
+  TracePullRequest request_decoded;
+  ASSERT_TRUE(DecodeTracePullRequest(EncodeTracePullRequest(request),
+                                     &request_decoded)
+                  .ok());
+  EXPECT_EQ(request_decoded.drain, 0u);
+  // Old-style empty payload (or a future peer sending nothing) decodes
+  // as the drain default.
+  TracePullRequest empty_decoded;
+  ASSERT_TRUE(DecodeTracePullRequest("", &empty_decoded).ok());
+  EXPECT_EQ(empty_decoded.drain, 1u);
+
+  TracePullResult result;
+  ProcessTrace section;
+  section.pid = 4242;
+  section.label = "shard7";
+  section.unix_origin_micros = 1700000000000000ull;
+  section.dropped_spans = 3;
+  TraceEvent event;
+  event.name = "query.count";
+  event.category = "service";
+  event.phase = 'X';
+  event.ts_micros = 10;
+  event.dur_micros = 250;
+  event.tid = 2;
+  event.trace_id = 0x77;
+  event.span_id = 0x78;
+  event.parent_span_id = 0x79;
+  event.args_json = "\"graph\":\"g\"";
+  section.events.push_back(event);
+  result.processes.push_back(section);
+  TracePullResult result_decoded;
+  ASSERT_TRUE(DecodeTracePullResult(EncodeTracePullResult(result),
+                                    &result_decoded)
+                  .ok());
+  ASSERT_EQ(result_decoded.processes.size(), 1u);
+  const ProcessTrace& out = result_decoded.processes[0];
+  EXPECT_EQ(out.pid, 4242u);
+  EXPECT_EQ(out.label, "shard7");
+  EXPECT_EQ(out.unix_origin_micros, section.unix_origin_micros);
+  EXPECT_EQ(out.dropped_spans, 3u);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].name, "query.count");
+  EXPECT_EQ(out.events[0].phase, 'X');
+  EXPECT_EQ(out.events[0].dur_micros, 250u);
+  EXPECT_EQ(out.events[0].trace_id, 0x77u);
+  EXPECT_EQ(out.events[0].span_id, 0x78u);
+  EXPECT_EQ(out.events[0].parent_span_id, 0x79u);
+  EXPECT_EQ(out.events[0].args_json, "\"graph\":\"g\"");
+}
+
+TEST(Wire, TracePullResultRejectsHostileCounts) {
+  // A claimed process/event count far beyond the payload size must fail
+  // with Corruption instead of reserving gigabytes.
+  std::string hostile;
+  PutU32(&hostile, 0x7fffffff);  // processes
+  TracePullResult decoded;
+  EXPECT_EQ(DecodeTracePullResult(hostile, &decoded).code(),
+            StatusCode::kCorruption);
+
+  std::string hostile_events;
+  PutU32(&hostile_events, 1);  // one process
+  PutU64(&hostile_events, 1);  // pid
+  PutString(&hostile_events, "p");
+  PutU64(&hostile_events, 0);           // origin
+  PutU64(&hostile_events, 0);           // dropped
+  PutU32(&hostile_events, 0x7fffffff);  // events
+  EXPECT_EQ(DecodeTracePullResult(hostile_events, &decoded).code(),
+            StatusCode::kCorruption);
 }
 
 TEST(Wire, PayloadReaderRejectsShortStrings) {

@@ -46,6 +46,7 @@
 #include "storage/record_scanner.h"
 #include "util/cli.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 #include "test_helpers.h"
 
 namespace opt {
@@ -491,6 +492,94 @@ TEST(ShardService, FourProcessMergedCountAndListMatchSingleProcessTruth) {
   EXPECT_EQ(stats->shards.back().range_hi, g.num_vertices());
 }
 
+TEST(ShardService, TracedCountAssemblesOneTreeAcrossRouterAndShards) {
+  // The acceptance path for distributed tracing: a traced COUNT through
+  // a 4-shard router must yield ONE merged trace where the router's
+  // rpc.count spans parent each shard's query.count span under a single
+  // trace id, and AssembleTrace renders it as valid Perfetto JSON with
+  // cross-process flow arrows.
+  RmatOptions rmat;
+  rmat.scale = 8;
+  rmat.edge_factor = 8;
+  rmat.seed = 99;
+  const CSRGraph g = GenerateRmat(rmat);
+  const uint64_t truth = OracleCount(g);
+
+  RouterHarness harness(g, 4, "trace");
+  ASSERT_TRUE(harness.ready());
+
+  // This test process is the router process; give it its own recorder.
+  TraceRecorder recorder;
+  StartTracing(&recorder);
+
+  OptClient client;
+  ASSERT_TRUE(harness.Connect(&client).ok());
+  const uint64_t trace_id = NewTraceId();
+  ASSERT_NE(trace_id, 0u);
+  {
+    TraceContextScope scope({trace_id, 0});
+    auto count = client.Count("g");
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    EXPECT_EQ(count->triangles, truth);
+    EXPECT_EQ(count->partial_shards, 0u);
+  }
+
+  // One pull at the front door drains the whole fleet: the router's
+  // section plus one per shard child.
+  auto pulled = client.TracePull(/*drain=*/true);
+  StopTracing();
+  ASSERT_TRUE(pulled.ok()) << pulled.status().ToString();
+  ASSERT_GE(pulled->processes.size(), 5u);
+
+  const uint64_t router_pid = static_cast<uint64_t>(::getpid());
+  std::set<uint64_t> pids_in_trace;
+  std::set<uint64_t> rpc_span_ids;      // router-side per-shard spans
+  uint64_t router_span_id = 0;          // the request's root span
+  size_t shard_query_spans = 0;
+  size_t linked_shard_spans = 0;
+  for (const ProcessTrace& section : pulled->processes) {
+    for (const TraceEvent& event : section.events) {
+      if (event.trace_id != trace_id) continue;
+      pids_in_trace.insert(section.pid);
+      if (section.pid == router_pid) {
+        if (event.name == "router.count") router_span_id = event.span_id;
+        if (event.name == "rpc.count") rpc_span_ids.insert(event.span_id);
+      } else if (event.name == "query.count") {
+        ++shard_query_spans;
+        if (rpc_span_ids.count(event.parent_span_id)) {
+          ++linked_shard_spans;
+        }
+      }
+    }
+  }
+  // Spans from the router AND at least two distinct shard processes
+  // share the trace id (all four shards answered a complete COUNT).
+  EXPECT_GE(pids_in_trace.size(), 3u);
+  EXPECT_TRUE(pids_in_trace.count(router_pid));
+  ASSERT_NE(router_span_id, 0u);
+  ASSERT_EQ(rpc_span_ids.size(), 4u);
+  EXPECT_EQ(shard_query_spans, 4u);
+  // Every shard span's remote parent is one of the router's rpc spans.
+  EXPECT_EQ(linked_shard_spans, shard_query_spans);
+
+  const std::string json = AssembleTrace(pulled->processes);
+  EXPECT_TRUE(testutil::JsonChecker(json).Valid());
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  // Cross-process parent/child pairs become flow arrows ('s' → 'f').
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+
+  // The drain emptied every ring: a second pull has no spans from this
+  // trace (spans are reported exactly once).
+  auto again = client.TracePull(/*drain=*/true);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  for (const ProcessTrace& section : again->processes) {
+    for (const TraceEvent& event : section.events) {
+      EXPECT_NE(event.trace_id, trace_id) << event.name;
+    }
+  }
+}
+
 TEST(ShardService, MutationsRouteByEdgeOwnerAndRestoreOnUndo) {
   // Two K5 cliques; degree-balanced ranges split exactly between them,
   // so every edge's triangles are interior to its own shard and the
@@ -758,6 +847,10 @@ int RunShardServerChild(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", cl.status().ToString().c_str());
     return 2;
   }
+  // Default-on bounded tracing, like the real opt_server: router tests
+  // pull this ring over TRACE_PULL to assemble the fleet trace.
+  static TraceRecorder trace_recorder(1u << 14);
+  if (!cl->GetBool("no_trace", false)) StartTracing(&trace_recorder);
   Env* env = Env::Default();
   GraphRegistry registry(env, {});
   SchedulerOptions scheduler_options;

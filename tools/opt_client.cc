@@ -7,15 +7,23 @@
 //
 //   opt_client (--port N [--host 127.0.0.1] | --unix /path.sock) \
 //       --op count|list|stats|load|profile|add-edges|remove-edges| \
-//            subscribe|shard-stats \
+//            subscribe|shard-stats|trace \
 //       [--graph NAME] \
 //       [--pages N] [--threads N] [--deadline_ms N] \
 //       [--path /graph/base]     (load: store base path) \
-//       [--out FILE]             (list: write triangles as text) \
+//       [--out FILE]             (list: triangles as text;
+//                                 trace: Perfetto JSON, default
+//                                 trace.json) \
 //       [--edges "u-v,u-v,..."]  (add-edges / remove-edges) \
 //       [--after_epoch N] [--timeout_ms N]  (subscribe long-poll)
+//
+// --op trace runs one traced COUNT (fresh trace id, printed), pulls the
+// span rings from the server — against a router that means the router's
+// section plus every shard's — and writes the assembled
+// Perfetto-openable JSON to --out.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +33,7 @@
 #include "util/cli.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
+#include "util/trace.h"
 
 using namespace opt;
 
@@ -234,10 +243,19 @@ void PrintShardStats(const ShardStatsResult& stats) {
 /// print it so the failure explains itself at the terminal.
 void PrintErrorWithEvents(const Status& status, const OptClient& client) {
   std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  if (client.last_error_trace_id() != 0) {
+    std::fprintf(stderr, "trace: %016llx (grep server logs for "
+                 "[trace=...] lines)\n",
+                 static_cast<unsigned long long>(
+                     client.last_error_trace_id()));
+  }
   const std::vector<FlightEvent>& events = client.last_error_events();
   if (!events.empty()) {
     std::fprintf(stderr, "flight recorder (last %zu events):\n%s",
-                 events.size(), FlightRecorder::Render(events).c_str());
+                 events.size(),
+                 FlightRecorder::Render(events,
+                                        client.last_error_trace_id())
+                     .c_str());
   }
 }
 
@@ -262,7 +280,7 @@ int main(int argc, char** argv) {
   auto op = cl->GetChoice(
       "op",
       {"count", "list", "stats", "load", "profile", "add-edges",
-       "remove-edges", "subscribe", "shard-stats"},
+       "remove-edges", "subscribe", "shard-stats", "trace"},
       "count");
   if (!op.ok()) {
     std::fprintf(stderr, "%s\n", op.status().ToString().c_str());
@@ -400,6 +418,50 @@ int main(int argc, char** argv) {
     }
     PrintPartialShards(result->partial_shards, result->num_shards);
     return result->partial_shards != 0 ? 3 : 0;
+  }
+
+  if (*op == "trace") {
+    // One traced COUNT end to end: mint a fresh trace id, let the client
+    // attach it to the request, then drain every process's span ring
+    // through the server (a router adds one section per shard) and
+    // assemble the Perfetto JSON.
+    const uint64_t trace_id = NewTraceId();
+    {
+      TraceContextScope scope({trace_id, 0});
+      auto result = client.Count(graph, options);
+      if (!result.ok()) {
+        PrintErrorWithEvents(result.status(), client);
+        return 1;
+      }
+      std::printf("triangles: %llu\n",
+                  static_cast<unsigned long long>(result->triangles));
+      PrintPartialShards(result->partial_shards, result->num_shards);
+    }
+    auto pulled = client.TracePull(/*drain=*/true);
+    if (!pulled.ok()) {
+      std::fprintf(stderr, "trace pull failed: %s\n",
+                   pulled.status().ToString().c_str());
+      return 1;
+    }
+    size_t matching = 0;
+    for (const ProcessTrace& part : pulled->processes) {
+      for (const TraceEvent& event : part.events) {
+        if (event.trace_id == trace_id) ++matching;
+      }
+    }
+    const std::string out_path = cl->GetString("out", "trace.json");
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << AssembleTrace(pulled->processes);
+    std::printf("trace: %016llx\n",
+                static_cast<unsigned long long>(trace_id));
+    std::printf("%s: %zu process(es), %zu span(s) in this trace — open "
+                "in https://ui.perfetto.dev\n",
+                out_path.c_str(), pulled->processes.size(), matching);
+    return pulled->processes.empty() ? 1 : 0;
   }
 
   if (*op == "shard-stats") {

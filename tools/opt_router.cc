@@ -9,6 +9,7 @@
 //       (--spawn /path/to/opt_server | --attach host:port,host:port,...) \
 //       [--port N] [--workers N] [--shard_deadline_ms N] \
 //       [--retry_attempts N] [--no_restart] \
+//       [--metrics-port N] [--trace-out /path.json] [--no_trace] \
 //       [--shard_arg FLAG ...]   (extra flags for spawned shards)
 //
 // --spawn forks one opt_server per shard (ephemeral ports, supervised
@@ -17,19 +18,35 @@
 // arguments are passed through to every spawned shard (e.g. --no_cache
 // after a bare `--`). --port 0 binds an ephemeral port, printed as
 // "listening on 127.0.0.1:<port>" exactly like opt_server so the same
-// scripts drive both. Runs until SIGINT/SIGTERM.
+// scripts drive both.
+//
+// --metrics-port serves Prometheus exposition on
+// http://127.0.0.1:N/metrics: the router's own registry + windowed
+// rates, per-shard up{shard=...} health gauges, and fleet_*-prefixed
+// count-weight-merged histograms pulled live from every shard.
+// Tracing defaults on (bounded 16Ki ring; --no_trace disables) so
+// TRACE_PULL can assemble the router's spans with every shard's.
+// --trace-out writes the MERGED fleet trace (router + all shards,
+// pulled at shutdown) as Perfetto-openable JSON.
+// Runs until SIGINT/SIGTERM.
 #include <signal.h>
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics_http.h"
+#include "service/client.h"
 #include "shard/router.h"
 #include "shard/shard_plan.h"
 #include "shard/shard_set.h"
 #include "util/cli.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 using namespace opt;
 
@@ -128,6 +145,12 @@ int main(int argc, char** argv) {
                  manifest->shards[i].range_hi);
   }
 
+  // Bounded ring, on by default: the fleet trace is assembled from this
+  // recorder plus every shard's via TRACE_PULL.
+  const bool tracing = !cl->GetBool("no_trace", false);
+  TraceRecorder trace_recorder(1u << 14);
+  if (tracing) StartTracing(&trace_recorder);
+
   RouterOptions router_options;
   router_options.workers =
       static_cast<uint32_t>(cl->GetInt("workers", 8));
@@ -146,6 +169,35 @@ int main(int argc, char** argv) {
   std::printf("listening on 127.0.0.1:%u\n", router.bound_port());
   std::fflush(stdout);
 
+  // --metrics-port: router registry + windowed rates + the fleet view
+  // (per-shard up gauges, fleet_* merged histograms pulled per scrape).
+  std::unique_ptr<MetricsWindow> window;
+  std::unique_ptr<MetricsHttpServer> metrics_http;
+  if (cl->Has("metrics-port")) {
+    window = std::make_unique<MetricsWindow>(&Metrics());
+    window->Start(1000);
+    MetricsWindow* window_ptr = window.get();
+    QueryRouter* router_ptr = &router;
+    metrics_http =
+        std::make_unique<MetricsHttpServer>([window_ptr, router_ptr] {
+          return Metrics().ExposePrometheus() +
+                 window_ptr->ExposePrometheus() +
+                 router_ptr->FleetPrometheus();
+        });
+    const Status metrics_status = metrics_http->Start(
+        static_cast<uint16_t>(cl->GetInt("metrics-port", 0)));
+    if (!metrics_status.ok()) {
+      std::fprintf(stderr, "metrics endpoint: %s\n",
+                   metrics_status.ToString().c_str());
+      router.Stop();
+      shards.Stop();
+      return 1;
+    }
+    std::printf("metrics on http://127.0.0.1:%u/metrics\n",
+                metrics_http->port());
+    std::fflush(stdout);
+  }
+
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));
   action.sa_handler = HandleSignal;
@@ -156,7 +208,38 @@ int main(int argc, char** argv) {
   while (!g_stop) sigsuspend(&empty);
 
   std::fprintf(stderr, "shutting down\n");
+  int rc = 0;
+  const std::string trace_path = cl->GetString("trace-out");
+  if (tracing && !trace_path.empty()) {
+    // Pull the merged fleet trace through the router's own wire op
+    // (router section + one per live shard) while everything is still
+    // up, then assemble one Perfetto JSON.
+    OptClient self;
+    Status pull_status = self.ConnectTcp("127.0.0.1", router.bound_port());
+    if (pull_status.ok()) {
+      auto pulled = self.TracePull(/*drain=*/true);
+      pull_status = pulled.status();
+      if (pulled.ok()) {
+        std::ofstream out(trace_path, std::ios::trunc);
+        if (out) {
+          out << AssembleTrace(pulled->processes);
+          std::fprintf(stderr, "fleet trace written to %s (%zu processes)\n",
+                       trace_path.c_str(), pulled->processes.size());
+        } else {
+          pull_status = Status::IOError("cannot open " + trace_path);
+        }
+      }
+    }
+    if (!pull_status.ok()) {
+      std::fprintf(stderr, "fleet trace pull failed: %s\n",
+                   pull_status.ToString().c_str());
+      rc = 1;
+    }
+  }
+  if (metrics_http) metrics_http->Stop();
+  if (window) window->Stop();
   router.Stop();
   shards.Stop();
-  return 0;
+  if (tracing) StopTracing();
+  return rc;
 }

@@ -11,7 +11,8 @@
 //       [--no_cache] [--no_load_graph] [--no_mutations]
 //       [--approx_reservoir N] [--slow_query_ms N]
 //       [--fault-plan SPEC]
-//       [--metrics-dump-interval SECONDS] [--trace-out /path.json]
+//       [--metrics-dump-interval SECONDS] [--metrics-port N]
+//       [--trace-out /path.json] [--no_trace]
 //       [--profile-out /path.jsonl]
 //
 // --port 0 binds an ephemeral port (printed on stdout, for scripts).
@@ -19,10 +20,16 @@
 // for reproducible chaos runs, e.g.
 // --fault-plan "seed=42,read_error_p=0.02,transient=1,path_filter=.pages".
 // --metrics-dump-interval logs the metrics registry every N seconds.
+// --metrics-port serves the Prometheus exposition text on
+// http://127.0.0.1:N/metrics (0 = ephemeral, printed on stdout):
+// registry counters/gauges/histogram summaries, windowed per-second
+// rates, and per-graph gauges labelled by (escaped) graph name.
 // --profile-out appends one JSON line per PROFILE query (overlap
 // fractions + cost-model fit) for offline analysis.
-// --trace-out records Chrome trace_event JSON (open in Perfetto) for
-// the whole server lifetime and writes it at shutdown.
+// Tracing is on by default into a bounded in-memory ring (16Ki events,
+// oldest overwritten) so TRACE_PULL always has the recent window;
+// --no_trace turns it off. --trace-out additionally writes the whole
+// lifetime as Chrome trace_event JSON (open in Perfetto) at shutdown.
 // Runs until SIGINT/SIGTERM. Honors OPT_LOG_LEVEL (debug|info|warn|error).
 #include <signal.h>
 
@@ -33,9 +40,11 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 
+#include "obs/metrics_http.h"
 #include "service/graph_registry.h"
 #include "service/query_scheduler.h"
 #include "storage/fault_env.h"
@@ -180,6 +189,49 @@ int RunServer(const CommandLine& cl) {
         std::chrono::seconds(dump_interval));
   }
 
+  // --metrics-port: Prometheus scrape endpoint. The window sampler turns
+  // monotonic counters into per-second rates (qps, pages/s) over its
+  // ring of snapshots; per-graph gauges carry the graph name as an
+  // escaped label so names like "g.rmat-20" survive the exposition
+  // grammar.
+  std::unique_ptr<MetricsWindow> window;
+  std::unique_ptr<MetricsHttpServer> metrics_http;
+  if (cl.Has("metrics-port")) {
+    window = std::make_unique<MetricsWindow>(&Metrics());
+    window->Start(1000);
+    MetricsWindow* window_ptr = window.get();
+    GraphRegistry* registry_ptr = &registry;
+    metrics_http = std::make_unique<MetricsHttpServer>(
+        [window_ptr, registry_ptr] {
+          std::string body = Metrics().ExposePrometheus();
+          body += window_ptr->ExposePrometheus();
+          std::ostringstream graphs;
+          graphs << "# TYPE opt_graph_pages gauge\n"
+                 << "# TYPE opt_graph_directed_edges gauge\n"
+                 << "# TYPE opt_graph_epoch gauge\n";
+          for (const GraphRegistry::GraphInfo& info :
+               registry_ptr->List()) {
+            const std::string label =
+                "{graph=\"" + EscapeLabelValue(info.name) + "\"} ";
+            graphs << "opt_graph_pages" << label << info.num_pages << '\n'
+                   << "opt_graph_directed_edges" << label
+                   << info.num_directed_edges << '\n'
+                   << "opt_graph_epoch" << label << info.epoch << '\n';
+          }
+          return body + graphs.str();
+        });
+    const Status metrics_status = metrics_http->Start(
+        static_cast<uint16_t>(cl.GetInt("metrics-port", 0)));
+    if (!metrics_status.ok()) {
+      std::fprintf(stderr, "metrics endpoint: %s\n",
+                   metrics_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics on http://127.0.0.1:%u/metrics\n",
+                metrics_http->port());
+    std::fflush(stdout);
+  }
+
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));
   action.sa_handler = HandleSignal;
@@ -214,15 +266,22 @@ int main(int argc, char** argv) {
   }
 
   const std::string trace_path = cl->GetString("trace-out");
-  TraceRecorder trace_recorder;
-  if (!trace_path.empty()) StartTracing(&trace_recorder);
+  // Tracing defaults on so TRACE_PULL (and the router's fleet-trace
+  // assembly) always has a recent window; the ring bounds memory. A full
+  // lifetime dump (--trace-out) gets a deeper ring.
+  const bool tracing = !cl->GetBool("no_trace", false);
+  TraceRecorder trace_recorder(trace_path.empty() ? (1u << 14)
+                                                  : (1u << 20));
+  if (tracing) StartTracing(&trace_recorder);
 
   const int rc = RunServer(*cl);
 
-  if (!trace_path.empty()) {
+  if (tracing) {
     // RunServer has joined every worker and connection thread, so no
     // span can still be open against the recorder.
     StopTracing();
+  }
+  if (tracing && !trace_path.empty()) {
     if (Status s = trace_recorder.WriteJson(trace_path); !s.ok()) {
       std::fprintf(stderr, "trace write failed: %s\n",
                    s.ToString().c_str());
