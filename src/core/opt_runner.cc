@@ -32,6 +32,26 @@ struct RunCounters {
       Metrics().GetCounter("opt.external.pages_read");
   Counter* external_cache_hits =
       Metrics().GetCounter("opt.external.cache_hits");
+  /// Per-kernel intersection activity (opt.intersect.<kernel>.calls /
+  /// .elements — the bitmap.* counters of the hub path live here too).
+  Counter* intersect_calls[kNumIntersectKernels];
+  Counter* intersect_elements[kNumIntersectKernels];
+  /// Hub routing: bitmaps materialized, and the last run's footprint.
+  Counter* hub_bitmaps_built = Metrics().GetCounter("opt.hub.bitmaps_built");
+  Gauge* hub_bitmap_peak_bytes =
+      Metrics().GetGauge("opt.hub.bitmap_peak_bytes");
+  Gauge* hub_degree_threshold =
+      Metrics().GetGauge("opt.hub.degree_threshold");
+
+  RunCounters() {
+    for (int k = 0; k < kNumIntersectKernels; ++k) {
+      const std::string base =
+          std::string("opt.intersect.") +
+          IntersectKernelName(static_cast<IntersectKernel>(k));
+      intersect_calls[k] = Metrics().GetCounter(base + ".calls");
+      intersect_elements[k] = Metrics().GetCounter(base + ".elements");
+    }
+  }
 };
 
 RunCounters& GlobalRunCounters() {
@@ -47,6 +67,17 @@ void PublishRunStats(const OptRunStats& stats) {
   counters.internal_cache_hits->Increment(stats.internal_cache_hits);
   counters.external_pages_read->Increment(stats.external_pages_read);
   counters.external_cache_hits->Increment(stats.external_cache_hits);
+  for (int k = 0; k < kNumIntersectKernels; ++k) {
+    counters.intersect_calls[k]->Increment(stats.intersect.calls[k]);
+    counters.intersect_elements[k]->Increment(stats.intersect.elements[k]);
+  }
+  if (stats.hub_bitmaps_built > 0) {
+    counters.hub_bitmaps_built->Increment(stats.hub_bitmaps_built);
+    counters.hub_bitmap_peak_bytes->Set(
+        static_cast<int64_t>(stats.hub_bitmap_peak_bytes));
+    counters.hub_degree_threshold->Set(
+        static_cast<int64_t>(stats.hub_degree_threshold));
+  }
 }
 
 /// One external read unit: a run of consecutive pages covering every
@@ -81,6 +112,12 @@ struct RunContext {
   std::vector<Frame*> internal_frames;
   std::vector<const char*> internal_page_data;
   PageRangeView internal_view;
+
+  // Hub routing (bitmap kernels): rebuilt from the internal view at the
+  // end of phase B, read-only while phase C workers run, so no
+  // synchronization is needed beyond the thread spawn/join edges.
+  bool hub_routing = false;
+  HubBitmapIndex hub_index;
 
   std::mutex candidate_mutex;
   std::vector<VertexId> candidates;
@@ -173,6 +210,7 @@ void CollectCandidatesFromPage(RunContext* ctx, const char* data) {
 void ProcessInternalPage(RunContext* ctx, uint32_t page_index,
                          ModelScratch* scratch) {
   Stopwatch watch;
+  HubRoutingScope hub_scope(ctx->hub_routing ? &ctx->hub_index : nullptr);
   OverlapProfiler::SetWork(/*internal_work=*/true);
   if (!ctx->CheckCancel()) {
     PageView page(ctx->internal_page_data[page_index],
@@ -238,6 +276,7 @@ void PumpExternal(RunContext* ctx) {
 void ProcessChunk(RunContext* ctx, Chunk chunk,
                   std::vector<Frame*> frames) {
   Stopwatch watch;
+  HubRoutingScope hub_scope(ctx->hub_routing ? &ctx->hub_index : nullptr);
   TraceSpan chunk_span(
       "opt", "external.chunk",
       CurrentTraceRecorder() != nullptr
@@ -546,6 +585,25 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
   ctx.flight = options_.flight;
 
   OptRunStats run_stats;
+  // Hub routing applies only under a bitmap kernel. Resolve the split
+  // against the store's full-degree histogram once per run; per-hub
+  // bitmaps are then materialized each iteration from the internal area.
+  if (IsBitmapKernel(ActiveIntersectKernel())) {
+    const HubSplitSpec split = options_.hub_split.has_value()
+                                   ? *options_.hub_split
+                                   : DefaultHubSplit();
+    if (split.mode != HubSplitSpec::Mode::kOff) {
+      OPT_ASSIGN_OR_RETURN(const std::vector<uint32_t> degrees,
+                           store_->ComputeDegrees());
+      const uint32_t threshold = ResolveHubDegreeThreshold(
+          split, degrees, store_->num_vertices());
+      if (threshold != kNoHubThreshold) {
+        ctx.hub_index.Reset(store_->num_vertices(), threshold);
+        ctx.hub_routing = true;
+        run_stats.hub_degree_threshold = threshold;
+      }
+    }
+  }
   const VertexId n = store_->num_vertices();
   VertexId v_start = 0;
   while (v_start < n && !ctx.CheckCancel()) {
@@ -659,6 +717,22 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
       ctx.RecordError(view_status);
       for (Frame* f : ctx.internal_frames) pool->Unpin(f);
       break;
+    }
+
+    // Materialize this iteration's hub bitmaps from the internal view —
+    // after the view is built, before any phase C thread spawns, so the
+    // index is immutable while workers read it through HubRoutingScope.
+    if (ctx.hub_routing) {
+      ctx.hub_index.Clear();
+      for (VertexId v = ctx.plan.v_lo; v <= ctx.plan.v_hi; ++v) {
+        if (ctx.internal_view.HasFull(v)) {
+          ctx.hub_index.Add(v, ctx.internal_view.Get(v).all);
+        }
+      }
+      run_stats.hub_bitmaps_built += ctx.hub_index.num_hubs();
+      run_stats.hub_bitmap_peak_bytes = std::max(
+          run_stats.hub_bitmap_peak_bytes,
+          static_cast<uint64_t>(ctx.hub_index.memory_bytes()));
     }
 
     std::sort(ctx.candidates.begin(), ctx.candidates.end());

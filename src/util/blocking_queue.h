@@ -17,11 +17,13 @@ class BlockingQueue {
  public:
   /// Enqueues an item. Returns false if the queue has been closed.
   bool Push(T item) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_) return false;
-      items_.push_back(std::move(item));
-    }
+    // Notify while still holding the lock: a consumer woken by this
+    // push may be the queue's last user and destroy it immediately
+    // after popping, and it cannot return from Pop*/wait until this
+    // thread has left the condition variable and released the mutex.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
     cv_.notify_one();
     return true;
   }
@@ -61,10 +63,9 @@ class BlockingQueue {
   /// Closes the queue: Push() fails afterwards, and Pop() returns nullopt
   /// once remaining items drain.
   void Close() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
+    // Under the lock for the same lifetime reason as Push.
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
     cv_.notify_all();
   }
 

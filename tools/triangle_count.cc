@@ -3,12 +3,15 @@
 //
 //   triangle_count --store /path/base [--method OPT|OPT_serial|MGT|
 //       CC-Seq|CC-DS|GraphChi-Tri|ideal] [--buffer_percent 15]
-//       [--threads N] [--list FILE] [--kernel scalar|sse|avx2|auto]
+//       [--threads N] [--list FILE]
+//       [--kernel scalar|sse|avx2|bitmap|bitmap_scalar|auto]
+//       [--hub_split off|auto|pNN|<degree>]
 #include <cstdio>
 #include <optional>
 #include <string>
 
 #include "core/iterator_model.h"
+#include "graph/hub_bitmap.h"
 #include "graph/intersect.h"
 #include "core/opt_runner.h"
 #include "core/triangle_sink.h"
@@ -42,8 +45,9 @@ int main(int argc, char** argv) {
 
   std::optional<IntersectKernel> kernel;
   if (cl->Has("kernel")) {
-    auto choice =
-        cl->GetChoice("kernel", {"scalar", "sse", "avx2", "auto"}, "auto");
+    auto choice = cl->GetChoice(
+        "kernel", {"scalar", "sse", "avx2", "bitmap", "bitmap_scalar", "auto"},
+        "auto");
     if (!choice.ok()) {
       std::fprintf(stderr, "%s\n", choice.status().ToString().c_str());
       return 2;
@@ -54,9 +58,20 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  std::optional<HubSplitSpec> hub_split;
+  if (cl->Has("hub_split")) {
+    auto split = HubSplitSpec::Parse(cl->GetString("hub_split", "auto"));
+    if (!split.ok()) {
+      std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+      return 2;
+    }
+    hub_split = *split;
+    SetDefaultHubSplit(*split);
+  }
 
   MethodConfig config;
   config.kernel = kernel;
+  config.hub_split = hub_split;
   config.memory_pages = PagesForBufferPercent(
       **store, cl->GetDouble("buffer_percent", 15.0));
   config.num_threads = static_cast<uint32_t>(cl->GetInt("threads", 2));
@@ -70,6 +85,7 @@ int main(int argc, char** argv) {
     options.m_ex = std::max(1u, config.memory_pages / 2);
     options.num_threads = config.num_threads;
     options.kernel = kernel;
+    options.hub_split = hub_split;
     EdgeIteratorModel model;
     OptRunner runner(store->get(), &model, options);
     ListingSink listing(Env::Default(), list_path);
@@ -105,6 +121,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result->intersect.TotalCalls()),
               static_cast<unsigned long long>(
                   result->intersect.TotalElements()));
+  if (result->hub_bitmaps_built > 0) {
+    std::printf("hub split: degree >= %u (%llu bitmaps built)\n",
+                result->hub_degree_threshold,
+                static_cast<unsigned long long>(result->hub_bitmaps_built));
+  }
   std::printf("triangles: %llu\n",
               static_cast<unsigned long long>(result->triangles));
   std::printf("elapsed:   %.3f s\n", result->seconds);
