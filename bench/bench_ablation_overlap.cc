@@ -60,34 +60,31 @@ Result<RunMetrics> RunOnce(GraphStore* store, const RunConfig& config) {
   return metrics;
 }
 
-/// One profiled configuration as a JSON object (no trailing newline).
-std::string OverlapJson(const char* config, const RunMetrics& off,
-                        const RunMetrics& on) {
+/// One profiled configuration as a unified-schema row (bench_common.h).
+bench::JsonObject OverlapRow(const char* config, const RunMetrics& off,
+                             const RunMetrics& on) {
   const OverlapReport& r = on.stats.overlap;
   const double overhead =
       off.seconds > 0 ? (on.seconds - off.seconds) / off.seconds : 0.0;
-  char buf[1024];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"config\":\"%s\",\"seconds\":%.6f,\"seconds_unprofiled\":%.6f,"
-      "\"profiler_overhead_frac\":%.6f,\"samples\":%llu,"
-      "\"micro_overlap\":%.4f,\"macro_overlap\":%.4f,"
-      "\"stalled_samples\":%llu,\"morph_events\":%llu,"
-      "\"cost_c_seconds_per_page\":%.8g,\"delta_in_pages\":%llu,"
-      "\"delta_ex_pages\":%llu,\"cost_ideal_seconds\":%.6f,"
-      "\"cost_predicted_seconds\":%.6f,\"cost_measured_seconds\":%.6f,"
-      "\"cost_residual_seconds\":%.6f}",
-      config, on.seconds, off.seconds, overhead,
-      static_cast<unsigned long long>(r.samples),
-      r.MicroOverlapFraction(), r.MacroOverlapFraction(),
-      static_cast<unsigned long long>(r.stalled_samples),
-      static_cast<unsigned long long>(r.morph_events),
-      r.cost.c_seconds_per_page,
-      static_cast<unsigned long long>(r.cost.delta_in_pages),
-      static_cast<unsigned long long>(r.cost.delta_ex_pages),
-      r.cost.ideal_seconds, r.cost.predicted_seconds,
-      r.cost.measured_seconds, r.cost.residual_seconds);
-  return buf;
+  bench::JsonObject row;
+  row.Add("config", config)
+      .Add("seconds", on.seconds)
+      .Add("seconds_unprofiled", off.seconds)
+      .Add("profiler_overhead_frac", overhead)
+      .Add("samples", r.samples)
+      .Add("micro_overlap", r.MicroOverlapFraction(), 4)
+      .Add("macro_overlap", r.MacroOverlapFraction(), 4)
+      .Add("stalled_samples", r.stalled_samples)
+      .Add("morph_events", r.morph_events)
+      .Add("cost_c_seconds_per_page", r.cost.c_seconds_per_page, 8)
+      .Add("delta_in_pages", r.cost.delta_in_pages)
+      .Add("delta_ex_pages", r.cost.delta_ex_pages)
+      .Add("cost_ideal_seconds", r.cost.ideal_seconds)
+      .Add("cost_predicted_seconds", r.cost.predicted_seconds)
+      .Add("cost_measured_seconds", r.cost.measured_seconds)
+      .Add("cost_residual_seconds", r.cost.residual_seconds);
+  bench::AddPerfColumns(&row, on.stats.PerfTotal());
+  return row;
 }
 
 }  // namespace
@@ -181,7 +178,7 @@ int main(int argc, char** argv) {
   };
   TablePrinter overlap_table({"config", "elapsed (s)", "micro %", "macro %",
                               "morphs", "residual (s)", "overhead %"});
-  std::vector<std::string> json_lines;
+  bench::BenchReport report_out("ablation_overlap");
   for (const NamedConfig& named : profiled) {
     RunConfig config;
     config.m_in = budget / 2;
@@ -221,7 +218,7 @@ int main(int argc, char** argv) {
                  ? 100.0 * (on->seconds - off->seconds) / off->seconds
                  : 0.0,
              1)});
-    json_lines.push_back(OverlapJson(named.name, *off, *on));
+    report_out.AddRow(OverlapRow(named.name, *off, *on));
   }
   overlap_table.Print();
   std::printf("Expected: micro overlap well above zero in both configs, "
@@ -232,19 +229,8 @@ int main(int argc, char** argv) {
               "overlap machinery beating the serial model — the win the "
               "paper claims — and a residual near zero means no "
               "overlap happened.\n");
-  std::printf("\nJSON:\n");
-  for (const std::string& line : json_lines) {
-    std::printf("%s\n", line.c_str());
-  }
-  // --json_out: the same objects as a JSON array, for CI artifacts.
-  auto cl = CommandLine::Parse(argc, argv);
-  if (cl.ok() && cl->Has("json_out")) {
-    std::ofstream out(cl->GetString("json_out"));
-    out << "[\n";
-    for (size_t i = 0; i < json_lines.size(); ++i) {
-      out << "  " << json_lines[i] << (i + 1 < json_lines.size() ? ",\n" : "\n");
-    }
-    out << "]\n";
-  }
-  return 0;
+  std::printf("\nJSON:\n%s", report_out.Render().c_str());
+  // --json_out: the unified envelope (schema_version + host + PMU
+  // columns), the format tools/bench_check gates on.
+  return report_out.MaybeWrite(ctx) ? 0 : 1;
 }

@@ -91,5 +91,23 @@ int main(int argc, char** argv) {
               "OPT_serial on 2 cores; without morphing only ~1.1-1.3x.\n"
               "(On a single-core CI machine the CPU-side gain collapses; "
               "the I/O-overlap gain remains.)\n");
-  return 0;
+
+  bench::BenchReport report_out("fig4_morphing");
+  const struct {
+    const char* config;
+    const OptRunStats* stats;
+  } json_rows[] = {{"opt_serial", &*serial},
+                   {"opt_no_morph", &*no_morph},
+                   {"opt_morph", &*with_morph}};
+  for (const auto& jr : json_rows) {
+    bench::JsonObject row;
+    row.Add("config", jr.config)
+        .Add("seconds", jr.stats->elapsed_seconds)
+        .Add("speedup_vs_serial", base / jr.stats->elapsed_seconds, 3)
+        .Add("morph_events", jr.stats->overlap.morph_events);
+    bench::AddPerfColumns(&row, jr.stats->PerfTotal());
+    report_out.AddRow(row);
+  }
+  std::printf("\nJSON:\n%s", report_out.Render().c_str());
+  return report_out.MaybeWrite(ctx) ? 0 : 1;
 }

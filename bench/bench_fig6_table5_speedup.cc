@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
                 "the Amdahl upper bound");
 
   auto specs = PaperDatasets(ctx.scale_shift);
+  bench::BenchReport report_out("fig6_table5_speedup");
   for (size_t d : {2u, 3u}) {  // TWITTER, UK (the figure's datasets)
     auto store = MaterializeDataset(specs[d], ctx.get_env(), ctx.work_dir,
                                     bench::kPageSize);
@@ -53,6 +54,17 @@ int main(int argc, char** argv) {
                     bench::Secs(chi->seconds),
                     TablePrinter::Fmt(chi_base / chi->seconds, 2),
                     TablePrinter::Fmt(AmdahlUpperBound(chi_p, threads), 2)});
+      for (const MethodResult* run : {&*opt, &*chi}) {
+        const bool is_opt = run == &*opt;
+        bench::JsonObject row;
+        row.Add("config", specs[d].name + "/" + run->method + "/t" +
+                              std::to_string(threads))
+            .Add("seconds", run->seconds)
+            .Add("speedup", (is_opt ? opt_base : chi_base) / run->seconds, 3)
+            .Add("amdahl_ub",
+                 AmdahlUpperBound(is_opt ? opt_p : chi_p, threads), 3);
+        report_out.AddRow(std::move(row));
+      }
     }
     table.Print();
     std::printf("measured parallel fraction p: OPT=%.3f GraphChi=%.3f\n",
@@ -94,6 +106,13 @@ int main(int argc, char** argv) {
                         "speedup vs merge", "bitmap calls"});
     table.AddRow({"merge", "-", "-", bench::Secs(baseline->seconds),
                   TablePrinter::Fmt(1.0, 2), "0"});
+    {
+      bench::JsonObject row;
+      row.Add("config", "hub_sweep/merge")
+          .Add("seconds", baseline->seconds)
+          .Add("speedup_vs_merge", 1.0, 3);
+      report_out.AddRow(std::move(row));
+    }
     for (const char* split_text : {"off", "p90", "p99", "auto", "0"}) {
       MethodConfig sweep = config;
       sweep.kernel = bitmap_kernel;
@@ -132,9 +151,19 @@ int main(int argc, char** argv) {
            TablePrinter::Fmt(bitmap_calls)});
       bench::PrintKernelCounters(split_text, result->intersect,
                                  result->seconds);
+      bench::JsonObject row;
+      row.Add("config", std::string("hub_sweep/") + split_text)
+          .Add("seconds", result->seconds)
+          .Add("speedup_vs_merge", baseline->seconds / result->seconds, 3)
+          .Add("bitmap_calls", bitmap_calls)
+          .Add("hub_bitmaps_built", result->hub_bitmaps_built)
+          .Add("hub_degree_threshold",
+               uint64_t{result->hub_degree_threshold});
+      report_out.AddRow(std::move(row));
     }
     table.Print();
     std::printf("Counts verified equal across every split point.\n");
   }
-  return 0;
+  std::printf("\nJSON:\n%s", report_out.Render().c_str());
+  return report_out.MaybeWrite(ctx) ? 0 : 1;
 }

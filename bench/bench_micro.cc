@@ -15,6 +15,7 @@
 #include "gen/rmat.h"
 #include "graph/hub_bitmap.h"
 #include "graph/intersect.h"
+#include "obs/perf_counters.h"
 #include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
@@ -39,15 +40,40 @@ std::vector<VertexId> MakeSorted(size_t n, uint64_t seed) {
 /// Sets elements/sec and bytes/sec on `state` from the per-kernel
 /// dispatch counters (not wall-clock math), so `--benchmark_format=json`
 /// output (BENCH_*.json) carries directly comparable kernel throughput.
+/// The PMU delta adds the per-element hardware view (cycles, LLC misses)
+/// that distinguishes a memory-bound merge from a cache-resident bitmap
+/// probe — columns appear only when the backend delivers the event, so
+/// a missing llc_miss_per_elem means "no PMU", not "no misses".
 void ReportFromCounters(benchmark::State& state,
-                        const IntersectCounters& before) {
+                        const IntersectCounters& before,
+                        const PerfReading& perf_before) {
   const IntersectCounters delta =
       IntersectCounters::Delta(SnapshotIntersectCounters(), before);
+  const PerfReading perf =
+      PerfReading::Delta(ReadThreadPerfCounters(), perf_before);
   state.SetItemsProcessed(static_cast<int64_t>(delta.TotalElements()));
   state.SetBytesProcessed(
       static_cast<int64_t>(delta.TotalElements() * sizeof(VertexId)));
   state.counters["intersect_calls"] = benchmark::Counter(
       static_cast<double>(delta.TotalCalls()), benchmark::Counter::kIsRate);
+  const double elems = static_cast<double>(delta.TotalElements());
+  if (perf.task_clock_ns > 0) {
+    state.counters["task_clock_ms"] =
+        benchmark::Counter(static_cast<double>(perf.task_clock_ns) * 1e-6);
+  }
+  if (perf.cycles > 0 && elems > 0) {
+    state.counters["cycles_per_elem"] =
+        benchmark::Counter(static_cast<double>(perf.cycles) / elems);
+    state.counters["ipc"] = benchmark::Counter(perf.Ipc());
+  }
+  if (perf.llc_loads > 0 && elems > 0) {
+    state.counters["llc_miss_per_elem"] =
+        benchmark::Counter(static_cast<double>(perf.llc_misses) / elems);
+    state.counters["llc_miss_rate"] = benchmark::Counter(perf.LlcMissRate());
+  }
+  if (perf.time_enabled_ns > 0) {
+    state.counters["perf_mux"] = benchmark::Counter(perf.MultiplexRatio());
+  }
 }
 
 void BM_IntersectMergeKernel(benchmark::State& state, IntersectKernel kernel,
@@ -55,10 +81,11 @@ void BM_IntersectMergeKernel(benchmark::State& state, IntersectKernel kernel,
   auto a = MakeSorted(len_a, 1);
   auto b = MakeSorted(len_b, 2);
   const IntersectCounters before = SnapshotIntersectCounters();
+  const PerfReading perf_before = ReadThreadPerfCounters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(IntersectCountMergeWith(kernel, a, b));
   }
-  ReportFromCounters(state, before);
+  ReportFromCounters(state, before, perf_before);
 }
 
 void BM_IntersectGallopingKernel(benchmark::State& state,
@@ -67,20 +94,22 @@ void BM_IntersectGallopingKernel(benchmark::State& state,
   auto a = MakeSorted(len_a, 1);
   auto b = MakeSorted(len_b, 2);
   const IntersectCounters before = SnapshotIntersectCounters();
+  const PerfReading perf_before = ReadThreadPerfCounters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(IntersectCountGallopingWith(kernel, a, b));
   }
-  ReportFromCounters(state, before);
+  ReportFromCounters(state, before, perf_before);
 }
 
 void BM_IntersectHash(benchmark::State& state) {
   auto a = MakeSorted(static_cast<size_t>(state.range(0)), 1);
   auto b = MakeSorted(static_cast<size_t>(state.range(1)), 2);
   const IntersectCounters before = SnapshotIntersectCounters();
+  const PerfReading perf_before = ReadThreadPerfCounters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(IntersectCountHash(a, b));
   }
-  ReportFromCounters(state, before);
+  ReportFromCounters(state, before, perf_before);
 }
 BENCHMARK(BM_IntersectHash)->Args({64, 64})->Args({64, 4096})
     ->Args({1024, 1024});
@@ -89,10 +118,11 @@ void BM_IntersectAdaptive(benchmark::State& state) {
   auto a = MakeSorted(static_cast<size_t>(state.range(0)), 1);
   auto b = MakeSorted(static_cast<size_t>(state.range(1)), 2);
   const IntersectCounters before = SnapshotIntersectCounters();
+  const PerfReading perf_before = ReadThreadPerfCounters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(IntersectCount(a, b));
   }
-  ReportFromCounters(state, before);
+  ReportFromCounters(state, before, perf_before);
 }
 BENCHMARK(BM_IntersectAdaptive)->Args({64, 64})->Args({64, 4096})
     ->Args({1024, 1024});
@@ -166,11 +196,12 @@ void BM_IntersectBitmapSparseKernel(benchmark::State& state,
   DenseBitmap dense(std::max(sparse.back(), dense_ids.back()) + 1);
   dense.SetFrom(dense_ids);
   const IntersectCounters before = SnapshotIntersectCounters();
+  const PerfReading perf_before = ReadThreadPerfCounters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         IntersectCountBitmapSparseWith(kernel, sparse, dense));
   }
-  ReportFromCounters(state, before);
+  ReportFromCounters(state, before, perf_before);
 }
 
 void BM_IntersectBitmapDenseKernel(benchmark::State& state,
@@ -183,11 +214,12 @@ void BM_IntersectBitmapDenseKernel(benchmark::State& state,
   a.SetFrom(ids_a);
   b.SetFrom(ids_b);
   const IntersectCounters before = SnapshotIntersectCounters();
+  const PerfReading perf_before = ReadThreadPerfCounters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         IntersectCountBitmapDenseWith(kernel, a, b, 0, universe - 1));
   }
-  ReportFromCounters(state, before);
+  ReportFromCounters(state, before, perf_before);
 }
 
 /// Hub-split sweep on skewed synthetic graphs: a full edge-iterator
@@ -223,6 +255,7 @@ void BM_HybridTriangles(benchmark::State& state, const CSRGraph* g,
   }
   HubRoutingScope scope(index.num_hubs() > 0 ? &index : nullptr);
   const IntersectCounters before = SnapshotIntersectCounters();
+  const PerfReading perf_before = ReadThreadPerfCounters();
   for (auto _ : state) {
     const uint64_t triangles = CountAllRouted(*g);
     if (triangles != expected) {
@@ -231,7 +264,7 @@ void BM_HybridTriangles(benchmark::State& state, const CSRGraph* g,
     }
     benchmark::DoNotOptimize(triangles);
   }
-  ReportFromCounters(state, before);
+  ReportFromCounters(state, before, perf_before);
   state.counters["hubs"] =
       benchmark::Counter(static_cast<double>(index.num_hubs()));
   state.counters["hub_threshold"] = benchmark::Counter(
@@ -383,6 +416,10 @@ int main(int argc, char** argv) {
   opt::RegisterIntersectKernelBenchmarks();
   opt::RegisterHybridHubSweepBenchmarks();
   benchmark::Initialize(&argc, argv);
+  // Which rung produced the PMU columns (the JSON context block carries
+  // it, so baselines record whether cycles/LLC data was real hardware).
+  benchmark::AddCustomContext("perf_backend",
+                              opt::PerfBackendName(opt::ActivePerfBackend()));
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -164,6 +164,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"workers", "qps", "mean_lat_ms", "p50_ms", "p95_ms",
                       "p99_ms", "pool_hit_rate", "executed", "coalesced",
                       "cache_hits", "errors"});
+  bench::BenchReport report_out("service_throughput");
   for (uint32_t workers : {1u, 2u, 4u, 8u}) {
     const RunResult r =
         RunWave(ctx.get_env(), store_paths, workers, clients,
@@ -188,31 +189,32 @@ int main(int argc, char** argv) {
                   std::to_string(r.stats.coalesced),
                   std::to_string(r.stats.cache_hits),
                   std::to_string(r.errors)});
-    std::printf(
-        "JSON {\"experiment\":\"service_throughput\",\"workers\":%u,"
-        "\"clients\":%d,\"queries\":%llu,\"qps\":%.2f,"
-        "\"mean_latency_ms\":%.3f,\"p50_latency_ms\":%.3f,"
-        "\"p95_latency_ms\":%.3f,\"p99_latency_ms\":%.3f,"
-        "\"pool_hit_rate\":%.4f,"
-        "\"executed\":%llu,\"coalesced\":%llu,\"cache_hits\":%llu,"
-        "\"errors\":%llu,"
-        "\"profiled\":%s,\"micro_overlap\":%.4f,\"macro_overlap\":%.4f,"
-        "\"overlap_samples\":%llu,\"morph_events\":%llu,"
-        "\"cost_residual_seconds\":%.6f}\n",
-        workers, clients,
-        static_cast<unsigned long long>(r.queries), qps, mean_latency_ms,
-        p50_ms, p95_ms, p99_ms,
-        hit_rate, static_cast<unsigned long long>(r.stats.executed),
-        static_cast<unsigned long long>(r.stats.coalesced),
-        static_cast<unsigned long long>(r.stats.cache_hits),
-        static_cast<unsigned long long>(r.errors),
-        r.profiled ? "true" : "false",
-        r.overlap.MicroOverlapFraction(), r.overlap.MacroOverlapFraction(),
-        static_cast<unsigned long long>(r.overlap.samples),
-        static_cast<unsigned long long>(r.overlap.morph_events),
-        r.overlap.cost.residual_seconds);
+    bench::JsonObject row;
+    row.Add("experiment", "service_throughput")
+        .Add("workers", workers)
+        .Add("clients", clients)
+        .Add("queries", r.queries)
+        .Add("qps", qps, 2)
+        .Add("mean_latency_ms", mean_latency_ms, 3)
+        .Add("p50_latency_ms", p50_ms, 3)
+        .Add("p95_latency_ms", p95_ms, 3)
+        .Add("p99_latency_ms", p99_ms, 3)
+        .Add("pool_hit_rate", hit_rate, 4)
+        .Add("executed", r.stats.executed)
+        .Add("coalesced", r.stats.coalesced)
+        .Add("cache_hits", r.stats.cache_hits)
+        .Add("errors", r.errors)
+        .Add("profiled", r.profiled)
+        .Add("micro_overlap", r.overlap.MicroOverlapFraction(), 4)
+        .Add("macro_overlap", r.overlap.MacroOverlapFraction(), 4)
+        .Add("overlap_samples", r.overlap.samples)
+        .Add("morph_events", r.overlap.morph_events)
+        .Add("cost_residual_seconds", r.overlap.cost.residual_seconds);
+    std::printf("JSON %s\n", row.Render().c_str());
+    report_out.AddRow(row);
     if (r.errors != 0) return 1;
   }
   table.Print();
-  return 0;
+  // --json_out: unified envelope, same rows as the per-line JSON above.
+  return report_out.MaybeWrite(ctx) ? 0 : 1;
 }

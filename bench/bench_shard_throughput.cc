@@ -265,7 +265,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"shards", "workers", "qps", "mean_lat_ms", "p50_ms",
                       "p95_ms", "p99_ms", "speedup", "max_pages",
                       "repl_bytes", "ghosts", "errors"});
-  std::vector<std::string> json_lines;
+  bench::BenchReport report_out("shard_throughput");
   bool ok = true;
   int config = 0;
   double single_qps[2] = {0.0, 0.0};  // per router-worker column
@@ -295,41 +295,33 @@ int main(int argc, char** argv) {
                     TablePrinter::Fmt(r.replicated_bytes),
                     TablePrinter::Fmt(r.ghost_triangles),
                     std::to_string(r.errors)});
-      char line[768];
-      std::snprintf(
-          line, sizeof(line),
-          "{\"experiment\":\"shard_throughput\",\"shards\":%u,"
-          "\"router_workers\":%u,\"clients\":%d,\"queries\":%llu,"
-          "\"qps\":%.2f,\"mean_latency_ms\":%.3f,\"p50_latency_ms\":%.3f,"
-          "\"p95_latency_ms\":%.3f,\"p99_latency_ms\":%.3f,"
-          "\"speedup_vs_single\":%.3f,\"max_shard_pages\":%u,"
-          "\"replicated_bytes\":%llu,"
-          "\"ghost_triangles\":%llu,\"partials\":%llu,\"errors\":%llu}",
-          shards, workers, clients,
-          static_cast<unsigned long long>(r.queries), qps,
-          mean_latency_ms, r.latency_us.P50() / 1e3,
-          r.latency_us.P95() / 1e3, r.latency_us.P99() / 1e3, speedup,
-          r.max_shard_pages,
-          static_cast<unsigned long long>(r.replicated_bytes),
-          static_cast<unsigned long long>(r.ghost_triangles),
-          static_cast<unsigned long long>(r.partials),
-          static_cast<unsigned long long>(r.errors));
-      std::printf("JSON %s\n", line);
-      json_lines.emplace_back(line);
+      bench::JsonObject row;
+      row.Add("experiment", "shard_throughput")
+          .Add("shards", shards)
+          .Add("router_workers", workers)
+          .Add("clients", clients)
+          .Add("queries", r.queries)
+          .Add("qps", qps, 2)
+          .Add("mean_latency_ms", mean_latency_ms, 3)
+          .Add("p50_latency_ms", r.latency_us.P50() / 1e3, 3)
+          .Add("p95_latency_ms", r.latency_us.P95() / 1e3, 3)
+          .Add("p99_latency_ms", r.latency_us.P99() / 1e3, 3)
+          .Add("speedup_vs_single", speedup, 3)
+          .Add("max_shard_pages", r.max_shard_pages)
+          .Add("replicated_bytes", r.replicated_bytes)
+          .Add("ghost_triangles", r.ghost_triangles)
+          .Add("partials", r.partials)
+          .Add("errors", r.errors);
+      std::printf("JSON %s\n", row.Render().c_str());
+      report_out.AddRow(row);
       if (r.errors != 0 || r.partials != 0) ok = false;
       ++column;
     }
   }
   table.Print();
 
-  if (cl.ok() && cl->Has("json_out")) {
-    std::ofstream out(cl->GetString("json_out"));
-    out << "[\n";
-    for (size_t i = 0; i < json_lines.size(); ++i) {
-      out << "  " << json_lines[i]
-          << (i + 1 < json_lines.size() ? ",\n" : "\n");
-    }
-    out << "]\n";
-  }
+  // Unified envelope (schema_version + host fingerprint) — the format
+  // tools/bench_check gates on.
+  if (!report_out.MaybeWrite(ctx)) ok = false;
   return ok ? 0 : 1;
 }

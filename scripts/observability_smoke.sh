@@ -113,7 +113,8 @@ echo "$STATS"
 missing=0
 for key in scheduler.submitted pool.fetch.hits pool.fetch.lookups \
            opt.internal.cache_hits opt.external.cache_hits \
-           query.latency_us "pool hit rate"; do
+           query.latency_us "pool hit rate" \
+           perf.backend= opt.perf.task_clock_ns "perf backend:"; do
   if ! grep -qF "$key" <<< "$STATS"; then
     echo "FAIL: STATS exposition missing '$key'" >&2
     missing=1
@@ -144,7 +145,8 @@ sleep 1.2
 SERVER_SCRAPE="$(scrape "http://127.0.0.1:$SERVER_METRICS_PORT/metrics")"
 for key in "# TYPE" "pool_fetch_lookups" "_per_sec" \
            "opt_metrics_window_seconds" "opt_graph_pages{graph=\"smoke\"}" \
-           "query_latency_us{quantile="; do
+           "query_latency_us{quantile=" \
+           "perf_backend" "opt_perf_task_clock_ns"; do
   grep -qF "$key" <<< "$SERVER_SCRAPE" || {
     echo "FAIL: server scrape missing '$key'" >&2
     echo "$SERVER_SCRAPE" >&2; exit 1; }
@@ -167,7 +169,10 @@ required = {"opt.run", "phaseA.load", "internal.main", "external.chunk",
             "morph.to_external", "query.execute",
             # Counter tracks sampled by the overlap profiler during the
             # PROFILE query.
-            "overlap.cpu_roles", "overlap.io_inflight"}
+            "overlap.cpu_roles", "overlap.io_inflight",
+            # Per-phase PMU counter track (perf_counters.h); present on
+            # every backend rung because task-clock has no failure mode.
+            "perf.task_clock_ms"}
 missing = required - names
 if missing:
     sys.exit(f"FAIL: trace missing spans {sorted(missing)}; has {sorted(names)}")

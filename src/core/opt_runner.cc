@@ -42,6 +42,28 @@ struct RunCounters {
       Metrics().GetGauge("opt.hub.bitmap_peak_bytes");
   Gauge* hub_degree_threshold =
       Metrics().GetGauge("opt.hub.degree_threshold");
+  /// PMU deltas (DESIGN.md §13). Totals plus a per-phase breakdown so
+  /// STATS can answer "where do the cycles go" without a trace. The
+  /// populated subset depends on perf.backend — cycles/LLC columns stay
+  /// zero under the sw/rusage rungs, and that absence is the signal.
+  Counter* perf_cycles = Metrics().GetCounter("opt.perf.cycles");
+  Counter* perf_instructions = Metrics().GetCounter("opt.perf.instructions");
+  Counter* perf_llc_loads = Metrics().GetCounter("opt.perf.llc_loads");
+  Counter* perf_llc_misses = Metrics().GetCounter("opt.perf.llc_misses");
+  Counter* perf_branch_misses =
+      Metrics().GetCounter("opt.perf.branch_misses");
+  Counter* perf_task_clock_ns =
+      Metrics().GetCounter("opt.perf.task_clock_ns");
+  Counter* perf_page_faults = Metrics().GetCounter("opt.perf.page_faults");
+  Counter* perf_context_switches =
+      Metrics().GetCounter("opt.perf.context_switches");
+  Counter* phase_cycles[3];
+  Counter* phase_instructions[3];
+  Counter* phase_llc_misses[3];
+  Counter* phase_task_clock_ns[3];
+  /// Multiplexing honesty: time_running/time_enabled of the last run,
+  /// in ppm. Below 1e6 the PMU was time-shared and counts undercount.
+  Gauge* perf_multiplex_ppm = Metrics().GetGauge("perf.multiplex_ppm");
 
   RunCounters() {
     for (int k = 0; k < kNumIntersectKernels; ++k) {
@@ -51,6 +73,15 @@ struct RunCounters {
       intersect_calls[k] = Metrics().GetCounter(base + ".calls");
       intersect_elements[k] = Metrics().GetCounter(base + ".elements");
     }
+    static const char* kPhases[3] = {"phaseA", "phaseB", "phaseC"};
+    for (int p = 0; p < 3; ++p) {
+      const std::string base = std::string("opt.perf.") + kPhases[p];
+      phase_cycles[p] = Metrics().GetCounter(base + ".cycles");
+      phase_instructions[p] = Metrics().GetCounter(base + ".instructions");
+      phase_llc_misses[p] = Metrics().GetCounter(base + ".llc_misses");
+      phase_task_clock_ns[p] = Metrics().GetCounter(base + ".task_clock_ns");
+    }
+    PublishPerfBackendMetrics();
   }
 };
 
@@ -77,6 +108,27 @@ void PublishRunStats(const OptRunStats& stats) {
         static_cast<int64_t>(stats.hub_bitmap_peak_bytes));
     counters.hub_degree_threshold->Set(
         static_cast<int64_t>(stats.hub_degree_threshold));
+  }
+  const PerfReading total = stats.PerfTotal();
+  counters.perf_cycles->Increment(total.cycles);
+  counters.perf_instructions->Increment(total.instructions);
+  counters.perf_llc_loads->Increment(total.llc_loads);
+  counters.perf_llc_misses->Increment(total.llc_misses);
+  counters.perf_branch_misses->Increment(total.branch_misses);
+  counters.perf_task_clock_ns->Increment(total.task_clock_ns);
+  counters.perf_page_faults->Increment(total.page_faults);
+  counters.perf_context_switches->Increment(total.context_switches);
+  const PerfReading* phases[3] = {&stats.perf_phase_a, &stats.perf_phase_b,
+                                  &stats.perf_phase_c};
+  for (int p = 0; p < 3; ++p) {
+    counters.phase_cycles[p]->Increment(phases[p]->cycles);
+    counters.phase_instructions[p]->Increment(phases[p]->instructions);
+    counters.phase_llc_misses[p]->Increment(phases[p]->llc_misses);
+    counters.phase_task_clock_ns[p]->Increment(phases[p]->task_clock_ns);
+  }
+  if (total.time_enabled_ns > 0) {
+    counters.perf_multiplex_ppm->Set(
+        static_cast<int64_t>(total.MultiplexRatio() * 1e6));
   }
 }
 
@@ -144,6 +196,14 @@ struct RunContext {
   std::atomic<uint64_t> external_cpu_micros{0};
   std::atomic<uint64_t> external_pages{0};
   std::atomic<uint64_t> external_hits{0};
+
+  // PMU deltas per phase, folded across iterations and (phase C) across
+  // worker threads. Null when collect_perf is off — PerfScope treats a
+  // null accumulator as inert.
+  PerfAccumulator perf_a, perf_b, perf_c;
+  PerfAccumulator* PerfSink(PerfAccumulator* acc) {
+    return options.collect_perf ? acc : nullptr;
+  }
 
   PageKey Key(uint32_t pid) const { return MakePageKey(owner, pid); }
 
@@ -460,6 +520,7 @@ void CallbackRole(RunContext* ctx) {
   TraceSpan role_span("opt", "external.callback_role");
   OverlapProfiler::ThreadScope profile_scope(ctx->profiler,
                                              ThreadRole::kExternal);
+  PerfScope perf_scope(ctx->PerfSink(&ctx->perf_c));
   ModelScratch scratch;
   DrainExternal(ctx, ctx->options.thread_morphing, &scratch);
   if (ctx->options.thread_morphing) {
@@ -473,6 +534,7 @@ void FlexRole(RunContext* ctx) {
   TraceSpan role_span("opt", "internal.flex_role");
   OverlapProfiler::ThreadScope profile_scope(ctx->profiler,
                                              ThreadRole::kInternal);
+  PerfScope perf_scope(ctx->PerfSink(&ctx->perf_c));
   ModelScratch scratch;
   while (RunOneInternalUnit(ctx, &scratch)) {
   }
@@ -620,6 +682,12 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
     // ----- Phase A: fill the internal area (Algorithm 3 lines 5-8) -----
     std::optional<TraceSpan> phase_span;
     phase_span.emplace("opt", "phaseA.load");
+    // Main-thread PMU scope, re-aimed at each phase boundary (workers
+    // fold into perf_c via their own scopes). optional::emplace stops
+    // the previous scope before snapshotting the next, so no cycle is
+    // counted twice.
+    std::optional<PerfScope> perf_scope;
+    perf_scope.emplace(ctx.PerfSink(&ctx.perf_a));
     Stopwatch load_watch;
     const uint32_t pages = ctx.plan.num_pages();
     ctx.internal_frames.assign(pages, nullptr);
@@ -707,6 +775,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
 
     // ----- Phase B: plan the external loads (Algorithm 4) -----
     phase_span.emplace("opt", "phaseB.plan");
+    perf_scope.emplace(ctx.PerfSink(&ctx.perf_b));
     Stopwatch plan_watch;
     for (uint32_t i = 0; i < pages; ++i) {
       ctx.internal_page_data[i] = ctx.internal_frames[i]->data;
@@ -808,6 +877,7 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
 
     // ----- Phase C: overlapped triangulation (Algorithm 3 lines 9-11) --
     phase_span.emplace("opt", "phaseC.overlap");
+    perf_scope.emplace(ctx.PerfSink(&ctx.perf_c));
     Stopwatch overlap_watch;
     PumpExternal(&ctx);
 
@@ -852,6 +922,31 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
       ctx.group_ex.Wait();
     }
     phase_span.reset();
+    perf_scope.reset();
+    if (options_.collect_perf && CurrentTraceRecorder() != nullptr) {
+      // Counter tracks next to the PR 5 overlap tracks: cumulative CPU
+      // per phase (stacked staircase) plus the run's efficiency ratios.
+      const PerfReading pa = ctx.perf_a.Snapshot();
+      const PerfReading pb = ctx.perf_b.Snapshot();
+      const PerfReading pc = ctx.perf_c.Snapshot();
+      TraceCounter(
+          "perf", "perf.task_clock_ms",
+          "\"phaseA\":" + std::to_string(pa.task_clock_ns / 1000000) +
+              ",\"phaseB\":" + std::to_string(pb.task_clock_ns / 1000000) +
+              ",\"phaseC\":" + std::to_string(pc.task_clock_ns / 1000000));
+      PerfReading sum = pa;
+      sum.Accumulate(pb);
+      sum.Accumulate(pc);
+      if (sum.cycles > 0) {
+        TraceCounter("perf", "perf.ipc",
+                     "\"ipc\":" + std::to_string(sum.Ipc()));
+      }
+      if (sum.llc_loads > 0) {
+        TraceCounter(
+            "perf", "perf.llc_miss_pct",
+            "\"pct\":" + std::to_string(sum.LlcMissRate() * 100.0));
+      }
+    }
     iter.overlap_seconds = overlap_watch.ElapsedSeconds();
     run_stats.parallel_seconds += iter.overlap_seconds;
 
@@ -879,6 +974,11 @@ Status OptRunner::Run(TriangleSink* sink, OptRunStats* stats) {
     if (ctx.aborted()) break;
     v_start = ctx.plan.v_hi + 1;
   }
+
+  run_stats.perf_backend = ActivePerfBackend();
+  run_stats.perf_phase_a = ctx.perf_a.Snapshot();
+  run_stats.perf_phase_b = ctx.perf_b.Snapshot();
+  run_stats.perf_phase_c = ctx.perf_c.Snapshot();
 
   // Publish the run's page accounting into the live registry whether the
   // run succeeded or aborted — partial I/O still happened and the Δin/Δex

@@ -19,6 +19,7 @@
 #include "graph/intersect.h"
 #include "obs/flight_recorder.h"
 #include "obs/overlap_profiler.h"
+#include "obs/perf_counters.h"
 #include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/graph_store.h"
@@ -99,6 +100,12 @@ struct OptOptions {
   /// morphs, degradation are recorded as structured events for
   /// postmortems. Null disables. Must outlive the Run() call.
   FlightRecorder* flight = nullptr;
+  /// Collect hardware (or fallback-backend) counter deltas per phase:
+  /// two counter reads per phase per thread per iteration, so cheap
+  /// enough to stay on in production. The backend in use is reported in
+  /// OptRunStats::perf_backend — all-zero readings under `none` are an
+  /// honest "no PMU", never an error.
+  bool collect_perf = true;
 };
 
 /// Per-iteration instrumentation (Figure 4).
@@ -140,6 +147,21 @@ struct OptRunStats {
   uint64_t hub_bitmaps_built = 0;
   uint64_t hub_bitmap_peak_bytes = 0;
   std::vector<IterationStats> per_iteration;
+  /// Hardware/software counter deltas per phase (A = internal fill,
+  /// B = external planning, C = overlapped triangulation), summed over
+  /// iterations and — for phase C — across worker threads. The backend
+  /// that produced them (DESIGN.md §13's fallback ladder) qualifies the
+  /// numbers: cycles/LLC columns are only populated under perf_event_hw.
+  PerfBackend perf_backend = PerfBackend::kNone;
+  PerfReading perf_phase_a;
+  PerfReading perf_phase_b;
+  PerfReading perf_phase_c;
+  PerfReading PerfTotal() const {
+    PerfReading total = perf_phase_a;
+    total.Accumulate(perf_phase_b);
+    total.Accumulate(perf_phase_c);
+    return total;
+  }
   /// Filled when OptOptions::profile was set: sampled overlap fractions
   /// plus the fitted cost-model residual (DESIGN.md §9).
   bool profiled = false;

@@ -1,0 +1,458 @@
+#include "obs/perf_counters.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace opt {
+
+namespace {
+
+// Slot indices: the order events are opened into the group, which is
+// also the order values[] comes back from a PERF_FORMAT_GROUP read.
+enum Slot : int {
+  kSlotCycles = 0,
+  kSlotInstructions,
+  kSlotLlcLoads,
+  kSlotLlcMisses,
+  kSlotBranchMisses,
+  kSlotTaskClock,
+  kSlotPageFaults,
+  kSlotContextSwitches,
+  kNumSlots,
+};
+
+constexpr uint32_t SlotMask(Slot s) { return 1u << static_cast<int>(s); }
+
+struct EventSpec {
+  Slot slot;
+  uint32_t type;
+  uint64_t config;
+};
+
+#if defined(__linux__)
+// Hardware rung: cycles leads so the group lives or dies with the PMU.
+// task-clock rides along so wall-scheduling time comes from the same
+// atomic read. LLC events use the cache encoding (LL | READ | result).
+constexpr uint64_t kLlcRead =
+    PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8);
+const EventSpec kHwEvents[] = {
+    {kSlotCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {kSlotInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {kSlotLlcLoads, PERF_TYPE_HW_CACHE,
+     kLlcRead | (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16)},
+    {kSlotLlcMisses, PERF_TYPE_HW_CACHE,
+     kLlcRead | (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {kSlotBranchMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {kSlotTaskClock, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+};
+
+// Software rung: still perf_event_open (so time_enabled/time_running
+// stay meaningful) but no PMU required. task-clock leads.
+const EventSpec kSwEvents[] = {
+    {kSlotTaskClock, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {kSlotPageFaults, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+    {kSlotContextSwitches, PERF_TYPE_SOFTWARE,
+     PERF_COUNT_SW_CONTEXT_SWITCHES},
+};
+
+int PerfEventOpen(const EventSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = spec.type;
+  attr.size = sizeof(attr);
+  attr.config = spec.config;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // Counting user work only keeps us openable under
+  // perf_event_paranoid=2 (the common container setting).
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.inherit = 0;
+#if defined(PERF_FLAG_FD_CLOEXEC)
+  const unsigned long flags = PERF_FLAG_FD_CLOEXEC;
+#else
+  const unsigned long flags = 8;  // PERF_FLAG_FD_CLOEXEC since Linux 3.14.
+#endif
+  return static_cast<int>(syscall(__NR_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, flags));
+}
+#endif  // __linux__
+
+struct BackendConfig {
+  PerfBackend backend = PerfBackend::kNone;
+  uint32_t supported = 0;
+};
+
+std::mutex g_resolve_mu;
+std::atomic<uint32_t> g_generation{0};  // 0 = unresolved
+BackendConfig g_config;
+
+// Tries to open the full group for the calling thread. On success the
+// fds stay open and are handed to the caller (probe threads close them;
+// measurement threads keep them). Leader failure → whole rung fails.
+struct OpenGroup {
+  int leader = -1;
+  // fds[i] owns the fd whose value lands in read-order position i;
+  // slot_order[i] names which PerfReading field that is.
+  std::vector<int> fds;
+  std::vector<Slot> slot_order;
+  uint32_t supported = 0;
+
+  void Close() {
+#if defined(__linux__)
+    for (int fd : fds) ::close(fd);
+#endif
+    fds.clear();
+    slot_order.clear();
+    leader = -1;
+    supported = 0;
+  }
+};
+
+#if defined(__linux__)
+bool TryOpenGroup(const EventSpec* events, int n, OpenGroup* out) {
+  out->Close();
+  for (int i = 0; i < n; ++i) {
+    const int fd = PerfEventOpen(events[i], out->leader);
+    if (fd < 0) {
+      if (i == 0) return false;  // leader must open
+      continue;  // member absent on this PMU; keep counting the rest
+    }
+    if (out->leader == -1) out->leader = fd;
+    out->fds.push_back(fd);
+    out->slot_order.push_back(events[i].slot);
+    out->supported |= SlotMask(events[i].slot);
+  }
+  if (ioctl(out->leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+      ioctl(out->leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    out->Close();
+    return false;
+  }
+  return true;
+}
+#endif
+
+BackendConfig ResolveBackend() {
+  BackendConfig cfg;
+  const char* env = std::getenv("OPT_PERF_BACKEND");
+  std::string want = env == nullptr ? "auto" : env;
+  if (want != "auto" && want != "perf" && want != "sw" && want != "rusage" &&
+      want != "none" && !want.empty()) {
+    OPT_LOG(Warn) << "unknown OPT_PERF_BACKEND=" << want << "; using auto";
+    want = "auto";
+  }
+  if (want.empty()) want = "auto";
+  if (want == "none") {
+    cfg.backend = PerfBackend::kNone;
+    return cfg;
+  }
+  if (want == "rusage") {
+    cfg.backend = PerfBackend::kRusage;
+    cfg.supported =
+        kPerfHasTaskClock | kPerfHasPageFaults | kPerfHasContextSwitches;
+    return cfg;
+  }
+#if defined(__linux__)
+  // Probe rungs on this thread; the probe group is closed immediately —
+  // every measuring thread opens its own copy lazily.
+  OpenGroup probe;
+  if ((want == "auto" || want == "perf") &&
+      TryOpenGroup(kHwEvents, static_cast<int>(std::size(kHwEvents)),
+                   &probe)) {
+    cfg.backend = PerfBackend::kPerfEventHw;
+    cfg.supported = probe.supported;
+    probe.Close();
+    return cfg;
+  }
+  if ((want == "auto" || want == "perf" || want == "sw") &&
+      TryOpenGroup(kSwEvents, static_cast<int>(std::size(kSwEvents)),
+                   &probe)) {
+    cfg.backend = PerfBackend::kPerfEventSw;
+    cfg.supported = probe.supported;
+    probe.Close();
+    return cfg;
+  }
+#endif
+  // perf_event_open denied outright (paranoid/seccomp): honest rusage.
+  cfg.backend = PerfBackend::kRusage;
+  cfg.supported =
+      kPerfHasTaskClock | kPerfHasPageFaults | kPerfHasContextSwitches;
+  return cfg;
+}
+
+const BackendConfig& Config() {
+  if (g_generation.load(std::memory_order_acquire) == 0) {
+    std::lock_guard<std::mutex> lock(g_resolve_mu);
+    if (g_generation.load(std::memory_order_relaxed) == 0) {
+      g_config = ResolveBackend();
+      OPT_LOG(Info) << "perf counters: backend="
+                    << PerfBackendName(g_config.backend) << " events=0x"
+                    << std::hex << g_config.supported;
+      g_generation.store(1, std::memory_order_release);
+    }
+  }
+  return g_config;
+}
+
+// Per-thread fd group, reopened when the process backend changes
+// generation (test reinit). Closed at thread exit by the destructor.
+struct ThreadPerfState {
+  uint32_t generation = 0;
+  PerfBackend backend = PerfBackend::kNone;
+  OpenGroup group;
+
+  ~ThreadPerfState() { group.Close(); }
+};
+
+thread_local ThreadPerfState t_state;
+
+#if defined(__linux__)
+PerfReading ReadGroup(const OpenGroup& group) {
+  PerfReading r;
+  // Layout: nr, time_enabled, time_running, value[nr] (insertion order).
+  uint64_t buf[3 + kNumSlots] = {0};
+  const ssize_t want = static_cast<ssize_t>(
+      (3 + group.slot_order.size()) * sizeof(uint64_t));
+  const ssize_t got = ::read(group.leader, buf, sizeof(buf));
+  if (got < want) return r;
+  r.time_enabled_ns = buf[1];
+  r.time_running_ns = buf[2];
+  const uint64_t nr = buf[0];
+  for (size_t i = 0; i < group.slot_order.size() && i < nr; ++i) {
+    const uint64_t v = buf[3 + i];
+    switch (group.slot_order[i]) {
+      case kSlotCycles: r.cycles = v; break;
+      case kSlotInstructions: r.instructions = v; break;
+      case kSlotLlcLoads: r.llc_loads = v; break;
+      case kSlotLlcMisses: r.llc_misses = v; break;
+      case kSlotBranchMisses: r.branch_misses = v; break;
+      case kSlotTaskClock: r.task_clock_ns = v; break;
+      case kSlotPageFaults: r.page_faults = v; break;
+      case kSlotContextSwitches: r.context_switches = v; break;
+      default: break;
+    }
+  }
+  return r;
+}
+
+PerfReading ReadRusage() {
+  PerfReading r;
+  rusage ru;
+#if defined(RUSAGE_THREAD)
+  const int who = RUSAGE_THREAD;
+#else
+  const int who = RUSAGE_SELF;
+#endif
+  if (getrusage(who, &ru) != 0) return r;
+  const uint64_t user_ns = static_cast<uint64_t>(ru.ru_utime.tv_sec) *
+                               1000000000ull +
+                           static_cast<uint64_t>(ru.ru_utime.tv_usec) * 1000ull;
+  const uint64_t sys_ns = static_cast<uint64_t>(ru.ru_stime.tv_sec) *
+                              1000000000ull +
+                          static_cast<uint64_t>(ru.ru_stime.tv_usec) * 1000ull;
+  r.task_clock_ns = user_ns + sys_ns;
+  r.page_faults =
+      static_cast<uint64_t>(ru.ru_minflt) + static_cast<uint64_t>(ru.ru_majflt);
+  r.context_switches =
+      static_cast<uint64_t>(ru.ru_nvcsw) + static_cast<uint64_t>(ru.ru_nivcsw);
+  // rusage has no scheduling window; report as fully counted.
+  r.time_enabled_ns = r.task_clock_ns;
+  r.time_running_ns = r.task_clock_ns;
+  return r;
+}
+#endif  // __linux__
+
+}  // namespace
+
+const char* PerfBackendName(PerfBackend backend) {
+  switch (backend) {
+    case PerfBackend::kNone: return "none";
+    case PerfBackend::kRusage: return "rusage";
+    case PerfBackend::kPerfEventSw: return "perf_event_sw";
+    case PerfBackend::kPerfEventHw: return "perf_event_hw";
+  }
+  return "unknown";
+}
+
+void PerfReading::Accumulate(const PerfReading& other) {
+  cycles += other.cycles;
+  instructions += other.instructions;
+  llc_loads += other.llc_loads;
+  llc_misses += other.llc_misses;
+  branch_misses += other.branch_misses;
+  task_clock_ns += other.task_clock_ns;
+  page_faults += other.page_faults;
+  context_switches += other.context_switches;
+  time_enabled_ns += other.time_enabled_ns;
+  time_running_ns += other.time_running_ns;
+}
+
+PerfReading PerfReading::Delta(const PerfReading& after,
+                               const PerfReading& before) {
+  auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+  PerfReading d;
+  d.cycles = sub(after.cycles, before.cycles);
+  d.instructions = sub(after.instructions, before.instructions);
+  d.llc_loads = sub(after.llc_loads, before.llc_loads);
+  d.llc_misses = sub(after.llc_misses, before.llc_misses);
+  d.branch_misses = sub(after.branch_misses, before.branch_misses);
+  d.task_clock_ns = sub(after.task_clock_ns, before.task_clock_ns);
+  d.page_faults = sub(after.page_faults, before.page_faults);
+  d.context_switches = sub(after.context_switches, before.context_switches);
+  d.time_enabled_ns = sub(after.time_enabled_ns, before.time_enabled_ns);
+  d.time_running_ns = sub(after.time_running_ns, before.time_running_ns);
+  return d;
+}
+
+PerfBackend ActivePerfBackend() { return Config().backend; }
+
+uint32_t SupportedPerfEvents() { return Config().supported; }
+
+PerfReading ReadThreadPerfCounters() {
+  const BackendConfig& cfg = Config();
+  const uint32_t gen = g_generation.load(std::memory_order_acquire);
+  if (t_state.generation != gen) {
+    t_state.group.Close();
+    t_state.generation = gen;
+    t_state.backend = cfg.backend;
+#if defined(__linux__)
+    if (cfg.backend == PerfBackend::kPerfEventHw &&
+        !TryOpenGroup(kHwEvents, static_cast<int>(std::size(kHwEvents)),
+                      &t_state.group)) {
+      // Per-thread open failed even though the probe succeeded (fd
+      // limits, cgroup changes): drop this thread to the rusage rung.
+      t_state.backend = PerfBackend::kRusage;
+    }
+    if (cfg.backend == PerfBackend::kPerfEventSw &&
+        !TryOpenGroup(kSwEvents, static_cast<int>(std::size(kSwEvents)),
+                      &t_state.group)) {
+      t_state.backend = PerfBackend::kRusage;
+    }
+#endif
+  }
+#if defined(__linux__)
+  switch (t_state.backend) {
+    case PerfBackend::kPerfEventHw:
+    case PerfBackend::kPerfEventSw:
+      return ReadGroup(t_state.group);
+    case PerfBackend::kRusage:
+      return ReadRusage();
+    case PerfBackend::kNone:
+      return PerfReading{};
+  }
+#endif
+  return PerfReading{};
+}
+
+void PerfAccumulator::Add(const PerfReading& d) {
+  cycles_.fetch_add(d.cycles, std::memory_order_relaxed);
+  instructions_.fetch_add(d.instructions, std::memory_order_relaxed);
+  llc_loads_.fetch_add(d.llc_loads, std::memory_order_relaxed);
+  llc_misses_.fetch_add(d.llc_misses, std::memory_order_relaxed);
+  branch_misses_.fetch_add(d.branch_misses, std::memory_order_relaxed);
+  task_clock_ns_.fetch_add(d.task_clock_ns, std::memory_order_relaxed);
+  page_faults_.fetch_add(d.page_faults, std::memory_order_relaxed);
+  context_switches_.fetch_add(d.context_switches, std::memory_order_relaxed);
+  time_enabled_ns_.fetch_add(d.time_enabled_ns, std::memory_order_relaxed);
+  time_running_ns_.fetch_add(d.time_running_ns, std::memory_order_relaxed);
+}
+
+PerfReading PerfAccumulator::Snapshot() const {
+  PerfReading r;
+  r.cycles = cycles_.load(std::memory_order_relaxed);
+  r.instructions = instructions_.load(std::memory_order_relaxed);
+  r.llc_loads = llc_loads_.load(std::memory_order_relaxed);
+  r.llc_misses = llc_misses_.load(std::memory_order_relaxed);
+  r.branch_misses = branch_misses_.load(std::memory_order_relaxed);
+  r.task_clock_ns = task_clock_ns_.load(std::memory_order_relaxed);
+  r.page_faults = page_faults_.load(std::memory_order_relaxed);
+  r.context_switches = context_switches_.load(std::memory_order_relaxed);
+  r.time_enabled_ns = time_enabled_ns_.load(std::memory_order_relaxed);
+  r.time_running_ns = time_running_ns_.load(std::memory_order_relaxed);
+  return r;
+}
+
+void PerfAccumulator::Reset() {
+  cycles_.store(0, std::memory_order_relaxed);
+  instructions_.store(0, std::memory_order_relaxed);
+  llc_loads_.store(0, std::memory_order_relaxed);
+  llc_misses_.store(0, std::memory_order_relaxed);
+  branch_misses_.store(0, std::memory_order_relaxed);
+  task_clock_ns_.store(0, std::memory_order_relaxed);
+  page_faults_.store(0, std::memory_order_relaxed);
+  context_switches_.store(0, std::memory_order_relaxed);
+  time_enabled_ns_.store(0, std::memory_order_relaxed);
+  time_running_ns_.store(0, std::memory_order_relaxed);
+}
+
+PerfScope::PerfScope(PerfAccumulator* acc) : acc_(acc), stopped_(acc == nullptr) {
+  if (acc_ != nullptr) start_ = ReadThreadPerfCounters();
+}
+
+PerfScope::~PerfScope() { Stop(); }
+
+PerfReading PerfScope::Stop() {
+  if (stopped_) return PerfReading{};
+  stopped_ = true;
+  const PerfReading delta =
+      PerfReading::Delta(ReadThreadPerfCounters(), start_);
+  acc_->Add(delta);
+  return delta;
+}
+
+void PublishPerfBackendMetrics() {
+  const BackendConfig& cfg = Config();
+  Metrics().GetGauge("perf.backend")->Set(static_cast<int64_t>(cfg.backend));
+  Metrics().GetGauge("perf.supported_events")
+      ->Set(static_cast<int64_t>(cfg.supported));
+}
+
+std::string PerfBackendStatsText() {
+  const BackendConfig& cfg = Config();
+  std::string out = "perf.backend=";
+  out += PerfBackendName(cfg.backend);
+  out += "\nperf.events=";
+  bool first = true;
+  auto add = [&](uint32_t bit, const char* name) {
+    if ((cfg.supported & bit) == 0) return;
+    if (!first) out += ",";
+    out += name;
+    first = false;
+  };
+  add(kPerfHasCycles, "cycles");
+  add(kPerfHasInstructions, "instructions");
+  add(kPerfHasLlcLoads, "llc_loads");
+  add(kPerfHasLlcMisses, "llc_misses");
+  add(kPerfHasBranchMisses, "branch_misses");
+  add(kPerfHasTaskClock, "task_clock");
+  add(kPerfHasPageFaults, "page_faults");
+  add(kPerfHasContextSwitches, "context_switches");
+  if (first) out += "none";
+  out += "\n";
+  return out;
+}
+
+void ReinitPerfCountersForTest() {
+  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  g_config = ResolveBackend();
+  // Bump (skipping 0 = unresolved) so every thread reopens lazily.
+  uint32_t gen = g_generation.load(std::memory_order_relaxed);
+  g_generation.store(gen == 0 ? 1 : gen + 1, std::memory_order_release);
+}
+
+}  // namespace opt

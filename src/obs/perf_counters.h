@@ -1,0 +1,162 @@
+// Hardware PMU profiling via perf_event_open, with an honest fallback
+// ladder for containers and locked-down kernels.
+//
+// The subsystem opens one *grouped* perf fd set per thread (leader +
+// members read atomically in a single read(2)), counting cycles,
+// instructions, LLC loads/misses, branch misses, and task-clock. When
+// the hardware PMU is unavailable — perf_event_paranoid too high,
+// seccomp, VM without a virtual PMU — it degrades rung by rung instead
+// of failing:
+//
+//   kPerfEventHw  cycles-led hardware group (+ task-clock member)
+//   kPerfEventSw  task-clock-led software group (page faults, ctx switches)
+//   kRusage       getrusage(RUSAGE_THREAD): cpu time + faults + switches
+//   kNone         all readings zero (forced via OPT_PERF_BACKEND=none)
+//
+// The active rung is surfaced as the `perf.backend` gauge and in STATS
+// text, so an all-zero cycles column reads as "no PMU here", never as a
+// silent measurement failure. The kernel time-multiplexes PMU groups
+// when more are scheduled than there are counters; readings carry
+// time_enabled/time_running so the multiplexing ratio is reported
+// honestly rather than silently extrapolated.
+//
+// Backend selection happens once per process (override with
+// OPT_PERF_BACKEND=perf|sw|rusage|none|auto); each thread lazily opens
+// its own fd group on first read and closes it at thread exit.
+#ifndef OPT_OBS_PERF_COUNTERS_H_
+#define OPT_OBS_PERF_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace opt {
+
+enum class PerfBackend : uint8_t {
+  kNone = 0,
+  kRusage = 1,
+  kPerfEventSw = 2,
+  kPerfEventHw = 3,
+};
+
+const char* PerfBackendName(PerfBackend backend);
+
+/// Bitmask of events the active backend actually delivers. Member
+/// events that fail to open (e.g. LLC events missing on a given PMU)
+/// are dropped individually; absence here distinguishes "counted zero"
+/// from "not counted".
+enum PerfEventMask : uint32_t {
+  kPerfHasCycles = 1u << 0,
+  kPerfHasInstructions = 1u << 1,
+  kPerfHasLlcLoads = 1u << 2,
+  kPerfHasLlcMisses = 1u << 3,
+  kPerfHasBranchMisses = 1u << 4,
+  kPerfHasTaskClock = 1u << 5,
+  kPerfHasPageFaults = 1u << 6,
+  kPerfHasContextSwitches = 1u << 7,
+};
+
+/// One snapshot (or delta) of the counter set. Cumulative per thread
+/// since that thread's group was opened; use Delta() for scoped costs.
+struct PerfReading {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_loads = 0;
+  uint64_t llc_misses = 0;
+  uint64_t branch_misses = 0;
+  uint64_t task_clock_ns = 0;
+  uint64_t page_faults = 0;
+  uint64_t context_switches = 0;
+  /// Group scheduling times from the kernel. running < enabled means
+  /// the PMU was multiplexed and the raw counts undercount true cost.
+  uint64_t time_enabled_ns = 0;
+  uint64_t time_running_ns = 0;
+
+  /// Fraction of enabled time the group was actually counting, in
+  /// [0, 1]. 1.0 when the group was never descheduled (or when the
+  /// backend has no scheduling times, e.g. rusage).
+  double MultiplexRatio() const {
+    if (time_enabled_ns == 0) return 1.0;
+    const double r = static_cast<double>(time_running_ns) /
+                     static_cast<double>(time_enabled_ns);
+    return r > 1.0 ? 1.0 : r;
+  }
+  double Ipc() const {
+    return cycles == 0
+               ? 0.0
+               : static_cast<double>(instructions) / static_cast<double>(cycles);
+  }
+  double LlcMissRate() const {
+    return llc_loads == 0 ? 0.0
+                          : static_cast<double>(llc_misses) /
+                                static_cast<double>(llc_loads);
+  }
+
+  void Accumulate(const PerfReading& other);
+  /// Field-wise saturating `after - before` (clamps to 0 if a counter
+  /// went backwards, e.g. across a backend reinit).
+  static PerfReading Delta(const PerfReading& after, const PerfReading& before);
+};
+
+/// The rung the process resolved to (resolves on first call).
+PerfBackend ActivePerfBackend();
+/// Events the resolved backend delivers (PerfEventMask bits).
+uint32_t SupportedPerfEvents();
+
+/// Cumulative counters for the calling thread. Never fails: rungs
+/// below the resolved backend absorb per-thread open failures, and the
+/// floor is an all-zero reading.
+PerfReading ReadThreadPerfCounters();
+
+/// Thread-safe sink for folding per-thread deltas (phase totals across
+/// the runner's worker threads).
+class PerfAccumulator {
+ public:
+  void Add(const PerfReading& delta);
+  PerfReading Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> cycles_{0}, instructions_{0};
+  std::atomic<uint64_t> llc_loads_{0}, llc_misses_{0}, branch_misses_{0};
+  std::atomic<uint64_t> task_clock_ns_{0}, page_faults_{0};
+  std::atomic<uint64_t> context_switches_{0};
+  std::atomic<uint64_t> time_enabled_ns_{0}, time_running_ns_{0};
+};
+
+/// RAII measurement scope: snapshots the calling thread's counters at
+/// construction and adds the delta to `acc` when stopped/destroyed.
+/// A null accumulator makes the scope inert (reads nothing). Must be
+/// stopped on the thread that constructed it.
+class PerfScope {
+ public:
+  explicit PerfScope(PerfAccumulator* acc);
+  ~PerfScope();
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+  /// Stops early and returns the delta (zero reading on second call).
+  PerfReading Stop();
+
+ private:
+  PerfAccumulator* acc_;
+  bool stopped_;
+  PerfReading start_;
+};
+
+/// Registers the `perf.backend` / `perf.supported_events` gauges so
+/// /metrics and STATS advertise the active rung even before any run.
+void PublishPerfBackendMetrics();
+
+/// Appends "perf.backend=<name>" plus the supported-event list to a
+/// STATS-style text block.
+std::string PerfBackendStatsText();
+
+/// Re-resolves the backend from OPT_PERF_BACKEND. Existing per-thread
+/// fd groups are reopened lazily on their next read. Test-only: the
+/// fallback-ladder tests flip the env knob mid-process.
+void ReinitPerfCountersForTest();
+
+}  // namespace opt
+
+#endif  // OPT_OBS_PERF_COUNTERS_H_

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/perf_counters.h"
 #include "service/graph_registry.h"
 #include "storage/buffer_pool.h"
 #include "util/metrics.h"
@@ -414,6 +415,13 @@ std::string OptServer::RenderStats() const {
         << "pool.hits=" << snapshot.hits << '\n'
         << "pool.evictions=" << snapshot.evictions << '\n'
         << "pool.allocations=" << snapshot.allocations << '\n';
+  }
+  // The active counter backend (DESIGN.md §13) plus every registry
+  // gauge: gauges don't travel in the wire counters section, so the
+  // text block is where clients read opt.hub.* and perf.* levels.
+  out << PerfBackendStatsText();
+  for (const auto& [name, value] : Metrics().Gauges()) {
+    out << name << "=" << value << '\n';
   }
   for (const GraphRegistry::GraphInfo& info : registry->List()) {
     out << "graph." << info.name << ".vertices=" << info.num_vertices

@@ -1,0 +1,232 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace opt {
+
+namespace {
+const JsonValue& NullValue() {
+  static const JsonValue* kNull = new JsonValue();
+  return *kNull;
+}
+}  // namespace
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  if (!is_object()) return NullValue();
+  auto it = object_.find(key);
+  return it == object_.end() ? NullValue() : it->second;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status s = ParseValue(&v);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("json: trailing garbage at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    if (++depth_ > 64) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    Status s;
+    switch (text_[pos_]) {
+      case '{': s = ParseObject(out); break;
+      case '[': s = ParseArray(out); break;
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        s = ParseString(&out->string_);
+        break;
+      case 't':
+      case 'f': s = ParseLiteral(out); break;
+      case 'n': s = ParseLiteral(out); break;
+      default: s = ParseNumber(out); break;
+    }
+    --depth_;
+    return s;
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->type_ = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      std::string key;
+      if (Status s = ParseString(&key); !s.ok()) return s;
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      JsonValue v;
+      if (Status s = ParseValue(&v); !s.ok()) return s;
+      out->object_.emplace(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->type_ = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue v;
+      if (Status s = ParseValue(&v); !s.ok()) return s;
+      out->array_.push_back(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // Bench files are ASCII; decode the escape but fold
+            // non-ASCII code points to '?' instead of full UTF-8.
+            if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Err("bad \\u escape");
+            }
+            out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default: return Err("bad escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseLiteral(JsonValue* out) {
+    auto match = [&](const char* lit) {
+      const size_t n = std::strlen(lit);
+      if (text_.compare(pos_, n, lit) == 0) {
+        pos_ += n;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out->type_ = JsonValue::Type::kBool;
+      out->bool_ = true;
+      return Status::OK();
+    }
+    if (match("false")) {
+      out->type_ = JsonValue::Type::kBool;
+      out->bool_ = false;
+      return Status::OK();
+    }
+    if (match("null")) {
+      out->type_ = JsonValue::Type::kNull;
+      return Status::OK();
+    }
+    return Err("bad literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // JSON grammar: the integer part is "0" or [1-9][0-9]* — a leading
+    // zero followed by more digits is malformed, not octal.
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      return Err("leading zero in number");
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      return Err("bad number '" + token + "'");
+    }
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = v;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace opt

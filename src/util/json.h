@@ -1,0 +1,68 @@
+// Minimal recursive-descent JSON parser — just enough to read the
+// bench baseline files (tools/bench_check) and google-benchmark output.
+// No external dependency, no streaming; whole document in memory.
+#ifndef OPT_UTIL_JSON_H_
+#define OPT_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace opt {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool(bool def = false) const {
+    return is_bool() ? bool_ : def;
+  }
+  double AsDouble(double def = 0.0) const {
+    return is_number() ? number_ : def;
+  }
+  int64_t AsInt(int64_t def = 0) const {
+    return is_number() ? static_cast<int64_t>(number_) : def;
+  }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return array_; }
+  const std::map<std::string, JsonValue>& fields() const { return object_; }
+
+  /// Object member lookup; returns a shared null value when absent or
+  /// when this value is not an object.
+  const JsonValue& Get(const std::string& key) const;
+  bool Has(const std::string& key) const {
+    return is_object() && object_.count(key) > 0;
+  }
+
+  /// Parses a full document (trailing whitespace allowed, trailing
+  /// garbage is an error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  friend class JsonParser;
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace opt
+
+#endif  // OPT_UTIL_JSON_H_

@@ -1,0 +1,205 @@
+// Tests for the perf_event_open counter subsystem (obs/perf_counters):
+// the fallback ladder under the OPT_PERF_BACKEND env knob, honest
+// multiplex-ratio reporting, the scope/accumulator plumbing, and the
+// runner integration that attributes counters to phases A/B/C.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "core/iterator_model.h"
+#include "core/opt_runner.h"
+#include "core/triangle_sink.h"
+#include "gen/erdos_renyi.h"
+#include "obs/perf_counters.h"
+#include "test_helpers.h"
+
+namespace opt {
+namespace {
+
+// Restores the env knob and re-resolves the process backend on scope
+// exit, so a failing test cannot leak a forced backend into later ones.
+class ScopedPerfBackend {
+ public:
+  explicit ScopedPerfBackend(const char* value) {
+    ::setenv("OPT_PERF_BACKEND", value, 1);
+    ReinitPerfCountersForTest();
+  }
+  ~ScopedPerfBackend() {
+    ::unsetenv("OPT_PERF_BACKEND");
+    ReinitPerfCountersForTest();
+  }
+};
+
+// Burns enough CPU that any cpu-time-based backend must observe it.
+uint64_t SpinForMillis(int ms) {
+  volatile uint64_t sink = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 10000; ++i) sink += i;
+  }
+  return sink;
+}
+
+TEST(PerfBackend, AutoResolvesToAtLeastRusage) {
+  // rusage has no failure mode on Linux, so auto never lands on kNone.
+  ScopedPerfBackend env("auto");
+  EXPECT_GE(ActivePerfBackend(), PerfBackend::kRusage);
+  EXPECT_NE(SupportedPerfEvents() & kPerfHasTaskClock, 0u);
+}
+
+TEST(PerfBackend, ForcedRusageCountsCpuTime) {
+  ScopedPerfBackend env("rusage");
+  ASSERT_EQ(ActivePerfBackend(), PerfBackend::kRusage);
+  const PerfReading before = ReadThreadPerfCounters();
+  SpinForMillis(30);
+  const PerfReading after = ReadThreadPerfCounters();
+  const PerfReading delta = PerfReading::Delta(after, before);
+  EXPECT_GT(delta.task_clock_ns, 0u);
+  // rusage has no PMU scheduling times → never reported as multiplexed.
+  EXPECT_DOUBLE_EQ(delta.MultiplexRatio(), 1.0);
+  // No hardware events on this rung.
+  EXPECT_EQ(delta.cycles, 0u);
+  EXPECT_EQ(SupportedPerfEvents() & kPerfHasCycles, 0u);
+}
+
+TEST(PerfBackend, ForcedNoneReadsAllZeros) {
+  ScopedPerfBackend env("none");
+  ASSERT_EQ(ActivePerfBackend(), PerfBackend::kNone);
+  SpinForMillis(5);
+  const PerfReading r = ReadThreadPerfCounters();
+  EXPECT_EQ(r.task_clock_ns, 0u);
+  EXPECT_EQ(r.cycles, 0u);
+  EXPECT_EQ(r.time_enabled_ns, 0u);
+  EXPECT_EQ(SupportedPerfEvents(), 0u);
+}
+
+TEST(PerfBackend, UnknownKnobValueFallsBackToAuto) {
+  ScopedPerfBackend env("bogus-backend");
+  EXPECT_GE(ActivePerfBackend(), PerfBackend::kRusage);
+}
+
+TEST(PerfBackend, StatsTextNamesTheActiveRung) {
+  ScopedPerfBackend env("rusage");
+  const std::string text = PerfBackendStatsText();
+  EXPECT_NE(text.find("perf.backend=rusage"), std::string::npos) << text;
+}
+
+TEST(PerfReadingTest, MultiplexRatioReportsUndercounting) {
+  PerfReading r;
+  r.time_enabled_ns = 1000;
+  r.time_running_ns = 250;
+  EXPECT_DOUBLE_EQ(r.MultiplexRatio(), 0.25);
+  EXPECT_LT(r.MultiplexRatio(), 1.0);
+  // Never-enabled (rusage, none) reads as "not multiplexed".
+  PerfReading zero;
+  EXPECT_DOUBLE_EQ(zero.MultiplexRatio(), 1.0);
+  // Clock skew between the two kernel timestamps clamps at 1.0.
+  r.time_running_ns = 2000;
+  EXPECT_DOUBLE_EQ(r.MultiplexRatio(), 1.0);
+}
+
+TEST(PerfReadingTest, DerivedRatiosGuardDivisionByZero) {
+  PerfReading r;
+  EXPECT_DOUBLE_EQ(r.Ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(r.LlcMissRate(), 0.0);
+  r.cycles = 1000;
+  r.instructions = 2500;
+  r.llc_loads = 100;
+  r.llc_misses = 25;
+  EXPECT_DOUBLE_EQ(r.Ipc(), 2.5);
+  EXPECT_DOUBLE_EQ(r.LlcMissRate(), 0.25);
+}
+
+TEST(PerfReadingTest, DeltaSaturatesOnBackwardCounters) {
+  PerfReading before, after;
+  before.cycles = 500;
+  after.cycles = 200;  // backend reinit between the snapshots
+  before.task_clock_ns = 10;
+  after.task_clock_ns = 30;
+  const PerfReading d = PerfReading::Delta(after, before);
+  EXPECT_EQ(d.cycles, 0u);
+  EXPECT_EQ(d.task_clock_ns, 20u);
+}
+
+TEST(PerfAccumulatorTest, FoldsDeltasAcrossThreads) {
+  PerfAccumulator acc;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&acc] {
+      PerfReading d;
+      d.cycles = 10;
+      d.task_clock_ns = 7;
+      acc.Add(d);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const PerfReading total = acc.Snapshot();
+  EXPECT_EQ(total.cycles, 10u * kThreads);
+  EXPECT_EQ(total.task_clock_ns, 7u * kThreads);
+  acc.Reset();
+  EXPECT_EQ(acc.Snapshot().cycles, 0u);
+}
+
+TEST(PerfScopeTest, AddsDeltaToAccumulatorOnce) {
+  ScopedPerfBackend env("rusage");
+  PerfAccumulator acc;
+  {
+    PerfScope scope(&acc);
+    SpinForMillis(20);
+    const PerfReading delta = scope.Stop();
+    EXPECT_GT(delta.task_clock_ns, 0u);
+    // Second stop (and the destructor) must not double-count.
+    const PerfReading again = scope.Stop();
+    EXPECT_EQ(again.task_clock_ns, 0u);
+  }
+  const PerfReading total = acc.Snapshot();
+  EXPECT_GT(total.task_clock_ns, 0u);
+}
+
+TEST(PerfScopeTest, NullAccumulatorIsInert) {
+  PerfScope scope(nullptr);
+  EXPECT_EQ(scope.Stop().task_clock_ns, 0u);
+}
+
+TEST(RunnerPerf, AttributesPhaseCostUnderForcedRusage) {
+  ScopedPerfBackend env("rusage");
+  CSRGraph g = GenerateErdosRenyi(400, 4000, 99);
+  auto store = testutil::MakeStore(g, Env::Default(), "perf_runner");
+  OptOptions options;
+  options.m_in = std::max(store->MaxRecordPages(), store->num_pages() / 8);
+  options.m_ex = options.m_in;
+  EdgeIteratorModel model;
+  OptRunner runner(store.get(), &model, options);
+  CountingSink sink;
+  OptRunStats stats;
+  Status s = runner.Run(&sink, &stats);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(stats.perf_backend, PerfBackend::kRusage);
+  // Phase C (overlapped triangulation) does the triangle work; the
+  // cpu-time rung must see it. PerfTotal folds all three phases.
+  EXPECT_GT(stats.perf_phase_c.task_clock_ns, 0u);
+  EXPECT_GE(stats.PerfTotal().task_clock_ns,
+            stats.perf_phase_c.task_clock_ns);
+}
+
+TEST(RunnerPerf, CollectPerfOffLeavesReadingsZero) {
+  ScopedPerfBackend env("rusage");
+  CSRGraph g = GenerateErdosRenyi(200, 1500, 7);
+  auto store = testutil::MakeStore(g, Env::Default(), "perf_runner_off");
+  OptOptions options;
+  options.m_in = std::max(store->MaxRecordPages(), store->num_pages() / 4);
+  options.m_ex = options.m_in;
+  options.collect_perf = false;
+  EdgeIteratorModel model;
+  OptRunner runner(store.get(), &model, options);
+  CountingSink sink;
+  OptRunStats stats;
+  ASSERT_TRUE(runner.Run(&sink, &stats).ok());
+  EXPECT_EQ(stats.PerfTotal().task_clock_ns, 0u);
+}
+
+}  // namespace
+}  // namespace opt
